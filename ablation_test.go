@@ -1,0 +1,110 @@
+package quicbench
+
+// Ablation benchmarks for the methodology's design choices (DESIGN.md §5):
+// each reports the metric value under the design decision and under its
+// ablated alternative via b.ReportMetric, so `go test -bench=Ablation`
+// doubles as a sensitivity analysis.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pe"
+	"repro/internal/stacks"
+)
+
+func ablationNet() core.Network {
+	return core.Network{
+		BandwidthMbps: 20,
+		RTT:           10_000_000, // 10 ms in sim.Time units
+		BufferBDP:     1,
+		Duration:      simDur(15 * time.Second),
+		Trials:        2,
+		Seed:          1,
+	}
+}
+
+// BenchmarkAblationClusteredVsSingleHull quantifies the paper's Fig. 1
+// claim: the single-hull PE overestimates conformance for implementations
+// whose clouds have structure.
+func BenchmarkAblationClusteredVsSingleHull(b *testing.B) {
+	n := ablationNet()
+	for i := 0; i < b.N; i++ {
+		testTrials := core.TestTrials(core.Spec("quiche", stacks.CUBIC), n)
+		refTrials := core.ReferenceTrials(stacks.CUBIC, n)
+		clustered := pe.Conformance(
+			pe.Build(testTrials, pe.Options{Seed: 1}),
+			pe.Build(refTrials, pe.Options{Seed: 2}))
+		single := pe.Conformance(pe.BuildOld(testTrials), pe.BuildOld(refTrials))
+		b.ReportMetric(clustered, "conf-clustered")
+		b.ReportMetric(single, "conf-singlehull")
+	}
+}
+
+// BenchmarkAblationCrossTrialIntersection compares the enhanced outlier
+// handling (intersection of per-trial hulls) against pooling all trials
+// into one (no intersection), measuring how much envelope area the
+// intersection trims.
+func BenchmarkAblationCrossTrialIntersection(b *testing.B) {
+	n := ablationNet()
+	for i := 0; i < b.N; i++ {
+		trials := core.ReferenceTrials(stacks.CUBIC, n)
+		intersected := pe.Build(trials, pe.Options{Seed: 1})
+		all := append([]geom.Point(nil), trials[0]...)
+		for _, t := range trials[1:] {
+			all = append(all, t...)
+		}
+		pooled := pe.Build([][]geom.Point{all}, pe.Options{Seed: 1})
+		b.ReportMetric(intersected.Area(), "area-intersected")
+		b.ReportMetric(pooled.Area(), "area-pooled")
+	}
+}
+
+// BenchmarkAblationHyStart measures the effect of HyStart on kernel CUBIC's
+// own envelope (slow-start exit behaviour), one of the §5 mechanisms.
+func BenchmarkAblationHyStart(b *testing.B) {
+	n := ablationNet()
+	for i := 0; i < b.N; i++ {
+		ref := core.Flow{Stack: stacks.Reference(), CCA: stacks.CUBIC}
+		noHS := core.Flow{Stack: stacks.ReferenceNoHyStart(), CCA: stacks.CUBIC}
+		rep := pe.Evaluate(core.TestTrialsAgainst(noHS, ref, n), core.ReferenceTrials(stacks.CUBIC, n), pe.Options{Seed: 1})
+		b.ReportMetric(rep.Conformance, "conf-noHyStart-vs-stock")
+	}
+}
+
+// BenchmarkAblationPacing measures how disabling pacing changes a QUIC
+// CUBIC's conformance (QUIC stacks pace by default; the kernel reference
+// does not).
+func BenchmarkAblationPacing(b *testing.B) {
+	n := ablationNet()
+	for i := 0; i < b.N; i++ {
+		paced := evaluate(refCache{}, core.Spec("quicgo", stacks.CUBIC), n)
+		unpacedStack, err := customStack("unpaced", CUBIC, Tunables{NoPacing: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		unpaced := evaluate(refCache{}, core.Flow{Stack: unpacedStack, CCA: stacks.CUBIC}, n)
+		b.ReportMetric(paced.Conformance, "conf-paced")
+		b.ReportMetric(unpaced.Conformance, "conf-unpaced")
+	}
+}
+
+// BenchmarkAblationTranslationSeeding compares the Conformance-T search
+// seeded at the centroid difference against an unseeded search from the
+// identity, validating the §3.3 search design.
+func BenchmarkAblationTranslationSeeding(b *testing.B) {
+	n := ablationNet()
+	for i := 0; i < b.N; i++ {
+		testTrials := core.TestTrials(core.Spec("mvfst", stacks.BBR), n)
+		refTrials := core.ReferenceTrials(stacks.BBR, n)
+		test := pe.Build(testTrials, pe.Options{Seed: 1})
+		ref := pe.Build(refTrials, pe.Options{Seed: 2})
+		res := pe.ConformanceT(test, ref)
+		plain := pe.Conformance(test, ref)
+		b.ReportMetric(res.ConformanceT, "confT")
+		b.ReportMetric(plain, "conf")
+		b.ReportMetric(res.DeltaThroughputMbps, "delta-tput")
+	}
+}

@@ -1,0 +1,72 @@
+// Command fairness runs a single pairwise bandwidth-share experiment
+// (§4.3 of the paper) between two congestion control implementations.
+//
+// Usage:
+//
+//	fairness -a quiche:cubic -b kernel:cubic
+//	fairness -a xquic:bbr -b chromium:cubic -buffer 5 -rtt 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	quicbench "repro"
+)
+
+func parseImpl(s string) (quicbench.Impl, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return quicbench.Impl{}, fmt.Errorf("want stack:cca, got %q", s)
+	}
+	return quicbench.Impl{Stack: parts[0], CCA: quicbench.CCA(parts[1])}, nil
+}
+
+func main() {
+	var (
+		aFlag    = flag.String("a", "quiche:cubic", "first implementation (stack:cca)")
+		bFlag    = flag.String("b", "kernel:cubic", "second implementation (stack:cca)")
+		bw       = flag.Float64("bw", 20, "bottleneck bandwidth (Mbps)")
+		rtt      = flag.Duration("rtt", 50*time.Millisecond, "base RTT")
+		buffer   = flag.Float64("buffer", 1, "buffer size (BDP multiples)")
+		duration = flag.Duration("duration", 30*time.Second, "flow duration")
+		trials   = flag.Int("trials", 3, "trials")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	a, err := parseImpl(*aFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b, err := parseImpl(*bFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	net := quicbench.Network{
+		BandwidthMbps: *bw, RTT: *rtt, BufferBDP: *buffer,
+		Duration: *duration, Trials: *trials, Seed: *seed,
+	}
+	sh, err := quicbench.MeasureFairness(a, b, net)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s vs %s  (%.0f Mbps, %v RTT, %.1f BDP, %d trials)\n",
+		a, b, *bw, *rtt, *buffer, *trials)
+	fmt.Printf("  %-20s %6.2f Mbps  share %.2f\n", a.String(), sh.MeanMbps[0], sh.ShareA)
+	fmt.Printf("  %-20s %6.2f Mbps  share %.2f\n", b.String(), sh.MeanMbps[1], 1-sh.ShareA)
+	switch {
+	case sh.ShareA > 0.55:
+		fmt.Printf("  -> %s takes more than its fair share\n", a)
+	case sh.ShareA < 0.45:
+		fmt.Printf("  -> %s takes more than its fair share\n", b)
+	default:
+		fmt.Println("  -> fair split")
+	}
+}

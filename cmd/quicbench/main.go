@@ -1,0 +1,95 @@
+// Command quicbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	quicbench -list
+//	quicbench -exp fig6                 # one experiment at quick scale
+//	quicbench -exp all -scale full      # the whole evaluation, full fidelity
+//	quicbench -exp fig9 -plots out/     # also write SVG plots
+//	quicbench -exp tab3 -duration 60s -trials 3 -seed 7
+//
+// Quick scale (30 s flows, 2 trials) gives the qualitative shapes in
+// minutes; full scale (120 s, 5 trials) mirrors the paper's methodology
+// and takes on the order of an hour for -exp all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	quicbench "repro"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id (e.g. fig6, tab3) or 'all'")
+		scale    = flag.String("scale", "quick", "quick or full")
+		plots    = flag.String("plots", "", "directory for SVG plots (optional)")
+		duration = flag.Duration("duration", 0, "override flow duration (e.g. 60s)")
+		trials   = flag.Int("trials", 0, "override trial count")
+		seed     = flag.Uint64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range quicbench.Experiments() {
+			fmt.Printf("  %-6s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun one with: quicbench -exp <id> [-scale full] [-plots dir]")
+		}
+		return
+	}
+
+	sc := quicbench.Quick
+	if *scale == "full" {
+		sc = quicbench.Full
+	} else if *scale != "quick" {
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+	if *duration != 0 {
+		sc.Duration = *duration
+	}
+	if *trials != 0 {
+		sc.Trials = *trials
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	cfg := quicbench.ExpConfig{Out: os.Stdout, PlotDir: *plots, Scale: sc}
+
+	run := func(e quicbench.Experiment) error {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Second))
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range quicbench.Experiments() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := quicbench.LookupExperiment(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,30 @@
+// Package quicbench (import "repro") is a conformance-testing bench for
+// QUIC congestion control implementations, reproducing "Containing the
+// Cambrian Explosion in QUIC Congestion Control" (Mishra & Leong, IMC '23).
+//
+// The library bundles everything the paper's methodology needs, built from
+// scratch on the standard library:
+//
+//   - a deterministic packet-level network emulator (bottleneck links,
+//     droptail queues, jitter, reordering) standing in for the paper's
+//     tc/Mahimahi testbed;
+//   - a QUIC-like transport with RFC 9002 loss detection and pacing;
+//   - reference congestion controllers (Reno, CUBIC + HyStart, BBRv1) and
+//     behavioural models of the 11 QUIC stacks the paper measures,
+//     including each stack's documented deviations;
+//   - the Performance Envelope machinery: k-means clustering with the
+//     paper's natural-k selection, cross-trial hull intersection, and the
+//     Conformance, Conformance-T, Δ-throughput and Δ-delay metrics;
+//   - an experiment catalog that regenerates every table and figure of the
+//     paper's evaluation (see Experiments).
+//
+// # Quick start
+//
+//	net := quicbench.Network{}            // paper defaults: 20 Mbps, 10 ms, 1 BDP
+//	rep, err := quicbench.MeasureConformance("quiche", quicbench.CUBIC, net)
+//	if err != nil { ... }
+//	fmt.Printf("conformance %.2f (Conf-T %.2f, Δ-tput %+.1f Mbps)\n",
+//	    rep.Conformance, rep.ConformanceT, rep.DeltaThroughputMbps)
+//
+// Every run is deterministic for a given Network.Seed.
+package quicbench

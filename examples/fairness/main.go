@@ -1,0 +1,56 @@
+// Fairness: reproduce the paper's §4.3/§4.4 findings on a small scale —
+// low-conformance implementations are unfair to their own kind and can
+// invert the textbook CUBIC-vs-BBR outcome.
+//
+//	go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	quicbench "repro"
+)
+
+func share(a, b quicbench.Impl, net quicbench.Network) float64 {
+	sh, err := quicbench.MeasureFairness(a, b, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sh.ShareA
+}
+
+func main() {
+	shallow := quicbench.Network{
+		BandwidthMbps: 20, RTT: 50 * time.Millisecond, BufferBDP: 1,
+		Duration: 30 * time.Second, Trials: 2, Seed: 1,
+	}
+	deep := shallow
+	deep.BufferBDP = 5
+
+	kcubic := quicbench.Impl{Stack: "kernel", CCA: quicbench.CUBIC}
+	kbbr := quicbench.Impl{Stack: "kernel", CCA: quicbench.BBR}
+
+	fmt.Println("1) intra-CCA fairness: who bullies its own kind? (share > 0.5 = aggressive)")
+	for _, im := range []quicbench.Impl{
+		{Stack: "quicgo", CCA: quicbench.CUBIC},
+		{Stack: "chromium", CCA: quicbench.CUBIC},
+		{Stack: "quiche", CCA: quicbench.CUBIC},
+		{Stack: "neqo", CCA: quicbench.CUBIC},
+	} {
+		fmt.Printf("   %-16s vs kernel cubic: share %.2f\n", im, share(im, kcubic, shallow))
+	}
+
+	fmt.Println("\n2) textbook inter-CCA behaviour (kernel implementations):")
+	fmt.Printf("   BBR vs CUBIC, shallow buffer: BBR share %.2f (expected > 0.5: BBR wins)\n",
+		share(kbbr, kcubic, shallow))
+	fmt.Printf("   BBR vs CUBIC, deep buffer:    BBR share %.2f (expected < 0.5: CUBIC wins)\n",
+		share(kbbr, kcubic, deep))
+
+	fmt.Println("\n3) low-conformance implementations subvert the textbook (§4.4):")
+	mvfstBBR := quicbench.Impl{Stack: "mvfst", CCA: quicbench.BBR}
+	fmt.Printf("   mvfst BBR vs kernel CUBIC, deep buffer: BBR share %.2f\n",
+		share(mvfstBBR, kcubic, deep))
+	fmt.Println("   (mvfst BBR, paced at 120 percent, can beat CUBIC even where BBR should lose)")
+}

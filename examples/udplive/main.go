@@ -1,0 +1,300 @@
+// udplive runs the conformance bench's transport endpoints over REAL UDP
+// sockets on the loopback interface, through a userspace bottleneck relay
+// (rate limit + droptail queue + propagation delay) — the in-vivo analogue
+// of the paper's AWS experiments (§4.2), and a demonstration that the
+// library's congestion controllers are not simulator-bound: the same
+// Sender/Receiver code runs on a real-time clock over a real network path.
+//
+//	go run ./examples/udplive                     # quiche cubic vs kernel cubic
+//	go run ./examples/udplive -a mvfst:bbr -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/rtclock"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// loopClock adapts *rtclock.Loop to transport.Clock.
+type loopClock struct{ l *rtclock.Loop }
+
+func (c loopClock) Now() sim.Time { return c.l.Now() }
+func (c loopClock) NewTimer(fn func()) transport.TimerHandle {
+	return c.l.NewTimer(fn)
+}
+
+// relay is a userspace bottleneck: data datagrams (sender -> receiver) go
+// through a rate limiter with a droptail byte queue plus one-way delay;
+// ACKs (receiver -> sender) only get the delay. It answers on one UDP
+// socket and forwards by flow id to registered endpoint addresses.
+type relay struct {
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	queued    int
+	busyUntil time.Time
+
+	rateBps  float64
+	queueCap int
+	owd      time.Duration // one-way delay per direction
+
+	dataAddr map[int]*net.UDPAddr // flow -> receiver addr
+	ackAddr  map[int]*net.UDPAddr // flow -> sender addr
+
+	dropped int
+}
+
+func newRelay(rateBps float64, queueCap int, owd time.Duration) (*relay, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	r := &relay{
+		conn:     conn,
+		rateBps:  rateBps,
+		queueCap: queueCap,
+		owd:      owd,
+		dataAddr: make(map[int]*net.UDPAddr),
+		ackAddr:  make(map[int]*net.UDPAddr),
+	}
+	go r.serve()
+	return r, nil
+}
+
+func (r *relay) addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+func (r *relay) register(flow int, receiver, sender *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dataAddr[flow] = receiver
+	r.ackAddr[flow] = sender
+}
+
+func (r *relay) serve() {
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < 4 || buf[0] != 0x51 {
+			continue
+		}
+		isAck := buf[1]&1 != 0
+		flow := int(buf[2])
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+
+		r.mu.Lock()
+		var dst *net.UDPAddr
+		if isAck {
+			dst = r.ackAddr[flow]
+		} else {
+			dst = r.dataAddr[flow]
+		}
+		if dst == nil {
+			r.mu.Unlock()
+			continue
+		}
+		if isAck {
+			// Uncongested reverse path: delay only.
+			r.mu.Unlock()
+			time.AfterFunc(r.owd, func() { r.conn.WriteToUDP(pkt, dst) })
+			continue
+		}
+		// Droptail bottleneck.
+		if r.queued+n > r.queueCap {
+			r.dropped++
+			r.mu.Unlock()
+			continue
+		}
+		r.queued += n
+		now := time.Now()
+		start := now
+		if r.busyUntil.After(start) {
+			start = r.busyUntil
+		}
+		txEnd := start.Add(time.Duration(float64(n*8) / r.rateBps * float64(time.Second)))
+		r.busyUntil = txEnd
+		r.mu.Unlock()
+
+		time.AfterFunc(txEnd.Sub(now), func() {
+			r.mu.Lock()
+			r.queued -= n
+			r.mu.Unlock()
+		})
+		time.AfterFunc(txEnd.Add(r.owd).Sub(now), func() {
+			r.conn.WriteToUDP(pkt, dst)
+		})
+	}
+}
+
+// endpoint is one UDP host running a transport sender or receiver on its
+// own real-time loop.
+type endpoint struct {
+	conn *net.UDPConn
+	loop *rtclock.Loop
+}
+
+func newEndpoint() (*endpoint, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return &endpoint{conn: conn, loop: rtclock.New()}, nil
+}
+
+func (e *endpoint) addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
+
+// writerTo returns a netem.Handler that serializes packets to dst.
+func (e *endpoint) writerTo(dst *net.UDPAddr) netem.Handler {
+	return netem.HandlerFunc(func(p *netem.Packet) {
+		buf := make([]byte, 2048)
+		n, err := wire.Encode(buf, p)
+		if err != nil {
+			return
+		}
+		e.conn.WriteToUDP(buf[:n], dst)
+	})
+}
+
+// readInto pumps incoming datagrams into h on the endpoint's loop.
+func (e *endpoint) readInto(h netem.Handler) {
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, _, err := e.conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			pkt, err := wire.Decode(buf[:n])
+			if err != nil {
+				continue
+			}
+			e.loop.Post(func() { h.HandlePacket(pkt) })
+		}
+	}()
+}
+
+func (e *endpoint) close() {
+	e.conn.Close()
+	e.loop.Close()
+}
+
+func parseFlow(s string) (*stacks.Stack, stacks.CCA, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return nil, "", fmt.Errorf("want stack:cca, got %q", s)
+	}
+	st := stacks.Get(parts[0])
+	if st == nil {
+		return nil, "", fmt.Errorf("unknown stack %q", parts[0])
+	}
+	cca := stacks.CCA(parts[1])
+	if !st.Has(cca) {
+		return nil, "", fmt.Errorf("%s does not implement %s", parts[0], parts[1])
+	}
+	return st, cca, nil
+}
+
+func main() {
+	var (
+		aFlag    = flag.String("a", "quiche:cubic", "flow 1 implementation (stack:cca)")
+		bFlag    = flag.String("b", "kernel:cubic", "flow 2 implementation (stack:cca)")
+		mbps     = flag.Float64("bw", 20, "bottleneck bandwidth (Mbps)")
+		owd      = flag.Duration("owd", 5*time.Millisecond, "one-way delay per direction")
+		buffer   = flag.Float64("buffer", 1, "queue size in BDP multiples")
+		duration = flag.Duration("duration", 5*time.Second, "run time (real seconds!)")
+	)
+	flag.Parse()
+
+	rtt := 2 * *owd
+	bdp := int(*mbps * 1e6 * rtt.Seconds() / 8)
+	queue := int(float64(bdp) * *buffer)
+	fmt.Printf("live UDP run: %.0f Mbps bottleneck, %v RTT, %d-byte queue (%.1f BDP), %v\n",
+		*mbps, rtt, queue, *buffer, *duration)
+
+	rel, err := newRelay(*mbps*1e6, queue, *owd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type flowHalf struct {
+		tx    *transport.Sender
+		rx    *transport.Receiver
+		txEP  *endpoint
+		rxEP  *endpoint
+		label string
+	}
+	var flows []*flowHalf
+
+	for i, spec := range []string{*aFlag, *bFlag} {
+		st, cca, err := parseFlow(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flowID := i + 1
+		txEP, err := newEndpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rxEP, err := newEndpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel.register(flowID, rxEP.addr(), txEP.addr())
+
+		ctrl := st.NewController(cca)
+		tx := transport.NewSenderWithClock(loopClock{txEP.loop}, st.Profile, ctrl, txEP.writerTo(rel.addr()), flowID)
+		rx := transport.NewReceiverWithClock(loopClock{rxEP.loop}, st.Profile, rxEP.writerTo(rel.addr()), flowID)
+		txEP.readInto(tx) // sender consumes ACKs
+		rxEP.readInto(rx) // receiver consumes data
+
+		flows = append(flows, &flowHalf{tx: tx, rx: rx, txEP: txEP, rxEP: rxEP, label: spec})
+	}
+
+	start := time.Now()
+	for _, f := range flows {
+		f := f
+		f.txEP.loop.Post(func() { f.tx.Start() })
+	}
+	time.Sleep(*duration)
+	for _, f := range flows {
+		f := f
+		f.txEP.loop.Post(func() { f.tx.Stop() })
+	}
+	elapsed := time.Since(start).Seconds()
+
+	var total float64
+	for _, f := range flows {
+		mbpsGot := float64(f.rx.Stats.BytesReceived) * 8 / elapsed / 1e6
+		total += mbpsGot
+		fmt.Printf("  %-16s %6.2f Mbps   (rtt est %v, losses %d, spurious %d)\n",
+			f.label, mbpsGot, time.Duration(f.tx.SRTT()), f.tx.Stats.PacketsLost, f.tx.Stats.SpuriousLosses)
+	}
+	fmt.Printf("  aggregate        %6.2f Mbps of %.0f available; relay dropped %d\n", total, *mbps, rel.dropped)
+	share := 0.0
+	a := float64(flows[0].rx.Stats.BytesReceived)
+	b := float64(flows[1].rx.Stats.BytesReceived)
+	if a+b > 0 {
+		share = a / (a + b)
+	}
+	fmt.Printf("  bandwidth share: %.2f / %.2f\n", share, 1-share)
+
+	for _, f := range flows {
+		f.txEP.close()
+		f.rxEP.close()
+	}
+	rel.conn.Close()
+}

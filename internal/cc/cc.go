@@ -1,0 +1,186 @@
+// Package cc implements the congestion control algorithms under study:
+// Reno (NewReno), CUBIC (RFC 8312) with HyStart (RFC 9406) and the
+// RFC 8312bis §4.9 spurious-loss rollback, and BBR (version 1, as in the
+// Linux kernel at the paper's kernel 5.13 reference).
+//
+// Controllers are event-driven: the transport layer feeds them sent/acked/
+// lost notifications carrying the RTT and delivery-rate samples they need,
+// and reads back the congestion window and pacing rate. The same controller
+// code runs under both the TCP-like reference profile and the QUIC stack
+// profiles; per-stack deviations are expressed through the Config knobs.
+package cc
+
+import (
+	"repro/internal/sim"
+)
+
+// Controller is the interface every congestion control algorithm
+// implements.
+type Controller interface {
+	// Name identifies the algorithm (e.g. "cubic").
+	Name() string
+	// CWND returns the congestion window in bytes.
+	CWND() int
+	// PacingRate returns the target send rate in bytes/second, or 0 when
+	// the sender should not pace (pure window-limited operation).
+	PacingRate() float64
+	// InSlowStart reports whether the controller is in slow start.
+	InSlowStart() bool
+	// OnPacketSent notifies that bytes were sent; bytesInFlight includes
+	// the packet.
+	OnPacketSent(now sim.Time, bytes, bytesInFlight int)
+	// OnAck processes an acknowledgement batch.
+	OnAck(ev AckEvent)
+	// OnLoss processes a congestion (loss) event.
+	OnLoss(ev LossEvent)
+	// OnSpuriousLoss notifies that a packet previously declared lost was
+	// later acknowledged, i.e. a congestion event may have been spurious.
+	// ev identifies the congestion epoch via LargestLostSent.
+	OnSpuriousLoss(now sim.Time, sentAt sim.Time)
+}
+
+// AckEvent carries everything a controller may need from an ACK.
+type AckEvent struct {
+	Now sim.Time
+	// AckedBytes newly acknowledged by this event.
+	AckedBytes int
+	// LargestAckedSent is the send time of the newest acknowledged packet,
+	// used for recovery-epoch bookkeeping.
+	LargestAckedSent sim.Time
+	// RTT is the latest RTT sample; SRTT and MinRTT are the smoothed and
+	// windowed-minimum estimates maintained by the transport.
+	RTT, SRTT, MinRTT sim.Time
+	// BytesInFlight after removing the acked packets.
+	BytesInFlight int
+	// DeliveryRate is the delivery-rate sample in bytes/second (0 when no
+	// sample is available). IsAppLimited marks samples taken while the
+	// sender was application-limited; rate filters must not let them
+	// decrease estimates.
+	DeliveryRate float64
+	IsAppLimited bool
+	// RoundTrips counts completed round trips (used by windowed filters).
+	RoundTrips int64
+}
+
+// LossEvent describes packets declared lost.
+type LossEvent struct {
+	Now sim.Time
+	// LostBytes newly declared lost.
+	LostBytes int
+	// LargestLostSent is the send time of the newest lost packet. A
+	// controller starts a new recovery epoch only if this exceeds the
+	// current epoch's start.
+	LargestLostSent sim.Time
+	// BytesInFlight after removing the lost packets.
+	BytesInFlight int
+	// Persistent reports persistent congestion (RFC 9002 §7.6): collapse
+	// to minimum window.
+	Persistent bool
+}
+
+// Config carries the knobs shared by all controllers plus the deviation
+// parameters the stack models use. Zero values select the standard
+// behaviour documented per field.
+type Config struct {
+	// MSS is the maximum segment (packet payload) size in bytes.
+	// Required (> 0).
+	MSS int
+	// InitialCWNDPackets defaults to 10 (RFC 6928 / QUIC default).
+	InitialCWNDPackets int
+	// MinCWNDPackets defaults to 2.
+	MinCWNDPackets int
+
+	// --- CUBIC knobs ---
+	// HyStart enables HyStart++ (RFC 9406). The Linux kernel has it on;
+	// xquic famously does not implement it.
+	HyStart bool
+	// SpuriousLossRollback enables RFC 8312bis §4.9: undo a congestion
+	// response when the triggering loss proves spurious (quiche behaviour,
+	// not yet in the kernel).
+	SpuriousLossRollback bool
+	// RollbackMinInterval rate-limits consecutive rollbacks (0 = none).
+	// One undo is kept per recovery period; congestion events arriving
+	// within the interval after a rollback find no undo state and their
+	// response stands.
+	RollbackMinInterval sim.Time
+	// EmulatedConnections emulates N flows in one (chromium uses 2).
+	// Values < 1 mean 1.
+	EmulatedConnections int
+	// FastConvergence defaults true (kernel behaviour); lsquic disables it.
+	FastConvergenceOff bool
+
+	// --- BBR knobs ---
+	// CWNDGain is BBR's cwnd_gain in PROBE_BW; default 2.0. xquic ships 2.5.
+	CWNDGain float64
+	// PacingRateScale multiplies the final pacing rate; default 1.0.
+	// mvfst ships 1.2 ("120% pacing").
+	PacingRateScale float64
+
+	// --- Reno/stack-level knobs ---
+	// PacingScale multiplies the cwnd-derived pacing rate for window-based
+	// controllers (Reno/CUBIC under QUIC profiles pace at cwnd/SRTT by
+	// default). 0 disables pacing for these controllers; neqo's
+	// conservative pacer is modelled as 0.8.
+	PacingScale float64
+	// CWNDClampPackets caps the congestion window (0 = no cap); used to
+	// model stack-level window limits.
+	CWNDClampPackets int
+	// GrowthDivisor slows all window growth by an integer factor
+	// (default 1). Models stack-level artifacts where event-loop overhead
+	// makes a standards-compliant CCA under-deliver (the neqo signature:
+	// lower throughput at lower delay).
+	GrowthDivisor int
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		panic("cc: Config.MSS must be positive")
+	}
+	if c.InitialCWNDPackets <= 0 {
+		c.InitialCWNDPackets = 10
+	}
+	if c.MinCWNDPackets <= 0 {
+		c.MinCWNDPackets = 2
+	}
+	if c.EmulatedConnections < 1 {
+		c.EmulatedConnections = 1
+	}
+	if c.GrowthDivisor < 1 {
+		c.GrowthDivisor = 1
+	}
+	if c.CWNDGain <= 0 {
+		c.CWNDGain = 2.0
+	}
+	if c.PacingRateScale <= 0 {
+		c.PacingRateScale = 1.0
+	}
+	return c
+}
+
+// clampCWND applies MinCWNDPackets/CWNDClampPackets to a window in bytes.
+func (c Config) clampCWND(cwnd int) int {
+	min := c.MinCWNDPackets * c.MSS
+	if cwnd < min {
+		cwnd = min
+	}
+	if c.CWNDClampPackets > 0 {
+		if max := c.CWNDClampPackets * c.MSS; cwnd > max {
+			cwnd = max
+		}
+	}
+	return cwnd
+}
+
+// windowPacingRate derives the pacing rate for window-based controllers:
+// PacingScale * cwnd / SRTT. Returns 0 (no pacing) when PacingScale is 0
+// or no SRTT is known yet.
+func windowPacingRate(cfg Config, cwnd int, srtt sim.Time) float64 {
+	if cfg.PacingScale <= 0 || srtt <= 0 {
+		return 0
+	}
+	return cfg.PacingScale * float64(cwnd) / srtt.Seconds()
+}
+
+// infinity is a practically infinite window/threshold in bytes.
+const infinity = int(^uint(0) >> 2)

@@ -1,0 +1,331 @@
+package cc
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// CUBIC constants per RFC 8312 and the Linux kernel implementation.
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// Cubic implements CUBIC congestion control (RFC 8312) with optional
+// HyStart++ (RFC 9406), optional RFC 8312bis §4.9 spurious-loss rollback,
+// optional N-connection emulation (the chromium deviation), and optional
+// fast-convergence disabling (the lsquic deviation).
+type Cubic struct {
+	cfg Config
+
+	cwnd     int // bytes
+	ssthresh int // bytes
+
+	// Cubic epoch state; wMax and wLastMax are in MSS units, k in seconds.
+	epochStart sim.Time // 0 = epoch not started
+	wMax       float64
+	wLastMax   float64
+	k          float64
+	wEstAcked  int // bytes acked since epoch start, for the TCP-friendly region
+
+	inRecovery    bool
+	recoveryStart sim.Time
+
+	srtt sim.Time
+
+	// lastRollback is when the most recent spurious-loss rollback fired.
+	lastRollback sim.Time
+
+	hystart hystartState
+
+	// Undo state for the spurious-loss rollback.
+	undo struct {
+		valid      bool
+		epochLoss  sim.Time // send time of the packet that triggered backoff
+		cwnd       int
+		ssthresh   int
+		wMax       float64
+		wLastMax   float64
+		k          float64
+		epochStart sim.Time
+		wEstAcked  int
+	}
+}
+
+// NewCubic returns a CUBIC controller.
+func NewCubic(cfg Config) *Cubic {
+	cfg = cfg.withDefaults()
+	c := &Cubic{
+		cfg:      cfg,
+		cwnd:     cfg.InitialCWNDPackets * cfg.MSS,
+		ssthresh: infinity,
+	}
+	c.hystart.reset()
+	return c
+}
+
+// Name implements Controller.
+func (c *Cubic) Name() string { return "cubic" }
+
+// CWND implements Controller.
+func (c *Cubic) CWND() int { return c.cfg.clampCWND(c.cwnd) }
+
+// PacingRate implements Controller.
+func (c *Cubic) PacingRate() float64 {
+	return windowPacingRate(c.cfg, c.CWND(), c.srtt)
+}
+
+// InSlowStart implements Controller.
+func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// OnPacketSent implements Controller.
+func (c *Cubic) OnPacketSent(now sim.Time, bytes, bytesInFlight int) {}
+
+// beta returns the multiplicative-decrease factor, adjusted for emulated
+// connections as in chromium: beta_N = (N - 1 + beta) / N.
+func (c *Cubic) beta() float64 {
+	n := float64(c.cfg.EmulatedConnections)
+	return (n - 1 + cubicBeta) / n
+}
+
+// alpha returns the TCP-friendly additive-increase factor
+// alpha = 3N²(1-beta_N)/(1+beta_N) per RFC 8312 §4.2 (N=1) and chromium's
+// generalization for emulated connections.
+func (c *Cubic) alpha() float64 {
+	n := float64(c.cfg.EmulatedConnections)
+	b := c.beta()
+	return 3 * n * n * (1 - b) / (1 + b)
+}
+
+// OnAck implements Controller.
+func (c *Cubic) OnAck(ev AckEvent) {
+	c.srtt = ev.SRTT
+	if c.inRecovery && ev.LargestAckedSent > c.recoveryStart {
+		c.inRecovery = false
+	}
+	if c.inRecovery {
+		return
+	}
+	if c.InSlowStart() {
+		growth := ev.AckedBytes
+		if c.cfg.HyStart {
+			growth = c.hystart.onAck(c, ev)
+		}
+		c.cwnd += growth / c.cfg.GrowthDivisor
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+	c.congestionAvoidance(ev)
+}
+
+// congestionAvoidance grows cwnd along the cubic curve, respecting the
+// TCP-friendly region (RFC 8312 §4.2).
+func (c *Cubic) congestionAvoidance(ev AckEvent) {
+	mss := float64(c.cfg.MSS)
+	if c.epochStart == 0 {
+		c.epochStart = ev.Now
+		c.wEstAcked = 0
+		cur := float64(c.cwnd) / mss
+		if cur < c.wMax {
+			c.k = math.Cbrt(c.wMax * (1 - c.beta()) / cubicC)
+		} else {
+			c.k = 0
+			c.wMax = cur
+		}
+	}
+	c.wEstAcked += ev.AckedBytes
+
+	t := (ev.Now - c.epochStart).Seconds()
+	rtt := ev.SRTT.Seconds()
+	if rtt <= 0 {
+		rtt = 1e-3
+	}
+	// Target one RTT ahead, per RFC 8312 §4.1.
+	dt := t + rtt - c.k
+	wCubic := cubicC*dt*dt*dt + c.wMax // MSS units
+
+	// TCP-friendly window estimate, RFC 8312 §4.2:
+	// W_est(t) = W_max*beta + alpha * t/RTT.
+	wEst := c.wMax*c.beta() + c.alpha()*t/rtt
+
+	cwndMSS := float64(c.cwnd) / mss
+	var target float64
+	switch {
+	case wCubic < wEst:
+		// TCP-friendly region.
+		target = wEst
+	default:
+		target = wCubic
+	}
+	if target > cwndMSS {
+		// Increment per RFC 8312: (target - cwnd)/cwnd per acked MSS.
+		ackedMSS := float64(ev.AckedBytes) / mss
+		inc := (target - cwndMSS) / cwndMSS * ackedMSS
+		// Kernel caps growth at ~1.5x per RTT worth of acks; cap the
+		// per-event increment at half the acked bytes to stay sane.
+		if inc > ackedMSS/2 {
+			inc = ackedMSS / 2
+		}
+		c.cwnd += int(inc * mss / float64(c.cfg.GrowthDivisor))
+	}
+}
+
+// OnLoss implements Controller.
+func (c *Cubic) OnLoss(ev LossEvent) {
+	if ev.Persistent {
+		c.cwnd = c.cfg.MinCWNDPackets * c.cfg.MSS
+		c.ssthresh = infinity
+		c.inRecovery = false
+		c.epochStart = 0
+		c.wMax = 0
+		c.wLastMax = 0
+		c.hystart.reset()
+		return
+	}
+	if c.inRecovery && ev.LargestLostSent <= c.recoveryStart {
+		return
+	}
+	// Save undo state before responding. After a rollback, the undo state
+	// stays consumed for RollbackMinInterval: responses in that window
+	// stand.
+	if c.cfg.SpuriousLossRollback &&
+		(c.lastRollback == 0 || ev.Now-c.lastRollback >= c.cfg.RollbackMinInterval) {
+		c.undo.valid = true
+		c.undo.epochLoss = ev.LargestLostSent
+		c.undo.cwnd = c.cwnd
+		c.undo.ssthresh = c.ssthresh
+		c.undo.wMax = c.wMax
+		c.undo.wLastMax = c.wLastMax
+		c.undo.k = c.k
+		c.undo.epochStart = c.epochStart
+		c.undo.wEstAcked = c.wEstAcked
+	}
+
+	c.inRecovery = true
+	c.recoveryStart = ev.Now
+
+	mss := float64(c.cfg.MSS)
+	cur := float64(c.cwnd) / mss
+	// Fast convergence (kernel default; lsquic disables it).
+	if !c.cfg.FastConvergenceOff && cur < c.wLastMax {
+		c.wLastMax = cur
+		c.wMax = cur * (1 + c.beta()) / 2
+	} else {
+		c.wLastMax = cur
+		c.wMax = cur
+	}
+	c.cwnd = int(float64(c.cwnd) * c.beta())
+	if min := c.cfg.MinCWNDPackets * c.cfg.MSS; c.cwnd < min {
+		c.cwnd = min
+	}
+	c.ssthresh = c.cwnd
+	c.epochStart = 0
+}
+
+// OnSpuriousLoss implements Controller: RFC 8312bis §4.9 rolls back the
+// most recent congestion response when its triggering loss was spurious.
+func (c *Cubic) OnSpuriousLoss(now sim.Time, sentAt sim.Time) {
+	if !c.cfg.SpuriousLossRollback || !c.undo.valid {
+		return
+	}
+	// Only roll back the response to the epoch this packet triggered.
+	if sentAt < c.undo.epochLoss {
+		return
+	}
+	c.cwnd = c.undo.cwnd
+	c.ssthresh = c.undo.ssthresh
+	c.wMax = c.undo.wMax
+	c.wLastMax = c.undo.wLastMax
+	c.k = c.undo.k
+	c.epochStart = c.undo.epochStart
+	c.wEstAcked = c.undo.wEstAcked
+	c.inRecovery = false
+	c.undo.valid = false
+	c.lastRollback = now
+}
+
+// hystartState implements HyStart++ (RFC 9406): slow start exits into
+// conservative slow start (CSS) when the round's minimum RTT grows by more
+// than eta over the previous round's minimum; CSS either confirms (sets
+// ssthresh) after cssRounds rounds or returns to slow start if the RTT
+// recovers.
+type hystartState struct {
+	lastRound      int64
+	currentMinRTT  sim.Time
+	lastMinRTT     sim.Time
+	rttSamples     int
+	inCSS          bool
+	cssRoundCount  int
+	cssBaselineRTT sim.Time
+}
+
+// HyStart++ parameters per RFC 9406.
+const (
+	hsMinRTTThresh = 4 * sim.Millisecond
+	hsMaxRTTThresh = 16 * sim.Millisecond
+	hsRTTThreshDiv = 8
+	hsMinSamples   = 8
+	hsCSSGrowthDiv = 4
+	hsCSSRounds    = 5
+)
+
+func (h *hystartState) reset() {
+	h.lastRound = -1
+	h.currentMinRTT = 0
+	h.lastMinRTT = 0
+	h.rttSamples = 0
+	h.inCSS = false
+	h.cssRoundCount = 0
+}
+
+// onAck updates HyStart state and returns the allowed slow-start growth in
+// bytes for this ack.
+func (h *hystartState) onAck(c *Cubic, ev AckEvent) int {
+	if ev.RoundTrips != h.lastRound {
+		// Round boundary.
+		if h.inCSS {
+			h.cssRoundCount++
+			if h.cssRoundCount >= hsCSSRounds {
+				// Confirm congestion: leave slow start here.
+				c.ssthresh = c.cwnd
+			}
+		}
+		h.lastRound = ev.RoundTrips
+		h.lastMinRTT = h.currentMinRTT
+		h.currentMinRTT = 0
+		h.rttSamples = 0
+	}
+	if ev.RTT > 0 {
+		if h.currentMinRTT == 0 || ev.RTT < h.currentMinRTT {
+			h.currentMinRTT = ev.RTT
+		}
+		h.rttSamples++
+	}
+	if !h.inCSS && h.rttSamples >= hsMinSamples && h.lastMinRTT > 0 {
+		eta := h.lastMinRTT / hsRTTThreshDiv
+		if eta < hsMinRTTThresh {
+			eta = hsMinRTTThresh
+		}
+		if eta > hsMaxRTTThresh {
+			eta = hsMaxRTTThresh
+		}
+		if h.currentMinRTT >= h.lastMinRTT+eta {
+			h.inCSS = true
+			h.cssRoundCount = 0
+			h.cssBaselineRTT = h.lastMinRTT
+		}
+	} else if h.inCSS && h.rttSamples >= hsMinSamples && h.cssBaselineRTT > 0 {
+		if h.currentMinRTT < h.cssBaselineRTT {
+			// RTT recovered: the spike was transient, resume slow start.
+			h.inCSS = false
+			h.cssRoundCount = 0
+		}
+	}
+	if h.inCSS {
+		return ev.AckedBytes / hsCSSGrowthDiv
+	}
+	return ev.AckedBytes
+}

@@ -1,0 +1,315 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func cubicCfg() Config { return Config{MSS: testMSS} }
+
+// driveToCA pushes a Cubic controller out of slow start via one loss and
+// an epoch-exiting ack, returning the time cursor.
+func driveToCA(c *Cubic) sim.Time {
+	now := 100 * sim.Millisecond
+	c.OnLoss(LossEvent{Now: now, LostBytes: testMSS, LargestLostSent: now - 5*sim.Millisecond, BytesInFlight: c.CWND()})
+	now += 20 * sim.Millisecond
+	c.OnAck(ack(now, testMSS, now-10*sim.Millisecond))
+	return now
+}
+
+func TestCubicInitialState(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	if c.CWND() != 10*testMSS {
+		t.Fatalf("initial cwnd = %d", c.CWND())
+	}
+	if !c.InSlowStart() {
+		t.Fatal("not in slow start")
+	}
+	if c.Name() != "cubic" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestCubicSlowStartGrowth(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	start := c.CWND()
+	c.OnAck(ack(20*sim.Millisecond, start, 10*sim.Millisecond))
+	if got := c.CWND(); got != 2*start {
+		t.Fatalf("slow-start growth = %d, want doubling to %d", got, 2*start)
+	}
+}
+
+func TestCubicBetaReduction(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	before := c.CWND()
+	c.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 45 * sim.Millisecond, BytesInFlight: before})
+	want := int(float64(before) * cubicBeta)
+	if got := c.CWND(); got != want {
+		t.Fatalf("cwnd after loss = %d, want %d (beta=0.7)", got, want)
+	}
+}
+
+func TestCubicConcaveGrowthTowardsWMax(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	// Grow to a large window, then lose.
+	c.OnAck(ack(20*sim.Millisecond, 90*testMSS, 10*sim.Millisecond))
+	wBefore := c.CWND()
+	now := driveToCA(c)
+	// Feed acks over several RTTs; window should approach but not blow
+	// far past W_max quickly (concave region).
+	for i := 0; i < 30; i++ {
+		now += 10 * sim.Millisecond
+		c.OnAck(ack(now, c.CWND(), now-10*sim.Millisecond))
+	}
+	if c.CWND() <= int(float64(wBefore)*cubicBeta) {
+		t.Fatalf("no growth in CA: %d", c.CWND())
+	}
+	// After 300 ms the cubic curve should have recovered to ~W_max.
+	ratio := float64(c.CWND()) / float64(wBefore)
+	if ratio < 0.8 || ratio > 1.8 {
+		t.Fatalf("window %.2fx W_max after 30 RTTs; want near 1x", ratio)
+	}
+}
+
+func TestCubicConvexGrowthBeyondWMax(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	c.OnAck(ack(20*sim.Millisecond, 40*testMSS, 10*sim.Millisecond))
+	wMax := c.CWND()
+	now := driveToCA(c)
+	for i := 0; i < 200; i++ {
+		now += 10 * sim.Millisecond
+		c.OnAck(ack(now, c.CWND(), now-10*sim.Millisecond))
+	}
+	if c.CWND() <= wMax {
+		t.Fatalf("after 2s in CA window %d has not exceeded W_max %d", c.CWND(), wMax)
+	}
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	mk := func(off bool) int {
+		cfg := cubicCfg()
+		cfg.FastConvergenceOff = off
+		c := NewCubic(cfg)
+		c.OnAck(ack(20*sim.Millisecond, 90*testMSS, 10*sim.Millisecond))
+		// First loss sets wLastMax.
+		c.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 45 * sim.Millisecond, BytesInFlight: c.CWND()})
+		// Second loss at a lower window triggers fast convergence.
+		c.OnLoss(LossEvent{Now: 500 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 495 * sim.Millisecond, BytesInFlight: c.CWND()})
+		return int(c.wMax)
+	}
+	withFC := mk(false)
+	withoutFC := mk(true)
+	if withFC >= withoutFC {
+		t.Fatalf("fast convergence should lower W_max: with=%d without=%d", withFC, withoutFC)
+	}
+}
+
+func TestCubicOneReductionPerEpoch(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	c.OnAck(ack(20*sim.Millisecond, 40*testMSS, 10*sim.Millisecond))
+	c.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 45 * sim.Millisecond, BytesInFlight: c.CWND()})
+	after := c.CWND()
+	c.OnLoss(LossEvent{Now: 51 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 44 * sim.Millisecond, BytesInFlight: c.CWND()})
+	if got := c.CWND(); got != after {
+		t.Fatalf("in-epoch loss reduced again: %d -> %d", after, got)
+	}
+}
+
+func TestCubicPersistentCongestion(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	c.OnAck(ack(20*sim.Millisecond, 40*testMSS, 10*sim.Millisecond))
+	c.OnLoss(LossEvent{Now: sim.Second, Persistent: true})
+	if c.CWND() != 2*testMSS {
+		t.Fatalf("persistent congestion cwnd = %d", c.CWND())
+	}
+	if !c.InSlowStart() {
+		t.Fatal("should re-enter slow start")
+	}
+}
+
+func TestCubicEmulatedConnectionsBeta(t *testing.T) {
+	cfg := cubicCfg()
+	cfg.EmulatedConnections = 2
+	c := NewCubic(cfg)
+	// beta_2 = (2-1+0.7)/2 = 0.85: gentler backoff than 0.7.
+	if got := c.beta(); got != 0.85 {
+		t.Fatalf("beta_2 = %v, want 0.85", got)
+	}
+	before := c.CWND()
+	c.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 45 * sim.Millisecond, BytesInFlight: before})
+	if got := c.CWND(); got != int(float64(before)*0.85) {
+		t.Fatalf("2-connection backoff = %d, want %d", got, int(float64(before)*0.85))
+	}
+}
+
+func TestCubicEmulatedConnectionsAlphaLarger(t *testing.T) {
+	one := NewCubic(cubicCfg())
+	cfg := cubicCfg()
+	cfg.EmulatedConnections = 2
+	two := NewCubic(cfg)
+	if two.alpha() <= one.alpha() {
+		t.Fatalf("alpha with 2 connections (%v) should exceed alpha with 1 (%v)", two.alpha(), one.alpha())
+	}
+}
+
+func TestCubicEmulatedConnectionsMoreAggressive(t *testing.T) {
+	grow := func(n int) int {
+		cfg := cubicCfg()
+		cfg.EmulatedConnections = n
+		c := NewCubic(cfg)
+		c.OnAck(ack(20*sim.Millisecond, 40*testMSS, 10*sim.Millisecond))
+		now := driveToCA(c)
+		for i := 0; i < 100; i++ {
+			now += 10 * sim.Millisecond
+			c.OnAck(ack(now, c.CWND(), now-10*sim.Millisecond))
+		}
+		return c.CWND()
+	}
+	if g2, g1 := grow(2), grow(1); g2 <= g1 {
+		t.Fatalf("2-connection CUBIC (%d) not more aggressive than 1 (%d)", g2, g1)
+	}
+}
+
+func TestCubicSpuriousLossRollback(t *testing.T) {
+	cfg := cubicCfg()
+	cfg.SpuriousLossRollback = true
+	c := NewCubic(cfg)
+	c.OnAck(ack(20*sim.Millisecond, 40*testMSS, 10*sim.Millisecond))
+	before := c.CWND()
+	lostSent := 45 * sim.Millisecond
+	c.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: lostSent, BytesInFlight: before})
+	if c.CWND() >= before {
+		t.Fatal("loss did not reduce window")
+	}
+	c.OnSpuriousLoss(60*sim.Millisecond, lostSent)
+	if got := c.CWND(); got != before {
+		t.Fatalf("rollback cwnd = %d, want %d", got, before)
+	}
+	// A second spurious signal must be a no-op (undo consumed).
+	c.OnLoss(LossEvent{Now: 80 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 75 * sim.Millisecond, BytesInFlight: c.CWND()})
+	reduced := c.CWND()
+	c.OnSpuriousLoss(85*sim.Millisecond, 70*sim.Millisecond) // older packet: not this epoch
+	if got := c.CWND(); got != reduced {
+		t.Fatalf("stale spurious signal rolled back: %d -> %d", reduced, got)
+	}
+}
+
+func TestCubicRollbackDisabledByDefault(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	c.OnAck(ack(20*sim.Millisecond, 40*testMSS, 10*sim.Millisecond))
+	c.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 45 * sim.Millisecond, BytesInFlight: c.CWND()})
+	after := c.CWND()
+	c.OnSpuriousLoss(60*sim.Millisecond, 45*sim.Millisecond)
+	if got := c.CWND(); got != after {
+		t.Fatalf("default CUBIC rolled back: %d -> %d", after, got)
+	}
+}
+
+func TestHyStartExitsOnDelayIncrease(t *testing.T) {
+	cfg := cubicCfg()
+	cfg.HyStart = true
+	c := NewCubic(cfg)
+	now := sim.Time(0)
+	round := int64(0)
+	// Round 0: baseline RTT 10 ms, 8 samples.
+	for i := 0; i < 8; i++ {
+		now += sim.Millisecond
+		ev := ack(now, testMSS, now-10*sim.Millisecond)
+		ev.RoundTrips = round
+		c.OnAck(ev)
+	}
+	// Round 1: RTT jumped to 20 ms (>= 10ms + eta where eta = 4 ms).
+	round++
+	grewBefore := c.CWND()
+	for r := 0; r < 8; r++ {
+		for i := 0; i < 8; i++ {
+			now += sim.Millisecond
+			ev := ack(now, testMSS, now-20*sim.Millisecond)
+			ev.RTT = 20 * sim.Millisecond
+			ev.RoundTrips = round
+			c.OnAck(ev)
+		}
+		round++
+	}
+	// After CSS rounds confirm, ssthresh should be set (out of slow start
+	// or about to be).
+	if c.InSlowStart() && c.ssthresh == infinity {
+		t.Fatalf("HyStart never reacted to a sustained RTT increase (cwnd %d -> %d)", grewBefore, c.CWND())
+	}
+}
+
+func TestHyStartCSSSlowsGrowth(t *testing.T) {
+	mk := func(hystart bool) int {
+		cfg := cubicCfg()
+		cfg.HyStart = hystart
+		c := NewCubic(cfg)
+		now := sim.Time(0)
+		// Baseline round.
+		for i := 0; i < 8; i++ {
+			now += sim.Millisecond
+			ev := ack(now, testMSS, now-10*sim.Millisecond)
+			ev.RoundTrips = 0
+			c.OnAck(ev)
+		}
+		// Two rounds of elevated RTT.
+		for r := int64(1); r <= 2; r++ {
+			for i := 0; i < 10; i++ {
+				now += sim.Millisecond
+				ev := ack(now, testMSS, now-25*sim.Millisecond)
+				ev.RTT = 25 * sim.Millisecond
+				ev.RoundTrips = r
+				c.OnAck(ev)
+			}
+		}
+		return c.CWND()
+	}
+	with := mk(true)
+	without := mk(false)
+	if with >= without {
+		t.Fatalf("HyStart window (%d) should grow slower than classic slow start (%d)", with, without)
+	}
+}
+
+func TestHyStartNoFalseExitOnStableRTT(t *testing.T) {
+	cfg := cubicCfg()
+	cfg.HyStart = true
+	c := NewCubic(cfg)
+	now := sim.Time(0)
+	for r := int64(0); r < 10; r++ {
+		for i := 0; i < 8; i++ {
+			now += sim.Millisecond
+			ev := ack(now, testMSS, now-10*sim.Millisecond)
+			ev.RoundTrips = r
+			c.OnAck(ev)
+		}
+	}
+	if !c.InSlowStart() {
+		t.Fatal("HyStart exited slow start with a perfectly stable RTT")
+	}
+	if c.hystart.inCSS {
+		t.Fatal("entered CSS with stable RTT")
+	}
+}
+
+func TestCubicNoGrowthDuringRecovery(t *testing.T) {
+	c := NewCubic(cubicCfg())
+	c.OnAck(ack(20*sim.Millisecond, 40*testMSS, 10*sim.Millisecond))
+	c.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 45 * sim.Millisecond, BytesInFlight: c.CWND()})
+	during := c.CWND()
+	c.OnAck(ack(55*sim.Millisecond, 5*testMSS, 40*sim.Millisecond)) // pre-recovery packet
+	if got := c.CWND(); got != during {
+		t.Fatalf("grew during recovery: %d -> %d", during, got)
+	}
+}
+
+func TestCubicPacingViaScale(t *testing.T) {
+	cfg := cubicCfg()
+	cfg.PacingScale = 0.8
+	c := NewCubic(cfg)
+	c.OnAck(ack(20*sim.Millisecond, testMSS, 10*sim.Millisecond))
+	want := 0.8 * float64(c.CWND()) / 0.010
+	if got := c.PacingRate(); got != want {
+		t.Fatalf("pacing = %v, want %v", got, want)
+	}
+}

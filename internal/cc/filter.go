@@ -1,0 +1,59 @@
+package cc
+
+// maxFilter is a windowed max filter over a sliding window measured in an
+// abstract monotone "time" (BBR uses round-trip counts for bandwidth and
+// wall-clock time for min-RTT). It follows the Linux kernel's minmax
+// structure: it tracks the best three samples so the max can be updated in
+// O(1) as the window slides.
+type maxFilter struct {
+	window int64
+	s      [3]filterSample
+}
+
+type filterSample struct {
+	t int64
+	v float64
+}
+
+// newMaxFilter returns a filter with the given window length.
+func newMaxFilter(window int64) *maxFilter {
+	return &maxFilter{window: window}
+}
+
+// Update inserts sample v at time t and returns the current max.
+func (f *maxFilter) Update(t int64, v float64) float64 {
+	if v >= f.s[0].v || t-f.s[2].t > f.window {
+		// New best sample, or the whole window is stale: reset.
+		f.s[0] = filterSample{t, v}
+		f.s[1] = f.s[0]
+		f.s[2] = f.s[0]
+		return f.s[0].v
+	}
+	if v >= f.s[1].v {
+		f.s[1] = filterSample{t, v}
+		f.s[2] = f.s[1]
+	} else if v >= f.s[2].v {
+		f.s[2] = filterSample{t, v}
+	}
+	// Expire the best if it has aged out of the window.
+	if t-f.s[0].t > f.window {
+		f.s[0] = f.s[1]
+		f.s[1] = f.s[2]
+		f.s[2] = filterSample{t, v}
+		if t-f.s[0].t > f.window {
+			f.s[0] = f.s[1]
+			f.s[1] = f.s[2]
+		}
+	} else if f.s[1].t == f.s[0].t && t-f.s[1].t > f.window/4 {
+		// Quarter-window heuristic from the kernel: keep fresher
+		// second/third choices around.
+		f.s[1] = filterSample{t, v}
+		f.s[2] = f.s[1]
+	} else if f.s[2].t == f.s[1].t && t-f.s[2].t > f.window/2 {
+		f.s[2] = filterSample{t, v}
+	}
+	return f.s[0].v
+}
+
+// Get returns the current max without inserting a sample.
+func (f *maxFilter) Get() float64 { return f.s[0].v }

@@ -1,0 +1,115 @@
+package cc
+
+import "repro/internal/sim"
+
+// Reno implements NewReno congestion control with byte counting, following
+// RFC 9002 §7 (which is itself NewReno adapted to QUIC) and matching the
+// Linux kernel's Reno behaviour for the paper's reference flows.
+type Reno struct {
+	cfg Config
+
+	cwnd     int // bytes
+	ssthresh int // bytes
+
+	// recoveryStart is the time the current congestion epoch began;
+	// losses of packets sent before it do not trigger a new backoff.
+	recoveryStart sim.Time
+	inRecovery    bool
+
+	// acc accumulates acked bytes for the congestion-avoidance increase.
+	acc int
+
+	srtt sim.Time
+
+	// undo state for spurious-loss rollback (not enabled for Reno in any
+	// stack we model, but kept symmetric with CUBIC).
+	priorCWND     int
+	priorSSThresh int
+}
+
+// NewReno returns a Reno controller.
+func NewReno(cfg Config) *Reno {
+	cfg = cfg.withDefaults()
+	return &Reno{
+		cfg:      cfg,
+		cwnd:     cfg.InitialCWNDPackets * cfg.MSS,
+		ssthresh: infinity,
+	}
+}
+
+// Name implements Controller.
+func (r *Reno) Name() string { return "reno" }
+
+// CWND implements Controller.
+func (r *Reno) CWND() int { return r.cfg.clampCWND(r.cwnd) }
+
+// PacingRate implements Controller.
+func (r *Reno) PacingRate() float64 {
+	return windowPacingRate(r.cfg, r.CWND(), r.srtt)
+}
+
+// InSlowStart implements Controller.
+func (r *Reno) InSlowStart() bool { return r.cwnd < r.ssthresh }
+
+// OnPacketSent implements Controller.
+func (r *Reno) OnPacketSent(now sim.Time, bytes, bytesInFlight int) {}
+
+// OnAck implements Controller.
+func (r *Reno) OnAck(ev AckEvent) {
+	r.srtt = ev.SRTT
+	if r.inRecovery && ev.LargestAckedSent > r.recoveryStart {
+		r.inRecovery = false
+	}
+	if r.inRecovery {
+		return // no growth during recovery (RFC 9002 §7.3.2)
+	}
+	if r.InSlowStart() {
+		r.cwnd += ev.AckedBytes
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: one MSS per cwnd of acked bytes.
+	r.acc += ev.AckedBytes
+	for r.acc >= r.cwnd {
+		r.acc -= r.cwnd
+		r.cwnd += r.cfg.MSS
+	}
+}
+
+// OnLoss implements Controller.
+func (r *Reno) OnLoss(ev LossEvent) {
+	if ev.Persistent {
+		r.cwnd = r.cfg.MinCWNDPackets * r.cfg.MSS
+		r.ssthresh = infinity
+		r.inRecovery = false
+		r.acc = 0
+		return
+	}
+	if r.inRecovery && ev.LargestLostSent <= r.recoveryStart {
+		return // already responded this epoch
+	}
+	r.priorCWND = r.cwnd
+	r.priorSSThresh = r.ssthresh
+	r.inRecovery = true
+	r.recoveryStart = ev.Now
+	r.ssthresh = r.cwnd / 2
+	if min := r.cfg.MinCWNDPackets * r.cfg.MSS; r.ssthresh < min {
+		r.ssthresh = min
+	}
+	r.cwnd = r.ssthresh
+	r.acc = 0
+}
+
+// OnSpuriousLoss implements Controller. Standard Reno takes no undo
+// action unless SpuriousLossRollback is configured.
+func (r *Reno) OnSpuriousLoss(now sim.Time, sentAt sim.Time) {
+	if !r.cfg.SpuriousLossRollback || r.priorCWND == 0 {
+		return
+	}
+	r.cwnd = r.priorCWND
+	r.ssthresh = r.priorSSThresh
+	r.inRecovery = false
+	r.priorCWND = 0
+}

@@ -1,0 +1,193 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const testMSS = 1200
+
+func renoCfg() Config { return Config{MSS: testMSS} }
+
+func ack(now sim.Time, bytes int, sentAt sim.Time) AckEvent {
+	return AckEvent{
+		Now:              now,
+		AckedBytes:       bytes,
+		LargestAckedSent: sentAt,
+		RTT:              10 * sim.Millisecond,
+		SRTT:             10 * sim.Millisecond,
+		MinRTT:           10 * sim.Millisecond,
+	}
+}
+
+func TestRenoInitialWindow(t *testing.T) {
+	r := NewReno(renoCfg())
+	if got := r.CWND(); got != 10*testMSS {
+		t.Fatalf("initial cwnd = %d, want %d", got, 10*testMSS)
+	}
+	if !r.InSlowStart() {
+		t.Fatal("fresh Reno not in slow start")
+	}
+	if r.Name() != "reno" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	r := NewReno(renoCfg())
+	start := r.CWND()
+	// Ack a full window: slow start adds acked bytes -> doubles.
+	r.OnAck(ack(20*sim.Millisecond, start, 10*sim.Millisecond))
+	if got := r.CWND(); got != 2*start {
+		t.Fatalf("cwnd after full-window ack = %d, want %d", got, 2*start)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewReno(renoCfg())
+	// Force CA by setting up a loss first.
+	r.OnLoss(LossEvent{Now: sim.Second, LostBytes: testMSS, LargestLostSent: sim.Second - 10*sim.Millisecond, BytesInFlight: 5 * testMSS})
+	// Exit recovery with an ack of a packet sent after the loss response.
+	r.OnAck(ack(sim.Second+20*sim.Millisecond, testMSS, sim.Second+10*sim.Millisecond))
+	if r.InSlowStart() {
+		t.Fatal("should be in congestion avoidance after loss")
+	}
+	before := r.CWND()
+	// Ack one full cwnd of data: CA should add exactly one MSS.
+	r.OnAck(ack(sim.Second+40*sim.Millisecond, before, sim.Second+30*sim.Millisecond))
+	if got := r.CWND(); got != before+testMSS {
+		t.Fatalf("CA growth = %d bytes, want one MSS (%d)", got-before, testMSS)
+	}
+}
+
+func TestRenoLossHalvesWindow(t *testing.T) {
+	r := NewReno(renoCfg())
+	// Grow a bit first.
+	r.OnAck(ack(20*sim.Millisecond, 10*testMSS, 10*sim.Millisecond))
+	before := r.CWND()
+	r.OnLoss(LossEvent{Now: 30 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 25 * sim.Millisecond, BytesInFlight: before})
+	if got := r.CWND(); got != before/2 {
+		t.Fatalf("cwnd after loss = %d, want %d", got, before/2)
+	}
+	if r.InSlowStart() {
+		t.Fatal("still in slow start after loss")
+	}
+}
+
+func TestRenoOneReductionPerEpoch(t *testing.T) {
+	r := NewReno(renoCfg())
+	r.OnAck(ack(20*sim.Millisecond, 10*testMSS, 10*sim.Millisecond))
+	r.OnLoss(LossEvent{Now: 30 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 25 * sim.Millisecond, BytesInFlight: 10 * testMSS})
+	after := r.CWND()
+	// A second loss of a packet sent before the epoch start must not
+	// reduce again.
+	r.OnLoss(LossEvent{Now: 31 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 26 * sim.Millisecond, BytesInFlight: 9 * testMSS})
+	if got := r.CWND(); got != after {
+		t.Fatalf("second in-epoch loss changed cwnd: %d -> %d", after, got)
+	}
+	// A loss of a packet sent after the epoch start does reduce.
+	r.OnLoss(LossEvent{Now: 50 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 45 * sim.Millisecond, BytesInFlight: 9 * testMSS})
+	if got := r.CWND(); got >= after {
+		t.Fatalf("new-epoch loss did not reduce: %d -> %d", after, got)
+	}
+}
+
+func TestRenoNoGrowthDuringRecovery(t *testing.T) {
+	r := NewReno(renoCfg())
+	r.OnLoss(LossEvent{Now: 30 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 25 * sim.Millisecond, BytesInFlight: 10 * testMSS})
+	during := r.CWND()
+	// Ack of a packet sent before the recovery start: still in recovery.
+	r.OnAck(ack(35*sim.Millisecond, 4*testMSS, 20*sim.Millisecond))
+	if got := r.CWND(); got != during {
+		t.Fatalf("cwnd grew during recovery: %d -> %d", during, got)
+	}
+}
+
+func TestRenoMinimumWindow(t *testing.T) {
+	r := NewReno(renoCfg())
+	for i := 0; i < 20; i++ {
+		now := sim.Time(i+1) * 100 * sim.Millisecond
+		r.OnLoss(LossEvent{Now: now, LostBytes: testMSS, LargestLostSent: now - sim.Millisecond, BytesInFlight: r.CWND()})
+	}
+	if got := r.CWND(); got != 2*testMSS {
+		t.Fatalf("floor = %d, want 2 MSS", got)
+	}
+}
+
+func TestRenoPersistentCongestion(t *testing.T) {
+	r := NewReno(renoCfg())
+	r.OnAck(ack(20*sim.Millisecond, 20*testMSS, 10*sim.Millisecond))
+	r.OnLoss(LossEvent{Now: sim.Second, Persistent: true})
+	if got := r.CWND(); got != 2*testMSS {
+		t.Fatalf("persistent congestion cwnd = %d, want min", got)
+	}
+	if !r.InSlowStart() {
+		t.Fatal("persistent congestion should re-enter slow start")
+	}
+}
+
+func TestRenoPacingDisabledByDefault(t *testing.T) {
+	r := NewReno(renoCfg())
+	r.OnAck(ack(20*sim.Millisecond, testMSS, 10*sim.Millisecond))
+	if got := r.PacingRate(); got != 0 {
+		t.Fatalf("unpaced Reno has pacing rate %v", got)
+	}
+}
+
+func TestRenoPacingScale(t *testing.T) {
+	cfg := renoCfg()
+	cfg.PacingScale = 1.0
+	r := NewReno(cfg)
+	r.OnAck(ack(20*sim.Millisecond, testMSS, 10*sim.Millisecond))
+	// cwnd/srtt: (10*1200+1200)/10ms = 1,320,000 B/s.
+	want := float64(r.CWND()) / 0.010
+	if got := r.PacingRate(); got != want {
+		t.Fatalf("pacing = %v, want %v", got, want)
+	}
+}
+
+func TestRenoCWNDClamp(t *testing.T) {
+	cfg := renoCfg()
+	cfg.CWNDClampPackets = 12
+	r := NewReno(cfg)
+	for i := 0; i < 10; i++ {
+		r.OnAck(ack(sim.Time(i+2)*10*sim.Millisecond, 10*testMSS, sim.Time(i+1)*10*sim.Millisecond))
+	}
+	if got := r.CWND(); got != 12*testMSS {
+		t.Fatalf("clamped cwnd = %d, want %d", got, 12*testMSS)
+	}
+}
+
+func TestRenoSpuriousLossRollback(t *testing.T) {
+	cfg := renoCfg()
+	cfg.SpuriousLossRollback = true
+	r := NewReno(cfg)
+	r.OnAck(ack(20*sim.Millisecond, 10*testMSS, 10*sim.Millisecond))
+	before := r.CWND()
+	r.OnLoss(LossEvent{Now: 30 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 25 * sim.Millisecond, BytesInFlight: before})
+	r.OnSpuriousLoss(35*sim.Millisecond, 25*sim.Millisecond)
+	if got := r.CWND(); got != before {
+		t.Fatalf("rollback cwnd = %d, want %d", got, before)
+	}
+}
+
+func TestRenoSpuriousLossIgnoredWithoutConfig(t *testing.T) {
+	r := NewReno(renoCfg())
+	r.OnAck(ack(20*sim.Millisecond, 10*testMSS, 10*sim.Millisecond))
+	r.OnLoss(LossEvent{Now: 30 * sim.Millisecond, LostBytes: testMSS, LargestLostSent: 25 * sim.Millisecond, BytesInFlight: 10 * testMSS})
+	after := r.CWND()
+	r.OnSpuriousLoss(35*sim.Millisecond, 25*sim.Millisecond)
+	if got := r.CWND(); got != after {
+		t.Fatalf("unconfigured rollback changed cwnd: %d -> %d", after, got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on MSS=0")
+		}
+	}()
+	NewReno(Config{})
+}

@@ -1,0 +1,349 @@
+// Package core is the measurement engine of the reproduction — the
+// equivalent of the paper's QUICBench tool. It orchestrates two-flow
+// experiments on the emulated dumbbell, extracts the delay/throughput
+// samples (§3.1), and combines them with the Performance Envelope
+// machinery (internal/pe) into conformance reports, bandwidth-share
+// matrices, and parameter sweeps.
+//
+// Conformance procedure (§3.1): the *test* envelope is built from the test
+// implementation's samples while it competes against the kernel reference
+// of the same CCA; the *reference* envelope is built from a kernel flow's
+// samples while it competes against another kernel flow. Five trials each,
+// differentiated by small per-packet jitter and a randomized start offset.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/pe"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Network describes one experiment configuration from the §4 grid.
+type Network struct {
+	// BandwidthMbps is the bottleneck capacity (paper: 20 and 100).
+	BandwidthMbps float64
+	// RTT is the base round-trip time (paper: 10 ms and 50 ms).
+	RTT sim.Time
+	// BufferBDP is the droptail buffer in BDP multiples
+	// (paper: 0.5, 1, 3, 5).
+	BufferBDP float64
+	// Duration is the flow runtime (paper: 120 s).
+	Duration sim.Time
+	// Trials is the number of repetitions (paper: 5).
+	Trials int
+	// Seed drives all experiment randomness.
+	Seed uint64
+	// Wild enables the §4.2 Internet-path emulation: heavier per-packet
+	// jitter and per-trial base-RTT perturbation, as seen from AWS.
+	Wild bool
+}
+
+// withDefaults fills the paper's defaults.
+func (n Network) withDefaults() Network {
+	if n.BandwidthMbps == 0 {
+		n.BandwidthMbps = 20
+	}
+	if n.RTT == 0 {
+		n.RTT = 10 * sim.Millisecond
+	}
+	if n.BufferBDP == 0 {
+		n.BufferBDP = 1
+	}
+	if n.Duration == 0 {
+		n.Duration = 120 * sim.Second
+	}
+	if n.Trials == 0 {
+		n.Trials = 5
+	}
+	return n
+}
+
+// String summarizes the configuration ("20Mbps/10ms/1.0BDP").
+func (n Network) String() string {
+	return fmt.Sprintf("%.0fMbps/%.0fms/%.1fBDP", n.BandwidthMbps, n.RTT.Millis(), n.BufferBDP)
+}
+
+// reorderProb returns the out-of-order delivery probability: a small
+// baseline on the testbed, larger on Internet paths.
+func reorderProb(n Network) float64 {
+	if reorderOverride >= 0 {
+		return reorderOverride
+	}
+	if n.Wild {
+		return 0.001
+	}
+	return 0 // the paper's wired testbed delivers in order
+}
+
+// serializationTime returns how long `bytes` take on a link of the given
+// rate.
+func serializationTime(bytes int, mbps float64) sim.Time {
+	return sim.Time(float64(bytes*8) / (mbps * 1e6) * float64(sim.Second))
+}
+
+// Flow specifies one endpoint implementation.
+type Flow struct {
+	Stack *stacks.Stack
+	CCA   stacks.CCA
+}
+
+// Spec builds a Flow from a registry stack name, panicking on unknown
+// stacks (registry names are compile-time constants in callers).
+func Spec(stack string, cca stacks.CCA) Flow {
+	s := stacks.Get(stack)
+	if s == nil {
+		panic("core: unknown stack " + stack)
+	}
+	return Flow{Stack: s, CCA: cca}
+}
+
+// TrialResult carries one trial's measurements for both flows.
+type TrialResult struct {
+	// Traces are the raw per-flow measurement records; index 0 is flow A.
+	Traces [2]*metrics.FlowTrace
+	// MeanMbps is the truncated-window mean throughput per flow.
+	MeanMbps [2]float64
+	// Drops is the bottleneck drop count.
+	Drops uint64
+	// Losses/Spurious are sender-side counters per flow.
+	Losses   [2]int64
+	Spurious [2]int64
+}
+
+// Points extracts flow i's (delay, throughput) samples per §3.1.
+func (tr *TrialResult) Points(i int, n Network) []geom.Point {
+	n = n.withDefaults()
+	return metrics.Points(tr.Traces[i], metrics.SampleOptions{
+		RunDuration: n.Duration,
+		BaseRTT:     n.RTT,
+	})
+}
+
+// Series extracts flow i's windowed time series (for Fig. 15-style plots).
+func (tr *TrialResult) Series(i int, n Network) []metrics.SeriesPoint {
+	n = n.withDefaults()
+	return metrics.Series(tr.Traces[i], metrics.SampleOptions{
+		RunDuration: n.Duration,
+		BaseRTT:     n.RTT,
+	})
+}
+
+// RunTrial runs one two-flow experiment: a and b share the bottleneck for
+// the configured duration. The trial index individualizes randomness.
+func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
+	n = n.withDefaults()
+	// Mix the pairing into the seed so different stacks never share the
+	// exact same randomness, even when their configurations coincide.
+	h := uint64(14695981039346656037)
+	for _, s := range []string{a.Stack.Name, string(a.CCA), b.Stack.Name, string(b.CCA)} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+	}
+	rng := stats.NewRNG(n.Seed*1_000_003 + uint64(trial)*7919 + h)
+
+	baseRTT := n.RTT
+	jitter := baseRTT / 200 // 0.5% of RTT: natural testbed variation
+	if n.Wild {
+		// Internet paths seen from AWS: heavier per-packet jitter and more
+		// reordering. The base RTT itself stays constant — the paper
+		// measured ping before each run and padded with Mahimahi to hold
+		// 50 ms across trials.
+		jitter = baseRTT / 20
+	}
+
+	eng := sim.New()
+	bdp := netem.BDPBytes(n.BandwidthMbps*1e6, baseRTT)
+	queue := int(float64(bdp) * n.BufferBDP)
+	db := netem.NewDumbbell(eng, netem.DumbbellConfig{
+		BottleneckBps: n.BandwidthMbps * 1e6,
+		BaseRTT:       baseRTT,
+		QueueBytes:    queue,
+		Jitter:        jitter,
+		Rng:           rng.Fork(),
+		// Internet paths deliver a small fraction of packets out of
+		// order (NIC offloads, link-layer retransmissions, load
+		// balancing); the clean testbed does not (reorderProb returns 0
+		// unless Wild). The extra delay is a few packets' worth at link
+		// rate — enough to trip the 3-packet threshold at high rate
+		// without knocking over the congestion controller wholesale.
+		ReorderProb:  reorderProb(n),
+		ReorderDelay: serializationTime(8*1500, n.BandwidthMbps),
+	})
+
+	res := &TrialResult{}
+	res.Traces[0] = &metrics.FlowTrace{}
+	res.Traces[1] = &metrics.FlowTrace{}
+
+	// The paper computes throughput and delay offline from packet traces.
+	// We mirror that: delay samples come from each data packet's bottleneck
+	// sojourn (queueing + serialization + forward propagation) plus the
+	// reverse propagation — i.e. the RTT the network imposes, independent
+	// of receiver ACK scheduling.
+	db.Bottleneck.Tap(func(ev netem.LinkEvent) {
+		if ev.Kind != netem.Deliver || ev.Packet.IsAck {
+			return
+		}
+		i := ev.Packet.Flow - 1
+		if i < 0 || i > 1 {
+			return
+		}
+		res.Traces[i].AddRTT(ev.Time, ev.Sojourn+baseRTT/2)
+	})
+	senders := [2]*transport.Sender{}
+	for i, fl := range [2]Flow{a, b} {
+		flowID := i + 1
+		ft := res.Traces[i]
+
+		ctrl := fl.Stack.NewController(fl.CCA)
+		rx := transport.NewReceiver(eng, fl.Stack.Profile, netem.HandlerFunc(func(p *netem.Packet) {
+			db.ReverseLink(flowID).HandlePacket(p)
+		}), flowID)
+		rx.OnDeliver(func(d transport.DeliveredSample) {
+			ft.AddDelivery(d.Time, d.Bytes)
+		})
+
+		i := i
+		db.AttachFlow(flowID, rx, netem.HandlerFunc(func(p *netem.Packet) {
+			senders[i].HandlePacket(p)
+		}))
+		tx := transport.NewSender(eng, fl.Stack.Profile, ctrl, db.Bottleneck, flowID)
+		senders[i] = tx
+
+		// Randomized start within the first 2 RTTs decorrelates trials
+		// without changing the "flows launched together" setup.
+		start := sim.Time(rng.Float64() * 2 * float64(baseRTT))
+		eng.At(start, tx.Start)
+	}
+
+	eng.RunUntil(n.Duration)
+
+	trim := sim.Time(float64(n.Duration) * 0.10)
+	for i := range res.Traces {
+		res.MeanMbps[i] = res.Traces[i].MeanThroughputMbps(trim, n.Duration-trim)
+		res.Losses[i] = senders[i].Stats.PacketsLost
+		res.Spurious[i] = senders[i].Stats.SpuriousLosses
+	}
+	res.Drops = db.Bottleneck.Dropped
+	return res
+}
+
+// TestTrials measures the test implementation competing against the kernel
+// reference of the same CCA (§3.1), returning per-trial sample sets of the
+// *test* flow.
+func TestTrials(test Flow, n Network) [][]geom.Point {
+	n = n.withDefaults()
+	ref := Flow{Stack: stacks.Reference(), CCA: test.CCA}
+	trials := make([][]geom.Point, n.Trials)
+	for t := 0; t < n.Trials; t++ {
+		res := RunTrial(test, ref, n, t)
+		trials[t] = res.Points(0, n)
+	}
+	return trials
+}
+
+// TestTrialsAgainst is TestTrials with an explicit competitor reference
+// (used by Table 4's "TCP CUBIC w/o HyStart" comparison).
+func TestTrialsAgainst(test, ref Flow, n Network) [][]geom.Point {
+	n = n.withDefaults()
+	trials := make([][]geom.Point, n.Trials)
+	for t := 0; t < n.Trials; t++ {
+		res := RunTrial(test, ref, n, t)
+		trials[t] = res.Points(0, n)
+	}
+	return trials
+}
+
+// ReferenceTrials measures a kernel flow competing against another kernel
+// flow of the same CCA — the reference Performance Envelope's input.
+func ReferenceTrials(cca stacks.CCA, n Network) [][]geom.Point {
+	n = n.withDefaults()
+	ref := Flow{Stack: stacks.Reference(), CCA: cca}
+	trials := make([][]geom.Point, n.Trials)
+	for t := 0; t < n.Trials; t++ {
+		// Offset the seed space so reference trials do not mirror test
+		// trials packet-for-packet.
+		res := RunTrial(ref, ref, n, t+1000)
+		trials[t] = res.Points(0, n)
+	}
+	return trials
+}
+
+// ReferenceTrialsFor is ReferenceTrials with an explicit reference stack
+// variant (e.g. kernel without HyStart).
+func ReferenceTrialsFor(ref Flow, n Network) [][]geom.Point {
+	n = n.withDefaults()
+	trials := make([][]geom.Point, n.Trials)
+	for t := 0; t < n.Trials; t++ {
+		res := RunTrial(ref, ref, n, t+1000)
+		trials[t] = res.Points(0, n)
+	}
+	return trials
+}
+
+// Conformance runs the full §3 pipeline for one implementation under one
+// network configuration.
+func Conformance(test Flow, n Network) pe.Report {
+	testTrials := TestTrials(test, n)
+	refTrials := ReferenceTrials(test.CCA, n)
+	return pe.Evaluate(testTrials, refTrials, pe.Options{Seed: n.Seed})
+}
+
+// ConformanceAgainst evaluates test against an explicit reference flow.
+func ConformanceAgainst(test, ref Flow, n Network) pe.Report {
+	testTrials := TestTrialsAgainst(test, ref, n)
+	refTrials := ReferenceTrialsFor(ref, n)
+	return pe.Evaluate(testTrials, refTrials, pe.Options{Seed: n.Seed})
+}
+
+// ShareResult reports a bandwidth-share experiment (§4.3).
+type ShareResult struct {
+	A, B Flow
+	// ShareA is T_a / (T_a + T_b) averaged over trials.
+	ShareA float64
+	// MeanMbps are the per-flow means across trials.
+	MeanMbps [2]float64
+}
+
+// BandwidthShare runs the §4.3 pairwise fairness experiment: both flows
+// launched together on a 1 BDP buffer, share computed from mean
+// throughputs over the trials.
+func BandwidthShare(a, b Flow, n Network) ShareResult {
+	n = n.withDefaults()
+	var sumA, sumB float64
+	for t := 0; t < n.Trials; t++ {
+		res := RunTrial(a, b, n, t)
+		sumA += res.MeanMbps[0]
+		sumB += res.MeanMbps[1]
+	}
+	ma := sumA / float64(n.Trials)
+	mb := sumB / float64(n.Trials)
+	share := 0.5
+	if ma+mb > 0 {
+		share = ma / (ma + mb)
+	}
+	return ShareResult{A: a, B: b, ShareA: share, MeanMbps: [2]float64{ma, mb}}
+}
+
+// Envelopes builds both PEs (test and reference) for plotting.
+func Envelopes(test Flow, n Network) (testEnv, refEnv *pe.Envelope) {
+	n = n.withDefaults()
+	testEnv = pe.Build(TestTrials(test, n), pe.Options{Seed: n.Seed})
+	refEnv = pe.Build(ReferenceTrials(test.CCA, n), pe.Options{Seed: n.Seed + 1})
+	return testEnv, refEnv
+}
+
+// reorderOverride, when non-negative, replaces the default reordering
+// probability; used by calibration probes.
+var reorderOverride = -1.0
+
+// SetReorderProbForTest overrides the baseline reordering probability.
+// Pass a negative value to restore the default.
+func SetReorderProbForTest(p float64) { reorderOverride = p }

@@ -1,0 +1,188 @@
+// Package metrics turns raw flow traces (per-packet delivery records and
+// RTT samples) into the delay/throughput time series the Performance
+// Envelope is built from, following §3.1 of the paper: traces are truncated
+// by 10% at both ends to remove transients, and (delay, throughput) pairs
+// are sampled every 10 RTTs.
+package metrics
+
+import (
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Delivery is one data-packet arrival at the receiver.
+type Delivery struct {
+	Time  sim.Time
+	Bytes int
+}
+
+// RTT is one sender-side RTT observation.
+type RTT struct {
+	Time sim.Time
+	RTT  sim.Time
+}
+
+// FlowTrace accumulates a flow's measurement record during a run. It is
+// intended to be fed from transport hooks.
+type FlowTrace struct {
+	Deliveries []Delivery
+	RTTs       []RTT
+}
+
+// AddDelivery appends a delivery record.
+func (ft *FlowTrace) AddDelivery(t sim.Time, bytes int) {
+	ft.Deliveries = append(ft.Deliveries, Delivery{Time: t, Bytes: bytes})
+}
+
+// AddRTT appends an RTT sample.
+func (ft *FlowTrace) AddRTT(t, rtt sim.Time) {
+	ft.RTTs = append(ft.RTTs, RTT{Time: t, RTT: rtt})
+}
+
+// TotalBytes returns the sum of delivered bytes in [start, end).
+func (ft *FlowTrace) TotalBytes(start, end sim.Time) int64 {
+	var total int64
+	for _, d := range ft.Deliveries {
+		if d.Time >= start && d.Time < end {
+			total += int64(d.Bytes)
+		}
+	}
+	return total
+}
+
+// MeanThroughputMbps returns the average delivered rate over [start, end).
+func (ft *FlowTrace) MeanThroughputMbps(start, end sim.Time) float64 {
+	if end <= start {
+		return 0
+	}
+	return float64(ft.TotalBytes(start, end)) * 8 / (end - start).Seconds() / 1e6
+}
+
+// SampleOptions configures time-series extraction.
+type SampleOptions struct {
+	// RunDuration is the full flow duration.
+	RunDuration sim.Time
+	// BaseRTT is the experiment's configured round-trip time; the sampling
+	// window is SampleRTTs * BaseRTT.
+	BaseRTT sim.Time
+	// SampleRTTs defaults to 10 (the paper samples every 10 RTTs).
+	SampleRTTs int
+	// TruncateFrac defaults to 0.10 (10% removed from each end).
+	TruncateFrac float64
+}
+
+func (o SampleOptions) withDefaults() SampleOptions {
+	if o.SampleRTTs <= 0 {
+		o.SampleRTTs = 10
+	}
+	if o.TruncateFrac == 0 {
+		o.TruncateFrac = 0.10
+	}
+	return o
+}
+
+// Window bounds the truncated measurement interval.
+func (o SampleOptions) Window() (start, end sim.Time) {
+	o = o.withDefaults()
+	trim := sim.Time(float64(o.RunDuration) * o.TruncateFrac)
+	return trim, o.RunDuration - trim
+}
+
+// Points converts a flow trace into (delay, throughput) samples on the
+// delay/throughput plane: X = mean RTT in the window in milliseconds,
+// Y = delivered throughput in the window in Mbit/s. Windows without both a
+// delivery and an RTT sample are skipped.
+func Points(ft *FlowTrace, opts SampleOptions) []geom.Point {
+	opts = opts.withDefaults()
+	start, end := opts.Window()
+	window := sim.Time(opts.SampleRTTs) * opts.BaseRTT
+	if window <= 0 || end <= start {
+		return nil
+	}
+
+	var pts []geom.Point
+	di, ri := 0, 0
+	// Advance past pre-window records.
+	for di < len(ft.Deliveries) && ft.Deliveries[di].Time < start {
+		di++
+	}
+	for ri < len(ft.RTTs) && ft.RTTs[ri].Time < start {
+		ri++
+	}
+	for wStart := start; wStart+window <= end; wStart += window {
+		wEnd := wStart + window
+		var bytes int64
+		for di < len(ft.Deliveries) && ft.Deliveries[di].Time < wEnd {
+			bytes += int64(ft.Deliveries[di].Bytes)
+			di++
+		}
+		var rttSum sim.Time
+		var rttN int
+		for ri < len(ft.RTTs) && ft.RTTs[ri].Time < wEnd {
+			rttSum += ft.RTTs[ri].RTT
+			rttN++
+			ri++
+		}
+		if bytes == 0 || rttN == 0 {
+			continue
+		}
+		tputMbps := float64(bytes) * 8 / window.Seconds() / 1e6
+		delayMs := (rttSum / sim.Time(rttN)).Millis()
+		pts = append(pts, geom.Point{X: delayMs, Y: tputMbps})
+	}
+	return pts
+}
+
+// TimeSeries returns aligned (time, throughput Mbps, delay ms) triples for
+// plotting, using the same windows as Points but without skipping empty
+// windows (zeros are reported instead). Used by the quiche CUBIC fix
+// figure, which shows throughput over time.
+type SeriesPoint struct {
+	Time     sim.Time
+	Mbps     float64
+	DelayMs  float64
+	HasDelay bool
+}
+
+// Series extracts the full windowed time series.
+func Series(ft *FlowTrace, opts SampleOptions) []SeriesPoint {
+	opts = opts.withDefaults()
+	start, end := opts.Window()
+	window := sim.Time(opts.SampleRTTs) * opts.BaseRTT
+	if window <= 0 || end <= start {
+		return nil
+	}
+	var out []SeriesPoint
+	di, ri := 0, 0
+	for di < len(ft.Deliveries) && ft.Deliveries[di].Time < start {
+		di++
+	}
+	for ri < len(ft.RTTs) && ft.RTTs[ri].Time < start {
+		ri++
+	}
+	for wStart := start; wStart+window <= end; wStart += window {
+		wEnd := wStart + window
+		var bytes int64
+		for di < len(ft.Deliveries) && ft.Deliveries[di].Time < wEnd {
+			bytes += int64(ft.Deliveries[di].Bytes)
+			di++
+		}
+		var rttSum sim.Time
+		var rttN int
+		for ri < len(ft.RTTs) && ft.RTTs[ri].Time < wEnd {
+			rttSum += ft.RTTs[ri].RTT
+			rttN++
+			ri++
+		}
+		sp := SeriesPoint{
+			Time: wStart + window/2,
+			Mbps: float64(bytes) * 8 / window.Seconds() / 1e6,
+		}
+		if rttN > 0 {
+			sp.DelayMs = (rttSum / sim.Time(rttN)).Millis()
+			sp.HasDelay = true
+		}
+		out = append(out, sp)
+	}
+	return out
+}

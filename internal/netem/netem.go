@@ -1,0 +1,359 @@
+// Package netem emulates the paper's testbed network: fixed-rate links with
+// droptail byte queues and constant propagation delay, composed into the
+// dumbbell topology used for every conformance and fairness experiment
+// (two senders sharing one bottleneck, uncongested reverse paths for ACKs).
+//
+// It replaces the physical 1 Gbps testbed shaped with tc/Mahimahi. All
+// timing runs on the internal/sim virtual clock, so experiments are exactly
+// reproducible.
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Packet is the unit of transmission. The transport layer owns the
+// semantic fields; netem only reads Size for serialization and queueing.
+type Packet struct {
+	Flow   int   // flow identifier assigned by the experiment
+	Seq    int64 // transport packet number (unique per flow, per direction)
+	Size   int   // bytes on the wire
+	IsAck  bool  // true for pure-ACK packets (reverse path)
+	SentAt sim.Time
+	// Ack fields, populated when IsAck. LargestAcked is the highest data
+	// packet number acknowledged; AckDelay is receiver-side delay; Ranges
+	// encodes the acknowledged intervals (closed, descending).
+	LargestAcked int64
+	AckDelay     sim.Time
+	Ranges       []AckRange
+	// ECNCE counts Congestion Experienced marks seen by the receiver
+	// (reserved for the ECN extension; zero in the paper's experiments).
+	ECNCE int64
+}
+
+// AckRange is a closed interval [Smallest, Largest] of acknowledged packet
+// numbers.
+type AckRange struct {
+	Smallest, Largest int64
+}
+
+// Handler consumes delivered packets.
+type Handler interface {
+	HandlePacket(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(pkt *Packet) { f(pkt) }
+
+// LinkEvent describes something that happened to a packet at a link,
+// delivered to taps for tracing.
+type LinkEvent struct {
+	Time    sim.Time
+	Packet  *Packet
+	Kind    EventKind
+	QueueB  int      // queue occupancy in bytes after the event
+	Sojourn sim.Time // enqueue-to-delivery time, set on Deliver
+}
+
+// EventKind enumerates link event types.
+type EventKind int
+
+// Link event kinds.
+const (
+	Enqueue EventKind = iota
+	Drop
+	Deliver
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Enqueue:
+		return "enqueue"
+	case Drop:
+		return "drop"
+	case Deliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Link models a fixed-rate serializing link with a droptail byte queue and
+// constant propagation delay. A zero-capacity queue means unlimited.
+type Link struct {
+	eng      *sim.Engine
+	rateBps  float64
+	propag   sim.Time
+	queueCap int // bytes; 0 => unlimited
+	dst      Handler
+
+	queuedBytes int // bytes accepted but not yet fully serialized
+	busyUntil   sim.Time
+	lastDeliver sim.Time
+
+	jitter       sim.Time
+	jitterRNG    *stats.RNG
+	reorderProb  float64
+	reorderDelay sim.Time
+
+	// Stats.
+	Delivered      uint64
+	DeliveredBytes uint64
+	Dropped        uint64
+	DroppedBytes   uint64
+
+	taps []func(LinkEvent)
+}
+
+// LinkConfig configures a Link.
+type LinkConfig struct {
+	RateBps     float64  // serialization rate, bits per second (> 0)
+	Propagation sim.Time // one-way propagation delay (>= 0)
+	QueueBytes  int      // droptail queue capacity in bytes; 0 = unlimited
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter] to
+	// each packet's propagation, drawn from JitterRNG. Delivery order is
+	// still FIFO (jitter on a single path does not reorder packets).
+	Jitter    sim.Time
+	JitterRNG *stats.RNG
+	// ReorderProb is the probability that a packet is delayed by an extra
+	// ReorderDelay and allowed to be overtaken (out-of-order delivery, as
+	// caused by NIC offloads, link-layer retransmissions, or multipath).
+	// Requires JitterRNG when > 0.
+	ReorderProb  float64
+	ReorderDelay sim.Time
+}
+
+// NewLink creates a link that delivers packets to dst.
+func NewLink(eng *sim.Engine, cfg LinkConfig, dst Handler) *Link {
+	if cfg.RateBps <= 0 {
+		panic("netem: link rate must be positive")
+	}
+	if cfg.Propagation < 0 {
+		panic("netem: negative propagation delay")
+	}
+	if dst == nil {
+		panic("netem: nil destination handler")
+	}
+	if (cfg.Jitter > 0 || cfg.ReorderProb > 0) && cfg.JitterRNG == nil {
+		panic("netem: Jitter/ReorderProb require JitterRNG")
+	}
+	return &Link{
+		eng:          eng,
+		rateBps:      cfg.RateBps,
+		propag:       cfg.Propagation,
+		queueCap:     cfg.QueueBytes,
+		dst:          dst,
+		jitter:       cfg.Jitter,
+		jitterRNG:    cfg.JitterRNG,
+		reorderProb:  cfg.ReorderProb,
+		reorderDelay: cfg.ReorderDelay,
+	}
+}
+
+// Tap registers fn to observe every link event. Taps run synchronously in
+// event order.
+func (l *Link) Tap(fn func(LinkEvent)) { l.taps = append(l.taps, fn) }
+
+// QueueBytes returns the current queue occupancy in bytes (including the
+// packet in service).
+func (l *Link) QueueBytes() int { return l.queuedBytes }
+
+// Capacity returns the configured droptail capacity (0 = unlimited).
+func (l *Link) Capacity() int { return l.queueCap }
+
+// RateBps returns the configured serialization rate.
+func (l *Link) RateBps() float64 { return l.rateBps }
+
+// Propagation returns the one-way propagation delay.
+func (l *Link) Propagation() sim.Time { return l.propag }
+
+// serializationTime returns how long size bytes occupy the link.
+func (l *Link) serializationTime(size int) sim.Time {
+	return sim.Time(float64(size*8) / l.rateBps * float64(sim.Second))
+}
+
+// HandlePacket implements Handler: the packet arrives at the link's queue.
+func (l *Link) HandlePacket(pkt *Packet) {
+	now := l.eng.Now()
+	if l.queueCap > 0 && l.queuedBytes+pkt.Size > l.queueCap {
+		l.Dropped++
+		l.DroppedBytes += uint64(pkt.Size)
+		l.emit(LinkEvent{Time: now, Packet: pkt, Kind: Drop, QueueB: l.queuedBytes})
+		return
+	}
+	l.queuedBytes += pkt.Size
+	l.emit(LinkEvent{Time: now, Packet: pkt, Kind: Enqueue, QueueB: l.queuedBytes})
+
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txEnd := start + l.serializationTime(pkt.Size)
+	l.busyUntil = txEnd
+	enq := now
+	l.eng.At(txEnd, func() {
+		l.queuedBytes -= pkt.Size
+		deliverAt := l.eng.Now() + l.propag
+		if l.jitter > 0 {
+			deliverAt += sim.Time(l.jitterRNG.Float64() * float64(l.jitter))
+		}
+		if l.reorderProb > 0 && l.jitterRNG.Float64() < l.reorderProb {
+			// Out-of-order delivery: this packet is held back and later
+			// packets may overtake it.
+			deliverAt += l.reorderDelay
+		} else {
+			// Preserve FIFO delivery for the common case.
+			if deliverAt < l.lastDeliver {
+				deliverAt = l.lastDeliver
+			}
+			l.lastDeliver = deliverAt
+		}
+		l.eng.At(deliverAt, func() {
+			l.Delivered++
+			l.DeliveredBytes += uint64(pkt.Size)
+			l.emit(LinkEvent{
+				Time:    l.eng.Now(),
+				Packet:  pkt,
+				Kind:    Deliver,
+				QueueB:  l.queuedBytes,
+				Sojourn: l.eng.Now() - enq,
+			})
+			l.dst.HandlePacket(pkt)
+		})
+	})
+}
+
+func (l *Link) emit(ev LinkEvent) {
+	for _, t := range l.taps {
+		t(ev)
+	}
+}
+
+// Demux routes packets to per-flow handlers by Packet.Flow.
+type Demux struct {
+	handlers map[int]Handler
+}
+
+// NewDemux returns an empty demultiplexer.
+func NewDemux() *Demux { return &Demux{handlers: make(map[int]Handler)} }
+
+// Register binds flow id to h, replacing any previous binding.
+func (d *Demux) Register(flow int, h Handler) { d.handlers[flow] = h }
+
+// HandlePacket implements Handler. Packets for unknown flows are dropped
+// silently (mirrors a host discarding traffic for a closed socket).
+func (d *Demux) HandlePacket(pkt *Packet) {
+	if h, ok := d.handlers[pkt.Flow]; ok {
+		h.HandlePacket(pkt)
+	}
+}
+
+// Dumbbell is the experiment topology: every sender's data packets share
+// one bottleneck link; each flow has a private, uncongested reverse path
+// for ACKs. Per the paper, both flows see the same base RTT.
+type Dumbbell struct {
+	Eng        *sim.Engine
+	Bottleneck *Link
+	reverse    map[int]*Link
+	fwdDemux   *Demux
+	revDemux   *Demux
+	cfg        DumbbellConfig
+}
+
+// DumbbellConfig sets the shared network parameters, mirroring §4 of the
+// paper: a constant bottleneck bandwidth, a base RTT split across the
+// forward and reverse propagation, and a droptail buffer expressed in
+// bytes (the caller converts BDP multiples).
+type DumbbellConfig struct {
+	BottleneckBps float64
+	BaseRTT       sim.Time
+	QueueBytes    int
+	// ReverseBps is the reverse-path rate; defaults to 40x the bottleneck
+	// when zero so ACKs are effectively uncongested (the testbed's 1 Gbps
+	// ethernet vs the 20-100 Mbps shaped bottleneck).
+	ReverseBps float64
+	// Jitter adds per-packet uniform [0, Jitter] delay on every link,
+	// modelling natural network variation ("wild" mode uses larger
+	// values). Requires Rng when non-zero.
+	Jitter sim.Time
+	Rng    *stats.RNG
+	// ReorderProb/ReorderDelay enable occasional out-of-order delivery on
+	// the forward (data) path; see LinkConfig.
+	ReorderProb  float64
+	ReorderDelay sim.Time
+}
+
+// NewDumbbell builds the topology. Flows are attached with AttachFlow.
+func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	if cfg.ReverseBps == 0 {
+		cfg.ReverseBps = cfg.BottleneckBps * 40
+	}
+	d := &Dumbbell{
+		Eng:      eng,
+		reverse:  make(map[int]*Link),
+		fwdDemux: NewDemux(),
+		revDemux: NewDemux(),
+		cfg:      cfg,
+	}
+	// Forward path carries data through the shared droptail bottleneck and
+	// half the base RTT of propagation.
+	lc := LinkConfig{
+		RateBps:     cfg.BottleneckBps,
+		Propagation: cfg.BaseRTT / 2,
+		QueueBytes:  cfg.QueueBytes,
+	}
+	if cfg.Jitter > 0 || cfg.ReorderProb > 0 {
+		lc.Jitter = cfg.Jitter
+		lc.ReorderProb = cfg.ReorderProb
+		lc.ReorderDelay = cfg.ReorderDelay
+		lc.JitterRNG = cfg.Rng.Fork()
+	}
+	d.Bottleneck = NewLink(eng, lc, d.fwdDemux)
+	return d
+}
+
+// AttachFlow wires a sender/receiver pair into the topology. dataSink
+// receives the flow's data packets after the bottleneck; ackSink receives
+// the flow's ACKs after the reverse path. The returned handlers are where
+// the flow's endpoints inject traffic: SendData at the sender, SendAck at
+// the receiver.
+func (d *Dumbbell) AttachFlow(flow int, dataSink, ackSink Handler) (sendData, sendAck Handler) {
+	d.fwdDemux.Register(flow, dataSink)
+	rc := LinkConfig{
+		RateBps:     d.cfg.ReverseBps,
+		Propagation: d.cfg.BaseRTT / 2,
+		QueueBytes:  0, // uncongested
+	}
+	if d.cfg.Jitter > 0 {
+		rc.Jitter = d.cfg.Jitter
+		rc.JitterRNG = d.cfg.Rng.Fork()
+	}
+	rev := NewLink(d.Eng, rc, d.revDemux)
+	d.reverse[flow] = rev
+	d.revDemux.Register(flow, ackSink)
+	return d.Bottleneck, rev
+}
+
+// ReverseLink exposes a flow's reverse link (for taps/tests).
+func (d *Dumbbell) ReverseLink(flow int) *Link { return d.reverse[flow] }
+
+// Config returns the topology configuration.
+func (d *Dumbbell) Config() DumbbellConfig { return d.cfg }
+
+// BDPBytes returns the bandwidth-delay product of the configured
+// bottleneck in bytes.
+func (d *Dumbbell) BDPBytes() int {
+	return BDPBytes(d.cfg.BottleneckBps, d.cfg.BaseRTT)
+}
+
+// BDPBytes computes a bandwidth-delay product in bytes.
+func BDPBytes(rateBps float64, rtt sim.Time) int {
+	return int(rateBps * rtt.Seconds() / 8)
+}

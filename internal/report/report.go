@@ -1,0 +1,199 @@
+// Package report renders experiment results the way the paper presents
+// them: aligned ASCII tables (Tables 3/4), conformance heatmaps
+// (Figs. 6, 11-13), CSV exports, and SVG scatter/hull plots of
+// Performance Envelopes (Figs. 1-3, 7-10, 14-15).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return sb.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Heatmap renders a labelled matrix of values in [0, 1] as text, using
+// shading characters plus the numeric value, approximating the paper's
+// conformance and throughput-ratio heatmaps.
+type Heatmap struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	// Values[r][c]; NaN cells (missing implementations) render as "-".
+	Values [][]float64
+}
+
+// shade maps a value in [0,1] to a block character.
+func shade(v float64) string {
+	switch {
+	case v != v: // NaN
+		return " "
+	case v < 0.2:
+		return "░"
+	case v < 0.4:
+		return "▒"
+	case v < 0.6:
+		return "▓"
+	default:
+		return "█"
+	}
+}
+
+// Render writes the heatmap.
+func (h *Heatmap) Render(w io.Writer) error {
+	if h.Title != "" {
+		if _, err := fmt.Fprintln(w, h.Title); err != nil {
+			return err
+		}
+	}
+	rowW := 0
+	for _, l := range h.RowLabels {
+		if len(l) > rowW {
+			rowW = len(l)
+		}
+	}
+	colW := 6
+	for _, l := range h.ColLabels {
+		if len(l) > colW {
+			colW = len(l)
+		}
+	}
+	// Header row.
+	fmt.Fprintf(w, "%*s", rowW, "")
+	for _, l := range h.ColLabels {
+		fmt.Fprintf(w, " %*s", colW, l)
+	}
+	fmt.Fprintln(w)
+	for r, label := range h.RowLabels {
+		fmt.Fprintf(w, "%*s", rowW, label)
+		for c := range h.ColLabels {
+			v := h.Values[r][c]
+			if v != v {
+				fmt.Fprintf(w, " %*s", colW, "-")
+			} else {
+				fmt.Fprintf(w, " %*s", colW, fmt.Sprintf("%s%.2f", shade(v), v))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteCSV exports the heatmap as CSV with row/column labels.
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{""}, h.ColLabels...)); err != nil {
+		return err
+	}
+	for r, label := range h.RowLabels {
+		row := []string{label}
+		for c := range h.ColLabels {
+			v := h.Values[r][c]
+			if v != v {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", v))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// NewHeatmap allocates a heatmap with all cells set to NaN.
+func NewHeatmap(title string, rows, cols []string) *Heatmap {
+	vals := make([][]float64, len(rows))
+	for i := range vals {
+		vals[i] = make([]float64, len(cols))
+		for j := range vals[i] {
+			vals[i][j] = nan()
+		}
+	}
+	return &Heatmap{Title: title, RowLabels: rows, ColLabels: cols, Values: vals}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

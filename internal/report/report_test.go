@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Header: []string{"Stack", "Conf", "Conf-T"}}
+	tbl.AddRow("quiche", 0.08, 0.55)
+	tbl.AddRow("mvfst", 0.0, 0.7)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Stack", "quiche", "0.08", "0.55", "mvfst", "0.70"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tbl := &Table{Header: []string{"A", "B"}}
+	tbl.AddRow("longvalue", 1.0)
+	tbl.AddRow("x", 2.0)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// The second column should start at the same offset in both data rows.
+	i1 := strings.Index(lines[2], "1.00")
+	i2 := strings.Index(lines[3], "2.00")
+	if i1 != i2 {
+		t.Fatalf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow("x", 1.5)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\nx,1.50\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := NewHeatmap("Conformance", []string{"cubic", "bbr"}, []string{"quiche", "mvfst"})
+	h.Values[0][0] = 0.92
+	h.Values[0][1] = 0.15
+	// [1][0] left NaN (missing implementation), [1][1] set.
+	h.Values[1][1] = 0.55
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Conformance", "quiche", "mvfst", "0.92", "0.15", "0.55", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmapShading(t *testing.T) {
+	if shade(0.1) != "░" || shade(0.3) != "▒" || shade(0.5) != "▓" || shade(0.9) != "█" {
+		t.Fatal("shade thresholds wrong")
+	}
+	if shade(math.NaN()) != " " {
+		t.Fatal("NaN shade wrong")
+	}
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	h := NewHeatmap("", []string{"r1"}, []string{"c1", "c2"})
+	h.Values[0][0] = 0.5
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0.5000") {
+		t.Fatalf("csv = %q", out)
+	}
+	// NaN exports as empty cell.
+	if !strings.Contains(out, "0.5000,\n") {
+		t.Fatalf("NaN cell not empty: %q", out)
+	}
+}
+
+func TestNewHeatmapAllNaN(t *testing.T) {
+	h := NewHeatmap("x", []string{"a"}, []string{"b"})
+	if v := h.Values[0][0]; v == v {
+		t.Fatal("fresh heatmap cells should be NaN")
+	}
+}
+
+func TestSVGPlotRender(t *testing.T) {
+	p := &SVGPlot{Title: "quiche CUBIC <PE>"}
+	pts := []geom.Point{{X: 10, Y: 5}, {X: 12, Y: 8}, {X: 14, Y: 6}}
+	hull := geom.ConvexHull(pts)
+	p.AddSeries("reference", pts, []geom.Polygon{hull})
+	p.AddSeries("test", []geom.Point{{X: 20, Y: 15}}, nil)
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polygon", "circle", "reference", "test", "&lt;PE&gt;", "Delay (ms)", "Throughput (Mbps)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestSVGPlotEmpty(t *testing.T) {
+	p := &SVGPlot{}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("empty plot should still render a document")
+	}
+}
+
+func TestSVGSeriesColorsCycle(t *testing.T) {
+	p := &SVGPlot{}
+	for i := 0; i < len(palette)+2; i++ {
+		p.AddSeries("s", nil, nil)
+	}
+	if p.series[0].color != p.series[len(palette)].color {
+		t.Fatal("palette should cycle")
+	}
+	if p.series[0].color == p.series[1].color {
+		t.Fatal("adjacent series share a color")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if xmlEscape("a<b>&c") != "a&lt;b&gt;&amp;c" {
+		t.Fatal("escape wrong")
+	}
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// SVGPlot renders delay/throughput point clouds with their Performance
+// Envelope hulls as a standalone SVG, reproducing the visual style of the
+// paper's PE figures: one color per series, points as dots, hulls as
+// translucent polygons.
+type SVGPlot struct {
+	Title  string
+	XLabel string // default "Delay (ms)"
+	YLabel string // default "Throughput (Mbps)"
+	Width  int    // default 640
+	Height int    // default 480
+
+	series []svgSeries
+}
+
+type svgSeries struct {
+	name   string
+	color  string
+	points []geom.Point
+	hulls  []geom.Polygon
+}
+
+// palette cycles series colors (reference first, matching the paper's
+// green-reference / red-test convention).
+var palette = []string{"#2ca02c", "#d62728", "#1f77b4", "#ff7f0e", "#9467bd", "#8c564b"}
+
+// AddSeries registers a named point cloud with optional hulls.
+func (p *SVGPlot) AddSeries(name string, points []geom.Point, hulls []geom.Polygon) {
+	color := palette[len(p.series)%len(palette)]
+	p.series = append(p.series, svgSeries{name: name, color: color, points: points, hulls: hulls})
+}
+
+// bounds computes the data range with 8% padding.
+func (p *SVGPlot) bounds() (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	seen := false
+	for _, s := range p.series {
+		for _, pt := range s.points {
+			seen = true
+			minX = math.Min(minX, pt.X)
+			maxX = math.Max(maxX, pt.X)
+			minY = math.Min(minY, pt.Y)
+			maxY = math.Max(maxY, pt.Y)
+		}
+		for _, h := range s.hulls {
+			for _, pt := range h {
+				seen = true
+				minX = math.Min(minX, pt.X)
+				maxX = math.Max(maxX, pt.X)
+				minY = math.Min(minY, pt.Y)
+				maxY = math.Max(maxY, pt.Y)
+			}
+		}
+	}
+	if !seen {
+		return 0, 1, 0, 1
+	}
+	padX := math.Max((maxX-minX)*0.08, 0.01)
+	padY := math.Max((maxY-minY)*0.08, 0.01)
+	return minX - padX, maxX + padX, minY - padY, maxY + padY
+}
+
+// Render writes the SVG document.
+func (p *SVGPlot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width == 0 {
+		width = 640
+	}
+	if height == 0 {
+		height = 480
+	}
+	xlabel, ylabel := p.XLabel, p.YLabel
+	if xlabel == "" {
+		xlabel = "Delay (ms)"
+	}
+	if ylabel == "" {
+		ylabel = "Throughput (Mbps)"
+	}
+	const margin = 54.0
+	plotW := float64(width) - 2*margin
+	plotH := float64(height) - 2*margin
+	minX, maxX, minY, maxY := p.bounds()
+	tx := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*plotW }
+	ty := func(y float64) float64 { return float64(height) - margin - (y-minY)/(maxY-minY)*plotH }
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	pr(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if p.Title != "" {
+		pr(`<text x="%d" y="22" text-anchor="middle" font-family="sans-serif" font-size="15">%s</text>`+"\n", width/2, xmlEscape(p.Title))
+	}
+	// Axes.
+	pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin, float64(height)-margin, float64(width)-margin, float64(height)-margin)
+	pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin, margin, margin, float64(height)-margin)
+	pr(`<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n", width/2, height-12, xmlEscape(xlabel))
+	pr(`<text x="16" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %d)">%s</text>`+"\n", height/2, height/2, xmlEscape(ylabel))
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		pr(`<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="10">%.1f</text>`+"\n", tx(xv), float64(height)-margin+16, xv)
+		pr(`<text x="%.1f" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="10">%.1f</text>`+"\n", margin-6, ty(yv)+4, yv)
+		pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", tx(xv), margin, tx(xv), float64(height)-margin)
+		pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", margin, ty(yv), float64(width)-margin, ty(yv))
+	}
+	// Series.
+	for si, s := range p.series {
+		for _, h := range s.hulls {
+			if len(h) < 3 {
+				continue
+			}
+			pts := ""
+			for _, v := range h {
+				pts += fmt.Sprintf("%.1f,%.1f ", tx(v.X), ty(v.Y))
+			}
+			pr(`<polygon points="%s" fill="%s" fill-opacity="0.15" stroke="%s" stroke-width="1.5"/>`+"\n", pts, s.color, s.color)
+		}
+		for _, v := range s.points {
+			pr(`<circle cx="%.1f" cy="%.1f" r="2" fill="%s" fill-opacity="0.6"/>`+"\n", tx(v.X), ty(v.Y), s.color)
+		}
+		// Legend.
+		lx := float64(width) - margin - 130
+		ly := margin + 10 + float64(si)*18
+		pr(`<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, s.color)
+		pr(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n", lx+18, ly, xmlEscape(s.name))
+	}
+	pr("</svg>\n")
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := ""
+	for _, c := range s {
+		switch c {
+		case '<':
+			r += "&lt;"
+		case '>':
+			r += "&gt;"
+		case '&':
+			r += "&amp;"
+		default:
+			r += string(c)
+		}
+	}
+	return r
+}

@@ -1,0 +1,215 @@
+// Package rtclock provides a real-time event loop implementing the
+// transport.Clock interface, so the same Sender/Receiver code that runs on
+// the deterministic simulator can drive real UDP sockets in wall-clock
+// time (examples/udplive — the in-vivo analogue of the paper's AWS runs).
+//
+// All timer callbacks and externally posted events execute on a single
+// loop goroutine, preserving the transport's single-threaded execution
+// model; network readers inject packets with Post.
+package rtclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Loop is a single-goroutine real-time scheduler. Create with New, feed
+// external events with Post, and stop with Close.
+type Loop struct {
+	start time.Time
+
+	mu     sync.Mutex
+	queue  timerHeap
+	posted []func()
+	seq    uint64
+	closed bool
+
+	nudge chan struct{}
+	done  chan struct{}
+}
+
+type rtTimer struct {
+	at    sim.Time
+	seq   uint64
+	fn    func()
+	armed bool
+	idx   int
+	loop  *Loop
+}
+
+type timerHeap []*rtTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*rtTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}
+
+// New starts the loop goroutine.
+func New() *Loop {
+	l := &Loop{
+		start: time.Now(),
+		nudge: make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	go l.run()
+	return l
+}
+
+// Now implements transport.Clock: nanoseconds since the loop started.
+func (l *Loop) Now() sim.Time { return sim.Time(time.Since(l.start)) }
+
+// NewTimer returns a stopped timer bound to this loop. The returned value
+// satisfies transport.TimerHandle.
+func (l *Loop) NewTimer(fn func()) *Timer {
+	return &Timer{t: rtTimer{fn: fn, loop: l, idx: -1}}
+}
+
+// Timer is a restartable one-shot timer on the loop's timeline.
+type Timer struct {
+	t rtTimer
+}
+
+// Reset arms the timer at the absolute loop time `at`.
+func (tm *Timer) Reset(at sim.Time) {
+	t := &tm.t
+	l := t.loop
+	l.mu.Lock()
+	if !l.closed {
+		if t.armed && t.idx >= 0 {
+			heap.Remove(&l.queue, t.idx)
+		}
+		t.at = at
+		t.seq = l.seq
+		l.seq++
+		t.armed = true
+		heap.Push(&l.queue, t)
+	}
+	l.mu.Unlock()
+	l.wake()
+}
+
+// ResetAfter arms the timer d after now.
+func (tm *Timer) ResetAfter(d sim.Time) { tm.Reset(tm.t.loop.Now() + d) }
+
+// Stop disarms the timer.
+func (tm *Timer) Stop() {
+	t := &tm.t
+	l := t.loop
+	l.mu.Lock()
+	if t.armed && t.idx >= 0 {
+		heap.Remove(&l.queue, t.idx)
+	}
+	t.armed = false
+	l.mu.Unlock()
+}
+
+// Armed reports whether the timer is pending.
+func (tm *Timer) Armed() bool {
+	l := tm.t.loop
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return tm.t.armed
+}
+
+// Post schedules fn to run on the loop goroutine as soon as possible.
+// Safe for concurrent use; this is how network readers hand packets to
+// the transport.
+func (l *Loop) Post(fn func()) {
+	l.mu.Lock()
+	if !l.closed {
+		l.posted = append(l.posted, fn)
+	}
+	l.mu.Unlock()
+	l.wake()
+}
+
+// wake nudges the loop goroutine without blocking.
+func (l *Loop) wake() {
+	select {
+	case l.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the loop and waits for the goroutine to exit. Pending
+// timers and posted events are dropped.
+func (l *Loop) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.wake()
+	<-l.done
+}
+
+// run is the loop body: execute posted events immediately, fire timers at
+// their deadlines, and otherwise sleep until the next deadline or nudge.
+func (l *Loop) run() {
+	defer close(l.done)
+	const idleWait = time.Hour
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		if len(l.posted) > 0 {
+			batch := l.posted
+			l.posted = nil
+			l.mu.Unlock()
+			for _, fn := range batch {
+				fn()
+			}
+			continue
+		}
+		now := l.Now()
+		if len(l.queue) > 0 && l.queue[0].at <= now {
+			t := heap.Pop(&l.queue).(*rtTimer)
+			t.armed = false
+			fn := t.fn
+			l.mu.Unlock()
+			fn()
+			continue
+		}
+		wait := idleWait
+		if len(l.queue) > 0 {
+			wait = time.Duration(l.queue[0].at - now)
+		}
+		l.mu.Unlock()
+
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-l.nudge:
+			timer.Stop()
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package rtclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Compile-time check: *Loop satisfies the transport clock contract.
+var _ transport.Clock = clockAdapter{}
+
+// clockAdapter shows how callers adapt Loop to transport.Clock (the
+// NewTimer return types differ only nominally).
+type clockAdapter struct{ l *Loop }
+
+func (c clockAdapter) Now() sim.Time { return c.l.Now() }
+func (c clockAdapter) NewTimer(fn func()) transport.TimerHandle {
+	return c.l.NewTimer(fn)
+}
+
+func TestTimerFires(t *testing.T) {
+	l := New()
+	defer l.Close()
+	fired := make(chan sim.Time, 1)
+	tm := l.NewTimer(func() { fired <- l.Now() })
+	start := l.Now()
+	tm.ResetAfter(20 * sim.Millisecond)
+	select {
+	case at := <-fired:
+		if d := at - start; d < 15*sim.Millisecond || d > 500*sim.Millisecond {
+			t.Fatalf("fired after %v, want ~20ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := New()
+	defer l.Close()
+	var fired atomic.Bool
+	tm := l.NewTimer(func() { fired.Store(true) })
+	tm.ResetAfter(30 * sim.Millisecond)
+	tm.Stop()
+	if tm.Armed() {
+		t.Fatal("armed after Stop")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerResetReplaces(t *testing.T) {
+	l := New()
+	defer l.Close()
+	var count atomic.Int32
+	tm := l.NewTimer(func() { count.Add(1) })
+	tm.ResetAfter(50 * sim.Millisecond)
+	tm.ResetAfter(10 * sim.Millisecond)
+	time.Sleep(150 * time.Millisecond)
+	if got := count.Load(); got != 1 {
+		t.Fatalf("fired %d times, want 1", got)
+	}
+}
+
+func TestPostRunsOnLoop(t *testing.T) {
+	l := New()
+	defer l.Close()
+	done := make(chan struct{})
+	l.Post(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("posted event never ran")
+	}
+}
+
+func TestEventsSerialized(t *testing.T) {
+	l := New()
+	defer l.Close()
+	// Counter incremented without synchronization: the race detector
+	// (and the final value) verifies single-goroutine execution.
+	counter := 0
+	var wg sync.WaitGroup
+	const n = 500
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		l.Post(func() {
+			counter++
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if counter != n {
+		t.Fatalf("counter = %d, want %d", counter, n)
+	}
+}
+
+func TestTimersFireInOrder(t *testing.T) {
+	l := New()
+	defer l.Close()
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	for i := 3; i >= 1; i-- {
+		i := i
+		tm := l.NewTimer(func() {
+			mu.Lock()
+			order = append(order, i)
+			n := len(order)
+			mu.Unlock()
+			if n == 3 {
+				close(done)
+			}
+		})
+		tm.ResetAfter(sim.Time(i*20) * sim.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timers did not all fire")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCloseIdempotentAndDropsWork(t *testing.T) {
+	l := New()
+	var fired atomic.Bool
+	tm := l.NewTimer(func() { fired.Store(true) })
+	tm.ResetAfter(10 * sim.Millisecond)
+	l.Close()
+	l.Close() // second close must not panic or hang
+	l.Post(func() { fired.Store(true) })
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("work ran after Close")
+	}
+}
+
+func TestNowMonotone(t *testing.T) {
+	l := New()
+	defer l.Close()
+	prev := l.Now()
+	for i := 0; i < 1000; i++ {
+		now := l.Now()
+		if now < prev {
+			t.Fatal("clock went backwards")
+		}
+		prev = now
+	}
+}

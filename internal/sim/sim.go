@@ -1,0 +1,260 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock measured in nanoseconds and a binary-heap
+// event queue. Components schedule callbacks at absolute or relative virtual
+// times; the engine fires them in non-decreasing time order, breaking ties by
+// scheduling order so that runs are fully deterministic.
+//
+// Everything in the repository that needs time — links, pacing, loss-detection
+// timers, measurement sampling — runs on top of this engine, which replaces
+// the paper's physical testbed clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to simulator time units.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String implements fmt.Stringer.
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// event is one scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop. The zero value is ready to
+// use. Engine is not safe for concurrent use; a simulation runs on a single
+// goroutine by design.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed, useful for
+// instrumentation and benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many scheduled (non-cancelled) events remain.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// EventID identifies a scheduled event so that it can be cancelled. The
+// zero EventID is invalid.
+type EventID struct{ ev *event }
+
+// Valid reports whether the id refers to a scheduled event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// treated as 0.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel revokes a previously scheduled event. Cancelling an event that
+// already fired (or was already cancelled) is a no-op. It returns whether
+// the event was actually revoked.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.dead || id.ev.idx < 0 {
+		return false
+	}
+	id.ev.dead = true
+	return true
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed (false when the queue is empty
+// or the engine was halted).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.halted {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Halt stops Run/RunUntil after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// peek returns the timestamp of the next live event.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.dead {
+			return ev.at, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return 0, false
+}
+
+// Timer is a restartable one-shot timer bound to an engine, analogous to
+// time.Timer but virtual. The zero value is unusable; create timers with
+// NewTimer.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	id  EventID
+	at  Time
+	set bool
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer callback")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire at absolute time t, replacing any
+// previously armed deadline.
+func (t *Timer) Reset(at Time) {
+	t.Stop()
+	t.at = at
+	t.set = true
+	t.id = t.eng.At(at, func() {
+		t.set = false
+		t.fn()
+	})
+}
+
+// ResetAfter (re)arms the timer to fire d after now.
+func (t *Timer) ResetAfter(d Time) { t.Reset(t.eng.Now() + d) }
+
+// Stop disarms the timer if armed.
+func (t *Timer) Stop() {
+	if t.set {
+		t.eng.Cancel(t.id)
+		t.set = false
+	}
+}
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.set }
+
+// Deadline returns the armed deadline; only meaningful when Armed.
+func (t *Timer) Deadline() Time { return t.at }

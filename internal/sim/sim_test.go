@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30*Millisecond, func() { order = append(order, 3) })
+	e.At(10*Millisecond, func() { order = append(order, 1) })
+	e.At(20*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := New()
+	var seen Time
+	e.At(42*Millisecond, func() { seen = e.Now() })
+	e.Run()
+	if seen != 42*Millisecond {
+		t.Fatalf("callback saw clock %v, want 42ms", seen)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var seen Time
+	e.At(10*Millisecond, func() {
+		e.After(5*Millisecond, func() { seen = e.Now() })
+	})
+	e.Run()
+	if seen != 15*Millisecond {
+		t.Fatalf("After fired at %v, want 15ms", seen)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(10*Millisecond, func() {
+		e.After(-5*Millisecond, func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5*Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil callback")
+		}
+	}()
+	e.At(0, nil)
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.At(10*Millisecond, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for live event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelInvalidID(t *testing.T) {
+	e := New()
+	if e.Cancel(EventID{}) {
+		t.Fatal("Cancel of zero EventID returned true")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(20 * Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 20*Millisecond {
+		t.Fatalf("clock = %v, want 20ms", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event lost: fired %d", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(100 * Millisecond)
+	if e.Now() != 100*Millisecond {
+		t.Fatalf("clock = %v, want 100ms", e.Now())
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Halt, want 3", count)
+	}
+	if !e.Halted() {
+		t.Fatal("Halted() = false after Halt")
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	e := New()
+	id := e.At(10*Millisecond, func() {})
+	e.At(20*Millisecond, func() {})
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	e.Cancel(id)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i)*Millisecond, func() {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", e.Fired())
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(time.Millisecond) != Millisecond {
+		t.Fatal("Duration(1ms) != Millisecond")
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Fatalf("Millis = %v, want 2.5", got)
+	}
+}
+
+func TestTimerFiresOnce(t *testing.T) {
+	e := New()
+	count := 0
+	tm := NewTimer(e, func() { count++ })
+	tm.Reset(10 * Millisecond)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	if tm.Deadline() != 10*Millisecond {
+		t.Fatalf("Deadline = %v", tm.Deadline())
+	}
+	e.Run()
+	if count != 1 {
+		t.Fatalf("timer fired %d times, want 1", count)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTimerResetReplacesDeadline(t *testing.T) {
+	e := New()
+	var firedAt []Time
+	tm := NewTimer(e, func() { firedAt = append(firedAt, e.Now()) })
+	tm.Reset(10 * Millisecond)
+	tm.Reset(25 * Millisecond)
+	e.Run()
+	if len(firedAt) != 1 || firedAt[0] != 25*Millisecond {
+		t.Fatalf("firedAt = %v, want [25ms]", firedAt)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := false
+	tm := NewTimer(e, func() { fired = true })
+	tm.Reset(10 * Millisecond)
+	tm.Stop()
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	// Stopping again must be harmless.
+	tm.Stop()
+}
+
+func TestTimerResetAfter(t *testing.T) {
+	e := New()
+	var at Time
+	tm := NewTimer(e, func() { at = e.Now() })
+	e.At(5*Millisecond, func() { tm.ResetAfter(7 * Millisecond) })
+	e.Run()
+	if at != 12*Millisecond {
+		t.Fatalf("timer fired at %v, want 12ms", at)
+	}
+}
+
+// Property: regardless of the insertion order of events, execution is in
+// non-decreasing time order.
+func TestPropEventsMonotone(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := New()
+		var times []Time
+		for _, off := range offsets {
+			at := Time(off) * Microsecond
+			e.At(at, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving At and Cancel keeps only uncancelled events, and
+// the clock never runs backwards.
+func TestPropCancelSubset(t *testing.T) {
+	f := func(offsets []uint16, cancelMask []bool) bool {
+		e := New()
+		fired := map[int]bool{}
+		ids := make([]EventID, len(offsets))
+		for i, off := range offsets {
+			i := i
+			ids[i] = e.At(Time(off)*Microsecond, func() { fired[i] = true })
+		}
+		cancelled := map[int]bool{}
+		for i := range offsets {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(ids[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := range offsets {
+			if cancelled[i] && fired[i] {
+				return false
+			}
+			if !cancelled[i] && !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleAndFire(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%100)*Microsecond, func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,441 @@
+// Package stacks models the 12 transport stacks of the paper's Table 1:
+// the Linux kernel TCP reference plus 11 open-source QUIC stacks. A stack
+// is a transport profile (MSS, ACK policy, timer behaviour) plus a set of
+// available congestion control algorithms, each with the deviation knobs
+// the paper's root-cause analysis identified (§5, Table 4).
+//
+// The deviations are implemented as real mechanisms in internal/cc and
+// internal/transport — e.g. quiche CUBIC really runs the RFC 8312bis
+// spurious-loss rollback, chromium CUBIC really emulates two connections —
+// so low conformance *emerges* from behaviour rather than being painted on.
+package stacks
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// CCA names a congestion control algorithm.
+type CCA string
+
+// The three algorithms under study.
+const (
+	CUBIC CCA = "cubic"
+	BBR   CCA = "bbr"
+	Reno  CCA = "reno"
+)
+
+// AllCCAs lists the algorithms in the paper's presentation order.
+var AllCCAs = []CCA{CUBIC, BBR, Reno}
+
+// Stack describes one transport stack.
+type Stack struct {
+	// Name is the short identifier used throughout the paper ("quiche").
+	Name string
+	// Organization matches Table 1 ("Cloudflare").
+	Organization string
+	// Profile is the stack-level transport configuration.
+	Profile transport.Config
+	// CCAs maps each available algorithm to its congestion control
+	// configuration, including deviation knobs.
+	CCAs map[CCA]cc.Config
+	// Notes documents the modelled deviations per CCA.
+	Notes map[CCA]string
+}
+
+// Has reports whether the stack ships the given CCA (Table 1 checkmarks).
+func (s *Stack) Has(cca CCA) bool {
+	_, ok := s.CCAs[cca]
+	return ok
+}
+
+// NewController instantiates the stack's implementation of cca. It panics
+// when the stack does not ship that CCA, mirroring Table 1.
+func (s *Stack) NewController(cca CCA) cc.Controller {
+	cfg, ok := s.CCAs[cca]
+	if !ok {
+		panic(fmt.Sprintf("stacks: %s does not implement %s", s.Name, cca))
+	}
+	return newController(cca, cfg)
+}
+
+func newController(cca CCA, cfg cc.Config) cc.Controller {
+	switch cca {
+	case CUBIC:
+		return cc.NewCubic(cfg)
+	case BBR:
+		return cc.NewBBR(cfg)
+	case Reno:
+		return cc.NewReno(cfg)
+	default:
+		panic(fmt.Sprintf("stacks: unknown CCA %q", cca))
+	}
+}
+
+// Impl identifies one (stack, CCA) implementation.
+type Impl struct {
+	Stack string
+	CCA   CCA
+}
+
+// String implements fmt.Stringer ("quiche cubic").
+func (im Impl) String() string { return im.Stack + " " + string(im.CCA) }
+
+// Transport profile constants.
+const (
+	quicMSS = 1200
+	tcpMSS  = 1448
+)
+
+// quicProfile is the baseline QUIC transport profile: 1200-byte UDP
+// datagrams, ACK every 2nd packet with 25 ms max delay (the QUIC
+// standard's recommendation), millisecond timers.
+func quicProfile() transport.Config {
+	return transport.Config{
+		MSS:         quicMSS,
+		AckEveryN:   2,
+		MaxAckDelay: 25 * sim.Millisecond,
+	}
+}
+
+// tcpProfile approximates the kernel's TCP behaviour: full-size segments
+// and delayed ACKs with the kernel's 40 ms delack timer.
+func tcpProfile() transport.Config {
+	return transport.Config{
+		MSS:         tcpMSS,
+		AckEveryN:   2,
+		MaxAckDelay: 40 * sim.Millisecond,
+	}
+}
+
+// quicPacing is the pacing multiplier QUIC senders commonly use for
+// window-based CCAs (1.25 x cwnd/SRTT, as in quic-go and quiche).
+const quicPacing = 1.25
+
+// buildRegistry constructs all stacks. Deviations follow DESIGN.md §3.
+func buildRegistry() map[string]*Stack {
+	reg := make(map[string]*Stack)
+	add := func(s *Stack) { reg[s.Name] = s }
+
+	// --- Linux kernel TCP: the reference implementation. ---
+	add(&Stack{
+		Name:         "kernel",
+		Organization: "Linux kernel",
+		Profile:      tcpProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: tcpMSS, HyStart: true},
+			BBR:   {MSS: tcpMSS},
+			Reno:  {MSS: tcpMSS},
+		},
+		Notes: map[CCA]string{
+			CUBIC: "reference: RFC 8312 + HyStart, fast convergence on",
+			BBR:   "reference: BBRv1 as in kernel 5.13",
+			Reno:  "reference: NewReno",
+		},
+	})
+
+	// --- mvfst (Facebook): BBR paces at 120%. ---
+	add(&Stack{
+		Name:         "mvfst",
+		Organization: "Facebook",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing},
+			BBR:   {MSS: quicMSS, PacingRateScale: 1.2},
+			Reno:  {MSS: quicMSS, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{
+			BBR: "deviation: final sending rate multiplied by 120% (Table 4)",
+		},
+	})
+
+	// --- chromium (Google): CUBIC emulates 2 connections. ---
+	add(&Stack{
+		Name:         "chromium",
+		Organization: "Google",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing, EmulatedConnections: 2},
+			BBR:   {MSS: quicMSS},
+		},
+		Notes: map[CCA]string{
+			CUBIC: "deviation: emulates 2 flows in one connection (Table 4)",
+		},
+	})
+
+	// --- msquic (Microsoft): CUBIC only. ---
+	add(&Stack{
+		Name:         "msquic",
+		Organization: "Microsoft",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{},
+	})
+
+	// --- quiche (Cloudflare): CUBIC implements RFC 8312bis rollback, and
+	// the stack marks tail losses eagerly. The combination undoes genuine
+	// congestion responses whenever the detector misfires — which it does
+	// exactly when the flow's own window growth inflates the queue faster
+	// than SRTT tracks it (CUBIC's convex region; Reno's linear growth is
+	// too gentle to trigger it, so quiche Reno stays conformant). ---
+	quicheProfile := quicProfile()
+	quicheProfile.LossMarksFlight = true
+	add(&Stack{
+		Name:         "quiche",
+		Organization: "Cloudflare",
+		Profile:      quicheProfile,
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing, SpuriousLossRollback: true},
+			Reno:  {MSS: quicMSS, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{
+			CUBIC: "deviation: RFC 8312bis spurious-loss rollback, ahead of the kernel (Table 4)",
+		},
+	})
+
+	// --- lsquic (LiteSpeed): CUBIC without fast convergence. ---
+	add(&Stack{
+		Name:         "lsquic",
+		Organization: "LiteSpeed",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing, FastConvergenceOff: true},
+			BBR:   {MSS: quicMSS},
+		},
+		Notes: map[CCA]string{
+			CUBIC: "deviation: fast convergence disabled; conformant PE but mildly unfair (§4.3)",
+		},
+	})
+
+	// --- quicgo (Go). ---
+	add(&Stack{
+		Name:         "quicgo",
+		Organization: "Go",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing},
+			Reno:  {MSS: quicMSS, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{},
+	})
+
+	// --- quicly (H2O). ---
+	add(&Stack{
+		Name:         "quicly",
+		Organization: "H2O",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing},
+			Reno:  {MSS: quicMSS, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{},
+	})
+
+	// --- quinn (Rust). ---
+	add(&Stack{
+		Name:         "quinn",
+		Organization: "Rust",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing},
+			Reno:  {MSS: quicMSS, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{},
+	})
+
+	// --- s2n-quic (AWS): CUBIC only. ---
+	add(&Stack{
+		Name:         "s2n",
+		Organization: "Amazon Web Services",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{},
+	})
+
+	// --- xquic (Alibaba): multiple deviations + a stack-level artifact. ---
+	xquicProfile := quicProfile()
+	// Stack artifact: coarse event-loop timers and bursty sends, which
+	// nudges all of xquic's CCAs away from their references (§4.1.3).
+	xquicProfile.TimerGranularity = 4 * sim.Millisecond
+	add(&Stack{
+		Name:         "xquic",
+		Organization: "Alibaba",
+		Profile:      xquicProfile,
+		CCAs: map[CCA]cc.Config{
+			// HyStart missing (Table 4): classic slow start.
+			CUBIC: {MSS: quicMSS, HyStart: false, PacingScale: quicPacing},
+			// cwnd gain 2.5 instead of 2 (Table 4).
+			BBR: {MSS: quicMSS, CWNDGain: 2.5},
+			// Reno itself is standards-compliant; the stack artifact —
+			// modelled as an effective window cap on top of the coarse
+			// timers — is what moves it (§5 "indications of wider
+			// stack-level issues", Table 3: -4 Mbps / -3 ms).
+			Reno: {MSS: quicMSS, PacingScale: quicPacing, CWNDClampPackets: 14},
+		},
+		Notes: map[CCA]string{
+			CUBIC: "deviation: HyStart (RFC 9406) not implemented (Table 4)",
+			BBR:   "deviation: cwnd gain 2.5 instead of RFC-recommended 2 (Table 4)",
+			Reno:  "stack-level artifact: coarse timers + bursty sends (§5)",
+		},
+	})
+
+	// --- neqo (Mozilla): CUBIC depressed by a stack-level artifact. ---
+	add(&Stack{
+		Name:         "neqo",
+		Organization: "Mozilla",
+		Profile:      quicProfile(),
+		CCAs: map[CCA]cc.Config{
+			// Stack-level artifact: an effective window cap (flow-control
+			// style) keeps the flow below its fair share, so a
+			// standards-compliant CUBIC under-delivers at low queueing —
+			// the paper's -6 Mbps / -5 ms signature (§5, Table 3).
+			CUBIC: {MSS: quicMSS, HyStart: true, PacingScale: quicPacing, CWNDClampPackets: 7},
+			Reno:  {MSS: quicMSS, PacingScale: quicPacing},
+		},
+		Notes: map[CCA]string{
+			CUBIC: "stack-level artifact: conservative pacing and window cap (§5, Table 3)",
+		},
+	})
+
+	return reg
+}
+
+var registry = buildRegistry()
+
+// Get returns the named stack, or nil when unknown.
+func Get(name string) *Stack { return registry[name] }
+
+// Reference returns the kernel TCP stack.
+func Reference() *Stack { return registry["kernel"] }
+
+// All returns every stack, kernel first, QUIC stacks in Table 1 order.
+func All() []*Stack {
+	order := []string{"kernel", "mvfst", "chromium", "msquic", "quiche", "lsquic",
+		"quicgo", "quicly", "quinn", "s2n", "xquic", "neqo"}
+	out := make([]*Stack, 0, len(order))
+	for _, n := range order {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// QUICStacks returns the 11 QUIC stacks (everything but the kernel).
+func QUICStacks() []*Stack {
+	var out []*Stack
+	for _, s := range All() {
+		if s.Name != "kernel" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Implementations returns every (stack, CCA) pair that ships the given
+// algorithm, QUIC stacks only, in registry order.
+func Implementations(cca CCA) []Impl {
+	var out []Impl
+	for _, s := range QUICStacks() {
+		if s.Has(cca) {
+			out = append(out, Impl{Stack: s.Name, CCA: cca})
+		}
+	}
+	return out
+}
+
+// AllImplementations returns every QUIC (stack, CCA) pair: the paper's
+// "22 QUIC CCA implementations".
+func AllImplementations() []Impl {
+	var out []Impl
+	for _, cca := range AllCCAs {
+		out = append(out, Implementations(cca)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].CCA != out[j].CCA {
+			return ccaOrder(out[i].CCA) < ccaOrder(out[j].CCA)
+		}
+		return false // preserve registry order within a CCA
+	})
+	return out
+}
+
+func ccaOrder(c CCA) int {
+	for i, x := range AllCCAs {
+		if x == c {
+			return i
+		}
+	}
+	return len(AllCCAs)
+}
+
+// Fixed returns a copy of the named stack with the §5 fix applied to the
+// given CCA (Table 4), or ok=false when the paper proposes no fix for it.
+func Fixed(name string, cca CCA) (*Stack, bool) {
+	base := Get(name)
+	if base == nil || !base.Has(cca) {
+		return nil, false
+	}
+	cfg := base.CCAs[cca]
+	var note string
+	switch {
+	case name == "chromium" && cca == CUBIC:
+		cfg.EmulatedConnections = 1
+		note = "fix: emulated flows reduced from 2 to 1"
+	case name == "mvfst" && cca == BBR:
+		cfg.PacingRateScale = 1.0
+		note = "fix: pacing gain reduced from 1.2 to 1"
+	case name == "xquic" && cca == BBR:
+		cfg.CWNDGain = 2.0
+		note = "fix: cwnd gain reduced from 2.5 to 2"
+	case name == "quiche" && cca == CUBIC:
+		cfg.SpuriousLossRollback = false
+		note = "fix: RFC 8312bis spurious-loss rollback disabled"
+	default:
+		return nil, false
+	}
+	fixed := &Stack{
+		Name:         base.Name + "-fixed",
+		Organization: base.Organization,
+		Profile:      base.Profile,
+		CCAs:         map[CCA]cc.Config{cca: cfg},
+		Notes:        map[CCA]string{cca: note},
+	}
+	return fixed, true
+}
+
+// ReferenceNoHyStart returns a kernel variant with HyStart disabled,
+// used to verify the xquic CUBIC root cause (Table 4's last CUBIC row).
+func ReferenceNoHyStart() *Stack {
+	ref := Reference()
+	cfg := ref.CCAs[CUBIC]
+	cfg.HyStart = false
+	return &Stack{
+		Name:         "kernel-nohystart",
+		Organization: ref.Organization,
+		Profile:      ref.Profile,
+		CCAs:         map[CCA]cc.Config{CUBIC: cfg},
+		Notes:        map[CCA]string{CUBIC: "reference variant: HyStart disabled"},
+	}
+}
+
+// WithBBRCwndGain returns a kernel BBR variant with the given cwnd gain,
+// used by the Fig. 5 calibration sweep.
+func WithBBRCwndGain(gain float64) *Stack {
+	ref := Reference()
+	cfg := ref.CCAs[BBR]
+	cfg.CWNDGain = gain
+	return &Stack{
+		Name:         fmt.Sprintf("kernel-bbr-gain%.2f", gain),
+		Organization: ref.Organization,
+		Profile:      ref.Profile,
+		CCAs:         map[CCA]cc.Config{BBR: cfg},
+		Notes:        map[CCA]string{BBR: fmt.Sprintf("modified kernel BBR: cwnd gain %.2f", gain)},
+	}
+}

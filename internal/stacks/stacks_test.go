@@ -1,0 +1,220 @@
+package stacks
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// table1 is the availability matrix from the paper's Table 1.
+var table1 = map[string][3]bool{ // cubic, bbr, reno
+	"kernel":   {true, true, true},
+	"mvfst":    {true, true, true},
+	"chromium": {true, true, false},
+	"msquic":   {true, false, false},
+	"quiche":   {true, false, true},
+	"lsquic":   {true, true, false},
+	"quicgo":   {true, false, true},
+	"quicly":   {true, false, true},
+	"quinn":    {true, false, true},
+	"s2n":      {true, false, false},
+	"xquic":    {true, true, true},
+	"neqo":     {true, false, true},
+}
+
+func TestRegistryMatchesTable1(t *testing.T) {
+	if len(All()) != 12 {
+		t.Fatalf("registry has %d stacks, want 12", len(All()))
+	}
+	for name, avail := range table1 {
+		s := Get(name)
+		if s == nil {
+			t.Fatalf("stack %q missing", name)
+		}
+		if s.Has(CUBIC) != avail[0] || s.Has(BBR) != avail[1] || s.Has(Reno) != avail[2] {
+			t.Fatalf("%s availability = %v/%v/%v, want %v",
+				name, s.Has(CUBIC), s.Has(BBR), s.Has(Reno), avail)
+		}
+	}
+}
+
+func TestTwentyTwoQUICImplementations(t *testing.T) {
+	impls := AllImplementations()
+	if len(impls) != 22 {
+		t.Fatalf("QUIC implementations = %d, want 22 (paper §4.3)", len(impls))
+	}
+	for _, im := range impls {
+		if im.Stack == "kernel" {
+			t.Fatal("kernel leaked into QUIC implementation list")
+		}
+	}
+}
+
+func TestImplementationsPerCCA(t *testing.T) {
+	if got := len(Implementations(CUBIC)); got != 11 {
+		t.Fatalf("CUBIC impls = %d, want 11", got)
+	}
+	if got := len(Implementations(BBR)); got != 4 {
+		t.Fatalf("BBR impls = %d, want 4 (mvfst, chromium, lsquic, xquic)", got)
+	}
+	if got := len(Implementations(Reno)); got != 7 {
+		t.Fatalf("Reno impls = %d, want 7", got)
+	}
+}
+
+func TestGetUnknownStack(t *testing.T) {
+	if Get("doesnotexist") != nil {
+		t.Fatal("unknown stack returned non-nil")
+	}
+}
+
+func TestReferenceIsKernel(t *testing.T) {
+	ref := Reference()
+	if ref.Name != "kernel" {
+		t.Fatalf("reference = %s", ref.Name)
+	}
+	if ref.Profile.MSS != 1448 {
+		t.Fatalf("kernel MSS = %d, want 1448", ref.Profile.MSS)
+	}
+	if !ref.CCAs[CUBIC].HyStart {
+		t.Fatal("kernel CUBIC must run HyStart")
+	}
+}
+
+func TestQUICStacksProfile(t *testing.T) {
+	for _, s := range QUICStacks() {
+		if s.Profile.MSS != 1200 {
+			t.Fatalf("%s MSS = %d, want 1200", s.Name, s.Profile.MSS)
+		}
+		if s.Profile.MaxAckDelay != 25*sim.Millisecond {
+			t.Fatalf("%s MaxAckDelay = %v", s.Name, s.Profile.MaxAckDelay)
+		}
+	}
+}
+
+func TestControllersInstantiate(t *testing.T) {
+	for _, s := range All() {
+		for _, cca := range AllCCAs {
+			if !s.Has(cca) {
+				continue
+			}
+			ctrl := s.NewController(cca)
+			if ctrl.Name() != string(cca) {
+				t.Fatalf("%s %s: controller name %q", s.Name, cca, ctrl.Name())
+			}
+			if ctrl.CWND() <= 0 {
+				t.Fatalf("%s %s: non-positive initial cwnd", s.Name, cca)
+			}
+		}
+	}
+}
+
+func TestNewControllerPanicsOnMissingCCA(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Get("msquic").NewController(BBR)
+}
+
+func TestDocumentedDeviations(t *testing.T) {
+	if Get("chromium").CCAs[CUBIC].EmulatedConnections != 2 {
+		t.Fatal("chromium CUBIC must emulate 2 connections")
+	}
+	if !Get("quiche").CCAs[CUBIC].SpuriousLossRollback {
+		t.Fatal("quiche CUBIC must enable RFC 8312bis rollback")
+	}
+	if Get("mvfst").CCAs[BBR].PacingRateScale != 1.2 {
+		t.Fatal("mvfst BBR must pace at 120%")
+	}
+	if Get("xquic").CCAs[BBR].CWNDGain != 2.5 {
+		t.Fatal("xquic BBR must use cwnd gain 2.5")
+	}
+	if Get("xquic").CCAs[CUBIC].HyStart {
+		t.Fatal("xquic CUBIC must not implement HyStart")
+	}
+	if !Get("lsquic").CCAs[CUBIC].FastConvergenceOff {
+		t.Fatal("lsquic CUBIC must disable fast convergence")
+	}
+	if Get("xquic").Profile.TimerGranularity != 4*sim.Millisecond {
+		t.Fatal("xquic stack artifact (coarse timers) missing")
+	}
+}
+
+func TestFixedVariants(t *testing.T) {
+	cases := []struct {
+		stack string
+		cca   CCA
+		check func(cfg cc.Config) bool
+	}{
+		{"chromium", CUBIC, func(c cc.Config) bool { return c.EmulatedConnections == 1 }},
+		{"mvfst", BBR, func(c cc.Config) bool { return c.PacingRateScale == 1.0 }},
+		{"xquic", BBR, func(c cc.Config) bool { return c.CWNDGain == 2.0 }},
+		{"quiche", CUBIC, func(c cc.Config) bool { return !c.SpuriousLossRollback }},
+	}
+	for _, tc := range cases {
+		fixed, ok := Fixed(tc.stack, tc.cca)
+		if !ok {
+			t.Fatalf("no fix for %s %s", tc.stack, tc.cca)
+		}
+		if !tc.check(fixed.CCAs[tc.cca]) {
+			t.Fatalf("%s %s fix not applied: %+v", tc.stack, tc.cca, fixed.CCAs[tc.cca])
+		}
+		if fixed.Name != tc.stack+"-fixed" {
+			t.Fatalf("fixed name = %s", fixed.Name)
+		}
+	}
+}
+
+func TestFixedPreservesProfile(t *testing.T) {
+	fixed, _ := Fixed("xquic", BBR)
+	if fixed.Profile.TimerGranularity != Get("xquic").Profile.TimerGranularity {
+		t.Fatal("fix must not change the stack profile (only the CCA parameter)")
+	}
+}
+
+func TestNoFixForUnfixable(t *testing.T) {
+	if _, ok := Fixed("xquic", Reno); ok {
+		t.Fatal("paper proposes no fix for xquic Reno")
+	}
+	if _, ok := Fixed("neqo", CUBIC); ok {
+		t.Fatal("paper proposes no fix for neqo CUBIC")
+	}
+	if _, ok := Fixed("nosuch", CUBIC); ok {
+		t.Fatal("fix for unknown stack")
+	}
+}
+
+func TestReferenceNoHyStart(t *testing.T) {
+	v := ReferenceNoHyStart()
+	if v.CCAs[CUBIC].HyStart {
+		t.Fatal("HyStart still enabled")
+	}
+	if v.Profile.MSS != 1448 {
+		t.Fatal("profile should stay TCP-like")
+	}
+	// The real reference must be untouched.
+	if !Reference().CCAs[CUBIC].HyStart {
+		t.Fatal("building the variant mutated the reference")
+	}
+}
+
+func TestWithBBRCwndGain(t *testing.T) {
+	for _, gain := range []float64{1.0, 2.0, 3.5} {
+		v := WithBBRCwndGain(gain)
+		if v.CCAs[BBR].CWNDGain != gain {
+			t.Fatalf("gain = %v", v.CCAs[BBR].CWNDGain)
+		}
+	}
+	if Reference().CCAs[BBR].CWNDGain != 0 {
+		t.Fatal("reference BBR config mutated")
+	}
+}
+
+func TestImplString(t *testing.T) {
+	if (Impl{Stack: "quiche", CCA: CUBIC}).String() != "quiche cubic" {
+		t.Fatal("Impl.String wrong")
+	}
+}

@@ -1,0 +1,37 @@
+package transport
+
+import "repro/internal/sim"
+
+// Clock abstracts the timeline the endpoints run on: the deterministic
+// discrete-event engine for experiments, or a real-time loop for driving
+// actual UDP sockets (see internal/rtclock and examples/udplive).
+type Clock interface {
+	// Now returns the current time on this clock's timeline.
+	Now() sim.Time
+	// NewTimer returns a stopped one-shot timer invoking fn on this
+	// clock's event loop when it fires.
+	NewTimer(fn func()) TimerHandle
+}
+
+// TimerHandle is a restartable one-shot timer (the subset of sim.Timer the
+// transport needs).
+type TimerHandle interface {
+	Reset(at sim.Time)
+	ResetAfter(d sim.Time)
+	Stop()
+	Armed() bool
+}
+
+// simClock adapts *sim.Engine to Clock.
+type simClock struct {
+	eng *sim.Engine
+}
+
+// SimClock wraps a discrete-event engine as a transport clock.
+func SimClock(eng *sim.Engine) Clock { return simClock{eng: eng} }
+
+func (c simClock) Now() sim.Time { return c.eng.Now() }
+
+func (c simClock) NewTimer(fn func()) TimerHandle {
+	return sim.NewTimer(c.eng, fn)
+}

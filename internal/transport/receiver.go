@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// ReceiverStats aggregates receiver-side counters.
+type ReceiverStats struct {
+	PacketsReceived int64
+	BytesReceived   int64
+	AcksSent        int64
+}
+
+// DeliveredSample records a data packet arrival for throughput measurement.
+type DeliveredSample struct {
+	Time  sim.Time
+	Bytes int
+}
+
+// Receiver consumes data packets and produces ACKs according to the
+// configured ACK policy: an ACK is sent after every AckEveryN-th data
+// packet, or when MaxAckDelay expires with unacknowledged data pending.
+type Receiver struct {
+	clk  Clock
+	cfg  Config
+	out  netem.Handler // reverse path toward the sender
+	flow int
+
+	// Received sequence tracking as a sorted set of closed intervals,
+	// newest last.
+	ranges []netem.AckRange
+
+	largestReceived   int64
+	largestReceivedAt sim.Time
+	unackedCount      int
+	ackTimer          TimerHandle
+	firstUnackedAt    sim.Time
+
+	Stats ReceiverStats
+
+	onDeliver []func(DeliveredSample)
+}
+
+// NewReceiver constructs a receiver whose ACKs go to out. It runs on the
+// discrete-event engine; use NewReceiverWithClock for other timelines.
+func NewReceiver(eng *sim.Engine, cfg Config, out netem.Handler, flow int) *Receiver {
+	return NewReceiverWithClock(SimClock(eng), cfg, out, flow)
+}
+
+// NewReceiverWithClock constructs a receiver on an arbitrary clock.
+func NewReceiverWithClock(clk Clock, cfg Config, out netem.Handler, flow int) *Receiver {
+	cfg = cfg.withDefaults()
+	r := &Receiver{
+		clk:             clk,
+		cfg:             cfg,
+		out:             out,
+		flow:            flow,
+		largestReceived: -1,
+	}
+	r.ackTimer = clk.NewTimer(r.sendAck)
+	return r
+}
+
+// OnDeliver registers a hook invoked for every received data packet.
+func (r *Receiver) OnDeliver(fn func(DeliveredSample)) {
+	r.onDeliver = append(r.onDeliver, fn)
+}
+
+// HandlePacket implements netem.Handler for data packets.
+func (r *Receiver) HandlePacket(pkt *netem.Packet) {
+	if pkt.IsAck {
+		return
+	}
+	now := r.clk.Now()
+	r.Stats.PacketsReceived++
+	r.Stats.BytesReceived += int64(pkt.Size)
+	r.insertSeq(pkt.Seq)
+	if pkt.Seq > r.largestReceived {
+		r.largestReceived = pkt.Seq
+		r.largestReceivedAt = now
+	}
+	for _, fn := range r.onDeliver {
+		fn(DeliveredSample{Time: now, Bytes: pkt.Size})
+	}
+	if r.unackedCount == 0 {
+		r.firstUnackedAt = now
+	}
+	r.unackedCount++
+	if r.unackedCount >= r.cfg.AckEveryN {
+		r.sendAck()
+		return
+	}
+	if !r.ackTimer.Armed() {
+		r.ackTimer.Reset(now + r.cfg.MaxAckDelay)
+	}
+}
+
+// insertSeq adds seq to the interval set, merging neighbours.
+func (r *Receiver) insertSeq(seq int64) {
+	// Binary search for the insertion position (ranges sorted ascending).
+	i := sort.Search(len(r.ranges), func(i int) bool {
+		return r.ranges[i].Largest >= seq
+	})
+	if i < len(r.ranges) && r.ranges[i].Smallest <= seq {
+		return // duplicate
+	}
+	// Try extending the right neighbour downward.
+	if i < len(r.ranges) && r.ranges[i].Smallest == seq+1 {
+		r.ranges[i].Smallest = seq
+		// Merge with the left neighbour if now adjacent.
+		if i > 0 && r.ranges[i-1].Largest == seq-1 {
+			r.ranges[i-1].Largest = r.ranges[i].Largest
+			r.ranges = append(r.ranges[:i], r.ranges[i+1:]...)
+		}
+		return
+	}
+	// Try extending the left neighbour upward.
+	if i > 0 && r.ranges[i-1].Largest == seq-1 {
+		r.ranges[i-1].Largest = seq
+		return
+	}
+	// Fresh singleton interval.
+	r.ranges = append(r.ranges, netem.AckRange{})
+	copy(r.ranges[i+1:], r.ranges[i:])
+	r.ranges[i] = netem.AckRange{Smallest: seq, Largest: seq}
+}
+
+// Ranges exposes a copy of the received intervals (ascending) for tests.
+func (r *Receiver) Ranges() []netem.AckRange {
+	return append([]netem.AckRange(nil), r.ranges...)
+}
+
+// sendAck emits an ACK packet covering the most recent ranges.
+func (r *Receiver) sendAck() {
+	if r.largestReceived < 0 {
+		return
+	}
+	now := r.clk.Now()
+	r.ackTimer.Stop()
+	ackDelay := now - r.largestReceivedAt
+
+	// Newest ranges first, bounded by MaxAckRanges.
+	n := len(r.ranges)
+	count := n
+	if count > r.cfg.MaxAckRanges {
+		count = r.cfg.MaxAckRanges
+	}
+	out := make([]netem.AckRange, 0, count)
+	for i := n - 1; i >= n-count; i-- {
+		out = append(out, r.ranges[i])
+	}
+
+	// Old fully-acked history can be compacted: keep at most 4x the
+	// advertised ranges so memory stays bounded on long runs.
+	if n > 4*r.cfg.MaxAckRanges {
+		r.ranges = append([]netem.AckRange(nil), r.ranges[n-2*r.cfg.MaxAckRanges:]...)
+	}
+
+	r.unackedCount = 0
+	r.Stats.AcksSent++
+	r.out.HandlePacket(&netem.Packet{
+		Flow:         r.flow,
+		IsAck:        true,
+		Size:         r.cfg.AckPacketBytes,
+		SentAt:       now,
+		LargestAcked: r.largestReceived,
+		AckDelay:     ackDelay,
+		Ranges:       out,
+	})
+}

@@ -1,0 +1,574 @@
+package transport
+
+import (
+	"repro/internal/cc"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// sentPacket tracks an in-flight (or recently lost) data packet.
+type sentPacket struct {
+	seq    int64
+	bytes  int
+	sentAt sim.Time
+	// Delivery-rate sampler snapshot (BBR-style).
+	delivered     int64
+	deliveredTime sim.Time
+	firstSentTime sim.Time
+	appLimited    bool
+
+	acked bool
+	lost  bool
+}
+
+// SenderStats aggregates sender-side counters for tests and reports.
+type SenderStats struct {
+	PacketsSent     int64
+	BytesSent       int64
+	PacketsAcked    int64
+	BytesAcked      int64
+	PacketsLost     int64
+	BytesLost       int64
+	SpuriousLosses  int64
+	PTOCount        int64
+	PersistentCount int64
+	RTTSamples      int64
+}
+
+// RTTSample is one smoothed-RTT observation exposed to measurement code.
+type RTTSample struct {
+	Time   sim.Time
+	RTT    sim.Time
+	SRTT   sim.Time
+	MinRTT sim.Time
+}
+
+// Sender is a bulk-transfer sender: it always has data to send, subject to
+// the congestion controller's window and pacing rate. It consumes ACK
+// packets via HandlePacket.
+type Sender struct {
+	clk  Clock
+	cfg  Config
+	ctrl cc.Controller
+	out  netem.Handler
+	flow int
+
+	nextSeq       int64
+	largestAcked  int64
+	bytesInFlight int
+	packets       map[int64]*sentPacket
+	oldestUnacked int64
+
+	rtt rttEstimator
+
+	// Delivery-rate sampler state.
+	delivered     int64
+	deliveredTime sim.Time
+	firstSentTime sim.Time
+
+	// Round-trip counting: a round ends when a packet sent at or after
+	// roundEndSeq is acked.
+	roundTrips  int64
+	roundEndSeq int64
+
+	// Pacing.
+	nextSendAt sim.Time
+	sendTimer  TimerHandle
+
+	// Loss detection.
+	lossTimer TimerHandle
+	ptoCount  int
+
+	started bool
+	stopped bool
+
+	// Stats and hooks.
+	Stats      SenderStats
+	onRTT      []func(RTTSample)
+	onCwnd     []func(t sim.Time, cwnd int, inFlight int)
+	appLimited bool
+}
+
+// NewSender constructs a sender for the given flow that emits packets into
+// out (typically the bottleneck link) and is driven by ctrl. It runs on
+// the discrete-event engine; use NewSenderWithClock for other timelines.
+func NewSender(eng *sim.Engine, cfg Config, ctrl cc.Controller, out netem.Handler, flow int) *Sender {
+	return NewSenderWithClock(SimClock(eng), cfg, ctrl, out, flow)
+}
+
+// NewSenderWithClock constructs a sender on an arbitrary clock (e.g. the
+// real-time loop used to drive real UDP sockets).
+func NewSenderWithClock(clk Clock, cfg Config, ctrl cc.Controller, out netem.Handler, flow int) *Sender {
+	cfg = cfg.withDefaults()
+	s := &Sender{
+		clk:          clk,
+		cfg:          cfg,
+		ctrl:         ctrl,
+		out:          out,
+		flow:         flow,
+		packets:      make(map[int64]*sentPacket),
+		largestAcked: -1,
+	}
+	s.sendTimer = clk.NewTimer(s.trySend)
+	s.lossTimer = clk.NewTimer(s.onLossTimer)
+	return s
+}
+
+// Flow returns the flow id.
+func (s *Sender) Flow() int { return s.flow }
+
+// Controller exposes the congestion controller (for tests and tracing).
+func (s *Sender) Controller() cc.Controller { return s.ctrl }
+
+// SRTT returns the current smoothed RTT estimate (0 before any sample).
+func (s *Sender) SRTT() sim.Time { return s.rtt.srtt }
+
+// MinRTT returns the windowed minimum RTT estimate.
+func (s *Sender) MinRTT() sim.Time { return s.rtt.minRTT }
+
+// BytesInFlight returns the outstanding unacknowledged bytes.
+func (s *Sender) BytesInFlight() int { return s.bytesInFlight }
+
+// OnRTTSample registers a hook invoked on every RTT sample.
+func (s *Sender) OnRTTSample(fn func(RTTSample)) { s.onRTT = append(s.onRTT, fn) }
+
+// OnCwndSample registers a hook invoked after every ACK with the current
+// congestion window and bytes in flight.
+func (s *Sender) OnCwndSample(fn func(t sim.Time, cwnd, inFlight int)) {
+	s.onCwnd = append(s.onCwnd, fn)
+}
+
+// Start begins transmission.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.trySend()
+}
+
+// Stop halts transmission (flows at experiment end).
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.sendTimer.Stop()
+	s.lossTimer.Stop()
+}
+
+// quantize rounds a deadline up to the configured timer granularity,
+// modelling host timer resolution.
+func (s *Sender) quantize(t sim.Time) sim.Time {
+	g := s.cfg.TimerGranularity
+	if g <= sim.Time(1) {
+		return t
+	}
+	if rem := t % g; rem != 0 {
+		t += g - rem
+	}
+	return t
+}
+
+// trySend transmits as many packets as the window and pacer allow, then
+// arms the send timer for the next opportunity.
+func (s *Sender) trySend() {
+	if s.stopped || !s.started {
+		return
+	}
+	now := s.clk.Now()
+	cwnd := s.ctrl.CWND()
+	rate := s.ctrl.PacingRate()
+
+	for s.bytesInFlight+s.cfg.MSS <= cwnd {
+		if rate > 0 && s.nextSendAt > now {
+			// Pacer gate: come back later.
+			s.sendTimer.Reset(s.quantize(s.nextSendAt))
+			return
+		}
+		s.sendPacket(now, s.cfg.MSS)
+		if rate > 0 {
+			// Advance the pacing clock. The burst budget is the larger of
+			// the send quantum and one timer-granularity interval: a pacer
+			// that can only wake every millisecond must be allowed to
+			// catch up a millisecond's worth of packets, or granularity
+			// caps the rate (QUIC stacks implement exactly this as their
+			// pacing burst budget).
+			interval := sim.Time(float64(s.cfg.MSS) / rate * float64(sim.Second))
+			budget := s.quantumTime(rate)
+			if s.cfg.TimerGranularity > budget {
+				budget = s.cfg.TimerGranularity
+			}
+			if s.nextSendAt < now-budget {
+				s.nextSendAt = now - budget
+			}
+			s.nextSendAt += interval
+		}
+		cwnd = s.ctrl.CWND()
+		rate = s.ctrl.PacingRate()
+	}
+	// Window-limited: we will be re-driven by the next ACK. Nothing to arm.
+}
+
+// BurstSizer lets a congestion controller override the stack's pacing
+// burst quantum (BBR paces smoothly; window-based CCAs use GSO-sized
+// bursts).
+type BurstSizer interface {
+	PacingBurst(mss int) int
+}
+
+// quantumTime is the serialization time of the burst quantum at rate.
+func (s *Sender) quantumTime(rate float64) sim.Time {
+	quantum := s.cfg.SendQuantum
+	if bs, ok := s.ctrl.(BurstSizer); ok {
+		quantum = bs.PacingBurst(s.cfg.MSS)
+	}
+	return sim.Time(float64(quantum) / rate * float64(sim.Second))
+}
+
+// sendPacket emits one data packet and updates tracking state.
+func (s *Sender) sendPacket(now sim.Time, bytes int) {
+	seq := s.nextSeq
+	s.nextSeq++
+	if s.firstSentTime == 0 {
+		s.firstSentTime = now
+		s.deliveredTime = now
+	}
+	sp := &sentPacket{
+		seq:           seq,
+		bytes:         bytes,
+		sentAt:        now,
+		delivered:     s.delivered,
+		deliveredTime: s.deliveredTime,
+		firstSentTime: s.firstSentTime,
+		appLimited:    s.appLimited,
+	}
+	s.packets[seq] = sp
+	s.bytesInFlight += bytes
+	s.Stats.PacketsSent++
+	s.Stats.BytesSent += int64(bytes)
+	s.ctrl.OnPacketSent(now, bytes, s.bytesInFlight)
+	s.out.HandlePacket(&netem.Packet{
+		Flow:   s.flow,
+		Seq:    seq,
+		Size:   bytes,
+		SentAt: now,
+	})
+	s.armLossTimer()
+}
+
+// HandlePacket implements netem.Handler for the reverse path: it consumes
+// ACK packets.
+func (s *Sender) HandlePacket(pkt *netem.Packet) {
+	if !pkt.IsAck || s.stopped {
+		return
+	}
+	now := s.clk.Now()
+
+	var (
+		newlyAckedBytes int
+		largestNewly    *sentPacket
+		sawNew          bool
+		ackedSeqs       []int64
+	)
+	process := func(seq int64, sp *sentPacket) {
+		if sp.acked {
+			return
+		}
+		if sp.lost {
+			// Late ACK of a declared-lost packet: spurious loss.
+			sp.acked = true
+			s.Stats.SpuriousLosses++
+			s.accountDelivered(now, sp)
+			s.ctrl.OnSpuriousLoss(now, sp.sentAt)
+			delete(s.packets, seq)
+			return
+		}
+		sp.acked = true
+		sawNew = true
+		newlyAckedBytes += sp.bytes
+		s.bytesInFlight -= sp.bytes
+		s.Stats.PacketsAcked++
+		s.Stats.BytesAcked += int64(sp.bytes)
+		s.accountDelivered(now, sp)
+		ackedSeqs = append(ackedSeqs, seq)
+		if largestNewly == nil || sp.seq > largestNewly.seq {
+			largestNewly = sp
+		}
+	}
+	// Walk the ACK ranges. Ranges can span the entire received history
+	// (the receiver merges intervals), so when a range is wider than the
+	// set of packets we still track, iterate the tracked set instead of
+	// the range to keep ACK processing O(outstanding), not O(lifetime).
+	for _, rg := range pkt.Ranges {
+		span := rg.Largest - rg.Smallest + 1
+		if span > int64(len(s.packets)) {
+			for seq, sp := range s.packets {
+				if seq >= rg.Smallest && seq <= rg.Largest {
+					process(seq, sp)
+				}
+			}
+			continue
+		}
+		for seq := rg.Largest; seq >= rg.Smallest; seq-- {
+			if sp, ok := s.packets[seq]; ok {
+				process(seq, sp)
+			}
+		}
+	}
+	if pkt.LargestAcked > s.largestAcked {
+		s.largestAcked = pkt.LargestAcked
+	}
+	if !sawNew {
+		// Pure duplicate or stale ACK: still run loss detection in case the
+		// higher largestAcked exposes losses.
+		s.detectLosses(now)
+		s.trySend()
+		return
+	}
+
+	// RTT sample from the largest newly acked packet (RFC 9002 §5.1).
+	if largestNewly != nil && largestNewly.seq == pkt.LargestAcked {
+		sample := now - largestNewly.sentAt
+		s.rtt.update(sample, pkt.AckDelay, s.cfg.MaxAckDelay)
+		s.Stats.RTTSamples++
+		rs := RTTSample{Time: now, RTT: s.rtt.latest, SRTT: s.rtt.srtt, MinRTT: s.rtt.minRTT}
+		for _, fn := range s.onRTT {
+			fn(rs)
+		}
+	}
+
+	// Round-trip accounting.
+	if largestNewly != nil && largestNewly.seq >= s.roundEndSeq {
+		s.roundTrips++
+		s.roundEndSeq = s.nextSeq
+	}
+
+	// Delivery-rate sample (BBR-style) from the largest newly acked packet.
+	var deliveryRate float64
+	var sampleAppLimited bool
+	if largestNewly != nil {
+		deliveredDelta := s.delivered - largestNewly.delivered
+		ackElapsed := s.deliveredTime - largestNewly.deliveredTime
+		sendElapsed := largestNewly.sentAt - largestNewly.firstSentTime
+		interval := ackElapsed
+		if sendElapsed > interval {
+			interval = sendElapsed
+		}
+		if interval > 0 {
+			deliveryRate = float64(deliveredDelta) / interval.Seconds()
+		}
+		sampleAppLimited = largestNewly.appLimited
+	}
+
+	s.ptoCount = 0
+
+	ev := cc.AckEvent{
+		Now:              now,
+		AckedBytes:       newlyAckedBytes,
+		LargestAckedSent: largestNewly.sentAt,
+		RTT:              s.rtt.latest,
+		SRTT:             s.rtt.srtt,
+		MinRTT:           s.rtt.minRTT,
+		BytesInFlight:    s.bytesInFlight,
+		DeliveryRate:     deliveryRate,
+		IsAppLimited:     sampleAppLimited,
+		RoundTrips:       s.roundTrips,
+	}
+	s.ctrl.OnAck(ev)
+
+	// Acked packets can now be forgotten.
+	for _, seq := range ackedSeqs {
+		delete(s.packets, seq)
+	}
+
+	s.detectLosses(now)
+	for _, fn := range s.onCwnd {
+		fn(now, s.ctrl.CWND(), s.bytesInFlight)
+	}
+	s.trySend()
+}
+
+// accountDelivered updates the delivery-rate sampler totals. Following
+// tcp_rate.c, the send-side sample window slides forward to the acked
+// packet's transmit time so future samples measure recent behaviour, not
+// the connection's lifetime average.
+func (s *Sender) accountDelivered(now sim.Time, sp *sentPacket) {
+	s.delivered += int64(sp.bytes)
+	s.deliveredTime = now
+	if sp.sentAt > s.firstSentTime {
+		s.firstSentTime = sp.sentAt
+	}
+}
+
+// detectLosses applies RFC 9002 §6.1 packet- and time-threshold loss
+// detection and informs the controller. It also arms the loss timer for
+// packets that are only "young" relative to the time threshold.
+func (s *Sender) detectLosses(now sim.Time) {
+	if s.largestAcked < 0 {
+		return
+	}
+	threshold := s.lossTimeThreshold()
+	// Eager tail marking uses the bare RTT estimate without the 9/8
+	// margin: the whole point of modelling it is that the detector is
+	// too hot.
+	eagerThreshold := threshold * timeThresholdDen / timeThresholdNum
+	var (
+		lostBytes       int
+		largestLostSent sim.Time
+		oldestLostSent  sim.Time = -1
+		newestLostSent  sim.Time
+		earliestLossAt  sim.Time = -1
+		largestLostSeq  int64    = -1
+	)
+	for seq, sp := range s.packets {
+		if sp.acked || sp.lost {
+			continue
+		}
+		if seq > s.largestAcked && !s.cfg.EagerTailLoss {
+			continue
+		}
+		packetLost := seq <= s.largestAcked && s.largestAcked-seq >= s.cfg.PacketThreshold
+		lossTime := sp.sentAt + threshold
+		if seq > s.largestAcked {
+			lossTime = sp.sentAt + eagerThreshold
+		}
+		timeLost := lossTime <= now
+		if packetLost || timeLost {
+			sp.lost = true
+			lostBytes += sp.bytes
+			s.bytesInFlight -= sp.bytes
+			s.Stats.PacketsLost++
+			s.Stats.BytesLost += int64(sp.bytes)
+			if seq > largestLostSeq {
+				largestLostSeq = seq
+			}
+			if sp.sentAt > largestLostSent {
+				largestLostSent = sp.sentAt
+			}
+			if oldestLostSent < 0 || sp.sentAt < oldestLostSent {
+				oldestLostSent = sp.sentAt
+			}
+			if sp.sentAt > newestLostSent {
+				newestLostSent = sp.sentAt
+			}
+			continue
+		}
+		if earliestLossAt < 0 || lossTime < earliestLossAt {
+			earliestLossAt = lossTime
+		}
+	}
+	if lostBytes > 0 && s.cfg.LossMarksFlight {
+		// Flight extension: the detector assumes the drop burst extends
+		// into the unacknowledged tail and marks everything sent within
+		// half an SRTT after the newest lost packet. The survivors among
+		// them are acked shortly after and reported as spurious.
+		horizon := newestLostSent + s.rtt.srtt/2
+		for _, sp := range s.packets {
+			if sp.acked || sp.lost || sp.sentAt > horizon {
+				continue
+			}
+			sp.lost = true
+			lostBytes += sp.bytes
+			s.bytesInFlight -= sp.bytes
+			s.Stats.PacketsLost++
+			s.Stats.BytesLost += int64(sp.bytes)
+			if sp.sentAt > largestLostSent {
+				largestLostSent = sp.sentAt
+			}
+			if sp.sentAt > newestLostSent {
+				newestLostSent = sp.sentAt
+			}
+		}
+		earliestLossAt = -1
+	}
+	if lostBytes > 0 {
+		persistent := false
+		if oldestLostSent >= 0 {
+			pto := s.rtt.pto(s.cfg.MaxAckDelay, s.cfg.TimerGranularity)
+			if newestLostSent-oldestLostSent > persistentCongestionThreshold*pto {
+				persistent = true
+				s.Stats.PersistentCount++
+			}
+		}
+		s.ctrl.OnLoss(cc.LossEvent{
+			Now:             now,
+			LostBytes:       lostBytes,
+			LargestLostSent: largestLostSent,
+			BytesInFlight:   s.bytesInFlight,
+			Persistent:      persistent,
+		})
+	}
+	// Keep lost packets around for spurious-loss detection, but bound the
+	// memory: drop lost entries older than 4 PTOs.
+	horizon := now - 4*s.rtt.pto(s.cfg.MaxAckDelay, s.cfg.TimerGranularity)
+	for seq, sp := range s.packets {
+		if sp.lost && sp.sentAt < horizon {
+			delete(s.packets, seq)
+		}
+	}
+	if earliestLossAt >= 0 {
+		s.lossTimer.Reset(s.quantize(earliestLossAt))
+	} else {
+		s.armLossTimer()
+	}
+}
+
+// lossTimeThreshold returns kTimeThreshold * max(srtt, latest_rtt).
+func (s *Sender) lossTimeThreshold() sim.Time {
+	base := s.rtt.srtt
+	if s.rtt.latest > base {
+		base = s.rtt.latest
+	}
+	if base == 0 {
+		base = 100 * sim.Millisecond
+	}
+	t := base * timeThresholdNum / timeThresholdDen
+	if t < s.cfg.TimerGranularity {
+		t = s.cfg.TimerGranularity
+	}
+	return t
+}
+
+// armLossTimer arms the PTO timer when packets are outstanding.
+func (s *Sender) armLossTimer() {
+	if s.stopped {
+		return
+	}
+	hasOutstanding := false
+	for _, sp := range s.packets {
+		if !sp.acked && !sp.lost {
+			hasOutstanding = true
+			break
+		}
+	}
+	if !hasOutstanding {
+		s.lossTimer.Stop()
+		return
+	}
+	pto := s.rtt.pto(s.cfg.MaxAckDelay, s.cfg.TimerGranularity)
+	// Exponential backoff, capped so repeated timeouts on a dead path
+	// cannot overflow or push the deadline past any realistic run length.
+	backoff := s.ptoCount
+	if backoff > 6 {
+		backoff = 6
+	}
+	pto <<= uint(backoff)
+	s.lossTimer.Reset(s.quantize(s.clk.Now() + pto))
+}
+
+// onLossTimer fires on timeout: first run time-threshold loss detection;
+// if nothing was declared, treat it as a PTO and send a probe.
+func (s *Sender) onLossTimer() {
+	if s.stopped {
+		return
+	}
+	now := s.clk.Now()
+	before := s.Stats.PacketsLost
+	s.detectLosses(now)
+	if s.Stats.PacketsLost != before {
+		s.trySend()
+		return
+	}
+	// PTO: probe with one packet regardless of cwnd (RFC 9002 §6.2.4).
+	s.ptoCount++
+	s.Stats.PTOCount++
+	s.sendPacket(now, s.cfg.MSS)
+}

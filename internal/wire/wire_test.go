@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	pkt := &netem.Packet{Flow: 3, Seq: 123456789, Size: 1200}
+	buf := make([]byte, 1500)
+	n, err := Encode(buf, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1200 {
+		t.Fatalf("encoded %d bytes, want padded 1200", n)
+	}
+	got, err := Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow != 3 || got.Seq != 123456789 || got.Size != 1200 || got.IsAck {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	pkt := &netem.Packet{
+		Flow:         1,
+		IsAck:        true,
+		Size:         40,
+		LargestAcked: 999,
+		AckDelay:     25 * sim.Millisecond,
+		Ranges: []netem.AckRange{
+			{Smallest: 990, Largest: 999},
+			{Smallest: 100, Largest: 980},
+		},
+	}
+	buf := make([]byte, 1500)
+	n, err := Encode(buf, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsAck || got.LargestAcked != 999 || got.AckDelay != 25*sim.Millisecond {
+		t.Fatalf("ack fields = %+v", got)
+	}
+	if len(got.Ranges) != 2 || got.Ranges[0] != pkt.Ranges[0] || got.Ranges[1] != pkt.Ranges[1] {
+		t.Fatalf("ranges = %v", got.Ranges)
+	}
+}
+
+func TestRangesCapped(t *testing.T) {
+	pkt := &netem.Packet{IsAck: true}
+	for i := 0; i < MaxRanges+10; i++ {
+		pkt.Ranges = append(pkt.Ranges, netem.AckRange{Smallest: int64(i * 10), Largest: int64(i*10 + 5)})
+	}
+	buf := make([]byte, 4096)
+	n, err := Encode(buf, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ranges) != MaxRanges {
+		t.Fatalf("ranges = %d, want capped at %d", len(got.Ranges), MaxRanges)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	bad := make([]byte, headerLen)
+	bad[0] = 0xFF
+	if _, err := Decode(bad); err != ErrMagic {
+		t.Fatalf("magic: %v", err)
+	}
+	// ACK claiming more ranges than present.
+	trunc := make([]byte, headerLen)
+	trunc[0] = magic
+	trunc[1] = flagAck
+	trunc[3] = 5
+	if _, err := Decode(trunc); err != ErrShort {
+		t.Fatalf("truncated ranges: %v", err)
+	}
+}
+
+func TestEncodeBufferTooSmall(t *testing.T) {
+	pkt := &netem.Packet{Seq: 1, Size: 1200}
+	if _, err := Encode(make([]byte, 100), pkt); err == nil {
+		t.Fatal("small buffer accepted")
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	f := func(flow uint8, seq int64, ack bool, largest int64, nr uint8) bool {
+		pkt := &netem.Packet{Flow: int(flow), Size: 600}
+		if seq < 0 {
+			seq = -seq
+		}
+		if largest < 0 {
+			largest = -largest
+		}
+		if ack {
+			pkt.IsAck = true
+			pkt.LargestAcked = largest
+			for i := 0; i < int(nr%8); i++ {
+				pkt.Ranges = append(pkt.Ranges, netem.AckRange{Smallest: int64(i), Largest: int64(i + 1)})
+			}
+		} else {
+			pkt.Seq = seq
+		}
+		buf := make([]byte, 2048)
+		n, err := Encode(buf, pkt)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf[:n])
+		if err != nil {
+			return false
+		}
+		if got.Flow != pkt.Flow || got.IsAck != pkt.IsAck {
+			return false
+		}
+		if pkt.IsAck {
+			return got.LargestAcked == pkt.LargestAcked && len(got.Ranges) == len(pkt.Ranges)
+		}
+		return got.Seq == pkt.Seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package quicbench
+
+import (
+	"repro/internal/report"
+)
+
+// knownStack is one row of the paper's Table 2: the IETF QUIC stack
+// landscape at the time of the study, with the selection criteria that
+// decided which stacks were evaluated.
+type knownStack struct {
+	Organization string
+	Name         string
+	OpenSource   bool
+	ImplementsCC bool
+	StableVer    bool
+	Deployed     bool
+	Evaluated    bool
+}
+
+// knownStacks mirrors Table 2.
+var knownStacks = []knownStack{
+	{"Facebook", "mvfst", true, true, true, true, true},
+	{"Google", "chromium", true, true, true, true, true},
+	{"Microsoft", "msquic", true, true, true, true, true},
+	{"Cloudflare", "quiche", true, true, true, true, true},
+	{"LiteSpeed", "lsquic", true, true, true, true, true},
+	{"Go", "quicgo", true, true, true, true, true},
+	{"H2O", "quicly", true, true, true, true, true},
+	{"Rust", "quinn", true, true, true, true, true},
+	{"Amazon Web Services", "s2n-quic", true, true, true, true, true},
+	{"Alibaba", "xquic", true, true, true, true, true},
+	{"Mozilla", "neqo", true, true, true, true, true},
+	{"Akamai", "akamaiquic", false, false, false, false, false},
+	{"Apple", "applequic", false, false, false, false, false},
+	{"Apache", "ats", true, true, true, false, false},
+	{"F5", "f5", true, false, false, false, false},
+	{"Haskell", "haskellquic", true, false, false, false, false},
+	{"Java", "kwik", true, false, false, false, false},
+	{"nghttp", "ngtcp2", true, false, false, false, false},
+	{"nginx", "nginx", true, false, false, false, false},
+	{"Pico", "picoquic", true, true, false, false, false},
+	{"Python", "aioquic", true, false, true, true, false},
+	{"Quant", "quant", true, true, false, false, false},
+}
+
+// runTab2 prints the stack landscape.
+func runTab2(cfg ExpConfig) error {
+	cfg = cfg.withDefaults()
+	tbl := &report.Table{Header: []string{"Organization", "Stack", "OpenSource", "ImplementsCCA", "StableVer", "Deployed", "Evaluated"}}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, s := range knownStacks {
+		tbl.AddRow(s.Organization, s.Name, yn(s.OpenSource), yn(s.ImplementsCC),
+			yn(s.StableVer), yn(s.Deployed), yn(s.Evaluated))
+	}
+	return tbl.Render(cfg.Out)
+}

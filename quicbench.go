@@ -1,0 +1,228 @@
+package quicbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+)
+
+// CCA identifies a congestion control algorithm.
+type CCA string
+
+// The three algorithms the paper studies.
+const (
+	CUBIC CCA = "cubic"
+	BBR   CCA = "bbr"
+	Reno  CCA = "reno"
+)
+
+// AllCCAs lists the algorithms in the paper's order.
+var AllCCAs = []CCA{CUBIC, BBR, Reno}
+
+// Network configures one experiment network, mirroring the §4 grid. The
+// zero value selects the paper's representative configuration: 20 Mbps,
+// 10 ms RTT, 1 BDP droptail buffer, 120 s flows, 5 trials.
+type Network struct {
+	BandwidthMbps float64       // bottleneck capacity (default 20)
+	RTT           time.Duration // base round-trip time (default 10 ms)
+	BufferBDP     float64       // droptail buffer in BDP multiples (default 1)
+	Duration      time.Duration // flow runtime (default 120 s)
+	Trials        int           // repetitions (default 5)
+	Seed          uint64        // randomness seed (default 0)
+	Wild          bool          // §4.2 Internet-path emulation
+}
+
+// toCore converts to the internal representation.
+func (n Network) toCore() core.Network {
+	return core.Network{
+		BandwidthMbps: n.BandwidthMbps,
+		RTT:           sim.Duration(n.RTT),
+		BufferBDP:     n.BufferBDP,
+		Duration:      sim.Duration(n.Duration),
+		Trials:        n.Trials,
+		Seed:          n.Seed,
+		Wild:          n.Wild,
+	}
+}
+
+// Report carries the full §3 metric set for one implementation.
+type Report struct {
+	// Conformance is the enhanced (clustered) metric of §3.2.
+	Conformance float64
+	// ConformanceOld uses the single-hull definition from the authors'
+	// earlier work (the paper's "Conf-old" columns).
+	ConformanceOld float64
+	// ConformanceT is the maximum conformance over translations (§3.3).
+	ConformanceT float64
+	// DeltaThroughputMbps / DeltaDelayMs are the §3.3 tuning hints:
+	// how the test implementation sits relative to the reference.
+	DeltaThroughputMbps float64
+	DeltaDelayMs        float64
+	// K is the natural cluster count chosen for the test envelope.
+	K int
+}
+
+func fromPEReport(r pe.Report) Report {
+	return Report{
+		Conformance:         r.Conformance,
+		ConformanceOld:      r.ConformanceOld,
+		ConformanceT:        r.ConformanceT,
+		DeltaThroughputMbps: r.DeltaThroughputMbps,
+		DeltaDelayMs:        r.DeltaDelayMs,
+		K:                   r.K,
+	}
+}
+
+// Impl identifies one (stack, CCA) implementation.
+type Impl struct {
+	Stack string
+	CCA   CCA
+}
+
+// String implements fmt.Stringer.
+func (im Impl) String() string { return im.Stack + " " + string(im.CCA) }
+
+// Stacks returns the names of all modelled stacks, the kernel reference
+// first, in the paper's Table 1 order.
+func Stacks() []string {
+	var out []string
+	for _, s := range stacks.All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Implementations returns the 22 QUIC (stack, CCA) pairs of Table 1.
+func Implementations() []Impl {
+	var out []Impl
+	for _, im := range stacks.AllImplementations() {
+		out = append(out, Impl{Stack: im.Stack, CCA: CCA(im.CCA)})
+	}
+	return out
+}
+
+// ImplementationsOf returns the QUIC stacks shipping the given CCA.
+func ImplementationsOf(cca CCA) []Impl {
+	var out []Impl
+	for _, im := range stacks.Implementations(stacks.CCA(cca)) {
+		out = append(out, Impl{Stack: im.Stack, CCA: CCA(im.CCA)})
+	}
+	return out
+}
+
+// flow resolves a public (stack, cca) pair, validating both.
+func flow(stack string, cca CCA) (core.Flow, error) {
+	s := stacks.Get(stack)
+	if s == nil {
+		return core.Flow{}, fmt.Errorf("quicbench: unknown stack %q", stack)
+	}
+	if !s.Has(stacks.CCA(cca)) {
+		return core.Flow{}, fmt.Errorf("quicbench: stack %q does not implement %s", stack, cca)
+	}
+	return core.Flow{Stack: s, CCA: stacks.CCA(cca)}, nil
+}
+
+// MeasureConformance runs the paper's conformance pipeline for one
+// implementation: the implementation competes against the kernel reference
+// of the same CCA, the reference self-competes, Performance Envelopes are
+// built per §3.2, and the metrics of §3.1/§3.3 are computed.
+func MeasureConformance(stack string, cca CCA, net Network) (Report, error) {
+	f, err := flow(stack, cca)
+	if err != nil {
+		return Report{}, err
+	}
+	return fromPEReport(core.Conformance(f, net.toCore())), nil
+}
+
+// Share reports a pairwise bandwidth-share experiment (§4.3).
+type Share struct {
+	A, B Impl
+	// ShareA is throughput_A / (throughput_A + throughput_B); above 0.5
+	// means A takes more than its fair share.
+	ShareA float64
+	// MeanMbps are the per-flow mean throughputs.
+	MeanMbps [2]float64
+}
+
+// MeasureFairness runs the §4.3 bandwidth-share experiment between two
+// implementations.
+func MeasureFairness(a, b Impl, net Network) (Share, error) {
+	fa, err := flow(a.Stack, a.CCA)
+	if err != nil {
+		return Share{}, err
+	}
+	fb, err := flow(b.Stack, b.CCA)
+	if err != nil {
+		return Share{}, err
+	}
+	res := core.BandwidthShare(fa, fb, net.toCore())
+	return Share{A: a, B: b, ShareA: res.ShareA, MeanMbps: res.MeanMbps}, nil
+}
+
+// Point is a (delay, throughput) sample on the PE plane.
+type Point struct {
+	DelayMs float64
+	Mbps    float64
+}
+
+// Envelope is a Performance Envelope exposed for plotting: the convex
+// hulls plus the samples that produced them.
+type Envelope struct {
+	// Hulls are the PE polygons (vertex lists).
+	Hulls [][]Point
+	// Points is the pooled sample cloud across trials.
+	Points []Point
+	// K is the chosen cluster count.
+	K int
+}
+
+func fromPE(e *pe.Envelope) Envelope {
+	out := Envelope{K: e.K}
+	for _, h := range e.Hulls {
+		hull := make([]Point, len(h))
+		for i, v := range h {
+			hull[i] = Point{DelayMs: v.X, Mbps: v.Y}
+		}
+		out.Hulls = append(out.Hulls, hull)
+	}
+	for _, p := range e.AllPoints() {
+		out.Points = append(out.Points, Point{DelayMs: p.X, Mbps: p.Y})
+	}
+	return out
+}
+
+// BuildEnvelopes runs the conformance experiment and returns both PEs
+// (test and reference) for visualization, as in the paper's PE figures.
+func BuildEnvelopes(stack string, cca CCA, net Network) (test, ref Envelope, err error) {
+	f, err := flow(stack, cca)
+	if err != nil {
+		return Envelope{}, Envelope{}, err
+	}
+	te, re := core.Envelopes(f, net.toCore())
+	return fromPE(te), fromPE(re), nil
+}
+
+// Fixed reports whether the paper proposes a §5 fix for the given
+// implementation, and if so, measures the fixed variant's conformance.
+func Fixed(stack string, cca CCA, net Network) (Report, bool, error) {
+	fixedStack, ok := stacks.Fixed(stack, stacks.CCA(cca))
+	if !ok {
+		return Report{}, false, nil
+	}
+	f := core.Flow{Stack: fixedStack, CCA: stacks.CCA(cca)}
+	return fromPEReport(core.Conformance(f, net.toCore())), true, nil
+}
+
+// DeviationNote returns the modelled deviation documentation for an
+// implementation ("" when it is standard).
+func DeviationNote(stack string, cca CCA) string {
+	s := stacks.Get(stack)
+	if s == nil {
+		return ""
+	}
+	return s.Notes[stacks.CCA(cca)]
+}
