@@ -1,0 +1,34 @@
+GO ?= go
+GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+
+.PHONY: check fmt vet test test-race test-full build chaos
+
+## check: the PR gate — formatting, vet, and the race-enabled suite.
+## The longest conformance sweeps are gated behind testing.Short(), so the
+## race run stays fast; use `make test-full` for the unabridged suite.
+check: fmt vet test-race
+
+fmt:
+	@out="$$(gofmt -l $(GOFILES))"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+test-full:
+	$(GO) test -count=1 ./...
+
+## chaos: quick demo of the fault-injection degradation sweep.
+chaos:
+	$(GO) run ./cmd/quicbench chaos -duration 4s -trials 2

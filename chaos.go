@@ -1,0 +1,100 @@
+package quicbench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// ChaosLevel specifies one impairment setting of a degradation sweep, in
+// the tc-netem vocabulary: an i.i.d. loss probability, an optional
+// Gilbert–Elliott burst channel, duplication/corruption taps, and an
+// optional blackout window. The zero value is the pristine testbed.
+type ChaosLevel struct {
+	// Name labels the level in the output table.
+	Name string
+	// LossProb is the i.i.d. per-packet loss probability on the data path.
+	LossProb float64
+	// Burst replaces the i.i.d. process with a Gilbert–Elliott burst
+	// channel of roughly 1% mean loss in ~25-packet bursts.
+	Burst bool
+	// DupProb / CorruptProb are per-packet duplication and corruption
+	// probabilities.
+	DupProb     float64
+	CorruptProb float64
+	// BlackoutStart/BlackoutDuration describe a total outage window of the
+	// data path (zero duration = no blackout).
+	BlackoutStart    time.Duration
+	BlackoutDuration time.Duration
+}
+
+// toCore lowers the public spec to the internal impairment.
+func (l ChaosLevel) toCore() core.ChaosLevel {
+	imp := core.Impairment{DupProb: l.DupProb, CorruptProb: l.CorruptProb}
+	switch {
+	case l.Burst:
+		imp.Loss = func() faults.LossModel {
+			ge, err := faults.NewGilbertElliott(0.0008, 0.04, 0, 0.5)
+			if err != nil {
+				panic(err) // static parameters
+			}
+			return ge
+		}
+	case l.LossProb > 0:
+		p := l.LossProb
+		imp.Loss = func() faults.LossModel { return faults.IIDLoss{P: p} }
+	}
+	if l.BlackoutDuration > 0 {
+		from := sim.Duration(l.BlackoutStart)
+		imp.Blackouts = []faults.Window{{From: from, To: from + sim.Duration(l.BlackoutDuration)}}
+	}
+	return core.ChaosLevel{Name: l.Name, Impair: imp}
+}
+
+// ChaosPoint is one row of a degradation curve: the conformance metrics at
+// one impairment level, or the typed error that made the level degenerate.
+type ChaosPoint struct {
+	Level        string
+	Conformance  float64
+	ConformanceT float64
+	K            int
+	// Err is non-nil when the level produced degenerate data (all-lossy
+	// trials, wedged runs); the sweep reports it instead of crashing.
+	Err error
+}
+
+// MeasureChaos sweeps one implementation's conformance across impairment
+// levels, impairing test and reference measurements identically. A nil or
+// empty levels slice selects the default sweep (pristine, 0.1% and 1%
+// i.i.d. loss, a ~1% burst channel, and a mid-run blackout). Per-level
+// degeneracies are reported in the returned points, not as the function
+// error, which is reserved for an unknown stack/CCA.
+func MeasureChaos(stack string, cca CCA, net Network, levels []ChaosLevel) ([]ChaosPoint, error) {
+	f, err := flow(stack, cca)
+	if err != nil {
+		return nil, err
+	}
+	n := net.toCore()
+	var coreLevels []core.ChaosLevel
+	if len(levels) == 0 {
+		coreLevels = core.DefaultChaosLevels(n)
+	} else {
+		for _, l := range levels {
+			coreLevels = append(coreLevels, l.toCore())
+		}
+	}
+	pts := core.ChaosConformance(f, n, coreLevels)
+	out := make([]ChaosPoint, len(pts))
+	for i, p := range pts {
+		out[i] = ChaosPoint{
+			Level:        p.Level,
+			Conformance:  p.Report.Conformance,
+			ConformanceT: p.Report.ConformanceT,
+			K:            p.Report.K,
+			Err:          p.Err,
+		}
+	}
+	return out, nil
+}

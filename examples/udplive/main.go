@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,12 +35,63 @@ func (c loopClock) NewTimer(fn func()) transport.TimerHandle {
 	return c.l.NewTimer(fn)
 }
 
+// readDeadline bounds every blocking ReadFromUDP so read loops can notice
+// shutdown instead of blocking forever on an idle socket.
+const readDeadline = 250 * time.Millisecond
+
+// readLoop pumps datagrams from conn into handle until done closes or the
+// socket is torn down. Deadline timeouts just re-check done; transient
+// errors are retried with exponential backoff (1ms doubling to 128ms, at
+// most 8 consecutive failures) before the loop gives up.
+func readLoop(conn *net.UDPConn, done <-chan struct{}, handle func(buf []byte, n int)) {
+	buf := make([]byte, 2048)
+	backoff := time.Millisecond
+	failures := 0
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(readDeadline))
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue // idle socket: loop back to the done check
+			}
+			failures++
+			if failures > 8 {
+				log.Printf("udplive: read loop giving up after %d transient errors: %v", failures, err)
+				return
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 128*time.Millisecond {
+				backoff = 128 * time.Millisecond
+			}
+			continue
+		}
+		failures = 0
+		backoff = time.Millisecond
+		handle(buf, n)
+	}
+}
+
 // relay is a userspace bottleneck: data datagrams (sender -> receiver) go
 // through a rate limiter with a droptail byte queue plus one-way delay;
 // ACKs (receiver -> sender) only get the delay. It answers on one UDP
 // socket and forwards by flow id to registered endpoint addresses.
 type relay struct {
 	conn *net.UDPConn
+	done chan struct{}
+	wg   sync.WaitGroup
 
 	mu        sync.Mutex
 	queued    int
@@ -62,14 +114,23 @@ func newRelay(rateBps float64, queueCap int, owd time.Duration) (*relay, error) 
 	}
 	r := &relay{
 		conn:     conn,
+		done:     make(chan struct{}),
 		rateBps:  rateBps,
 		queueCap: queueCap,
 		owd:      owd,
 		dataAddr: make(map[int]*net.UDPAddr),
 		ackAddr:  make(map[int]*net.UDPAddr),
 	}
+	r.wg.Add(1)
 	go r.serve()
 	return r, nil
+}
+
+// close tears the relay down and waits for its serve goroutine to exit.
+func (r *relay) close() {
+	close(r.done)
+	r.conn.Close()
+	r.wg.Wait()
 }
 
 func (r *relay) addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
@@ -82,14 +143,10 @@ func (r *relay) register(flow int, receiver, sender *net.UDPAddr) {
 }
 
 func (r *relay) serve() {
-	buf := make([]byte, 2048)
-	for {
-		n, _, err := r.conn.ReadFromUDP(buf)
-		if err != nil {
-			return // socket closed
-		}
+	defer r.wg.Done()
+	readLoop(r.conn, r.done, func(buf []byte, n int) {
 		if n < 4 || buf[0] != 0x51 {
-			continue
+			return
 		}
 		isAck := buf[1]&1 != 0
 		flow := int(buf[2])
@@ -105,19 +162,19 @@ func (r *relay) serve() {
 		}
 		if dst == nil {
 			r.mu.Unlock()
-			continue
+			return
 		}
 		if isAck {
 			// Uncongested reverse path: delay only.
 			r.mu.Unlock()
 			time.AfterFunc(r.owd, func() { r.conn.WriteToUDP(pkt, dst) })
-			continue
+			return
 		}
 		// Droptail bottleneck.
 		if r.queued+n > r.queueCap {
 			r.dropped++
 			r.mu.Unlock()
-			continue
+			return
 		}
 		r.queued += n
 		now := time.Now()
@@ -137,7 +194,7 @@ func (r *relay) serve() {
 		time.AfterFunc(txEnd.Add(r.owd).Sub(now), func() {
 			r.conn.WriteToUDP(pkt, dst)
 		})
-	}
+	})
 }
 
 // endpoint is one UDP host running a transport sender or receiver on its
@@ -145,6 +202,8 @@ func (r *relay) serve() {
 type endpoint struct {
 	conn *net.UDPConn
 	loop *rtclock.Loop
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 func newEndpoint() (*endpoint, error) {
@@ -152,7 +211,7 @@ func newEndpoint() (*endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &endpoint{conn: conn, loop: rtclock.New()}, nil
+	return &endpoint{conn: conn, loop: rtclock.New(), done: make(chan struct{})}, nil
 }
 
 func (e *endpoint) addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
@@ -171,24 +230,25 @@ func (e *endpoint) writerTo(dst *net.UDPAddr) netem.Handler {
 
 // readInto pumps incoming datagrams into h on the endpoint's loop.
 func (e *endpoint) readInto(h netem.Handler) {
+	e.wg.Add(1)
 	go func() {
-		buf := make([]byte, 2048)
-		for {
-			n, _, err := e.conn.ReadFromUDP(buf)
+		defer e.wg.Done()
+		readLoop(e.conn, e.done, func(buf []byte, n int) {
+			pkt, err := wire.Decode(buf[:n])
 			if err != nil {
 				return
 			}
-			pkt, err := wire.Decode(buf[:n])
-			if err != nil {
-				continue
-			}
 			e.loop.Post(func() { h.HandlePacket(pkt) })
-		}
+		})
 	}()
 }
 
+// close tears the endpoint down: the read goroutine is joined before the
+// event loop closes, so no callback is posted to a dead loop.
 func (e *endpoint) close() {
+	close(e.done)
 	e.conn.Close()
+	e.wg.Wait()
 	e.loop.Close()
 }
 
@@ -296,5 +356,5 @@ func main() {
 		f.txEP.close()
 		f.rxEP.close()
 	}
-	rel.conn.Close()
+	rel.close()
 }

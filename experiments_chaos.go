@@ -1,0 +1,38 @@
+package quicbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stacks"
+)
+
+// runChaos sweeps one implementation's conformance across the default
+// impairment levels and prints the degradation curve. It extends the
+// paper's pristine-testbed methodology with the CoCo-Beholder-style
+// question: how gracefully does conformance degrade when the path
+// misbehaves?
+func runChaos(cfg ExpConfig) error {
+	cfg = cfg.withDefaults()
+	n := cfg.net(20, 10*time.Millisecond, 1, false)
+	fl := core.Flow{Stack: stacks.Get("quicgo"), CCA: stacks.CUBIC}
+	return chaosTable(cfg, fl, n, core.DefaultChaosLevels(n))
+}
+
+// chaosTable runs a chaos sweep and prints one row per level. Levels whose
+// data is degenerate print their typed diagnostic instead of metrics.
+func chaosTable(cfg ExpConfig, fl core.Flow, n core.Network, levels []core.ChaosLevel) error {
+	fmt.Fprintf(cfg.Out, "conformance degradation: %s %s on %s (%v x %d trials)\n",
+		fl.Stack.Name, fl.CCA, n, time.Duration(n.Duration), n.Trials)
+	fmt.Fprintf(cfg.Out, "%-12s %8s %8s %4s\n", "level", "conf", "conf-T", "k")
+	for _, pt := range core.ChaosConformance(fl, n, levels) {
+		if pt.Err != nil {
+			fmt.Fprintf(cfg.Out, "%-12s degenerate: %v\n", pt.Level, pt.Err)
+			continue
+		}
+		fmt.Fprintf(cfg.Out, "%-12s %8.2f %8.2f %4d\n",
+			pt.Level, pt.Report.Conformance, pt.Report.ConformanceT, pt.Report.K)
+	}
+	return nil
+}

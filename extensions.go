@@ -1,7 +1,8 @@
 package quicbench
 
 // The paper's §6 sketches several extensions to the methodology. This file
-// implements four of them as additional, non-paper experiments:
+// implements four of them as additional, non-paper experiments (a fifth,
+// the fault-injection chaos sweep, lives in experiments_chaos.go):
 //
 //   - ext-stagger:     bandwidth-share analysis with staggered flow start
 //                      times ("the impact of different start times ... on
@@ -34,6 +35,7 @@ var extensionsList = []Experiment{
 	{"ext-appselect", "§6 extension: PE-guided CCA selection for applications", runExtAppSelect},
 	{"ext-transitivity", "§6 extension: transitivity of pairwise throughput dominance", runExtTransitivity},
 	{"ext-background", "§6 extension: all implementations vs one common background flow", runExtBackground},
+	{"chaos", "extension: conformance degradation under path impairment (internal/faults)", runChaos},
 }
 
 // Extensions returns the §6 extension experiments.

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+func TestKMeansEBadK(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	for _, k := range []int{0, -3} {
+		if _, err := KMeansE(pts, k, stats.NewRNG(1)); !errors.Is(err, ErrBadK) {
+			t.Errorf("KMeansE(k=%d) err = %v, want ErrBadK", k, err)
+		}
+	}
+}
+
+func TestKMeansETooFewPoints(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	res, err := KMeansE(pts, 5, stats.NewRNG(1))
+	if !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("err = %v, want ErrTooFewPoints", err)
+	}
+	if res == nil || len(res.Assign) != len(pts) {
+		t.Fatalf("permissive singleton result missing alongside the error: %+v", res)
+	}
+}
+
+func TestKMeansEValid(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 10, Y: 10}, {X: 10, Y: 11}}
+	res, err := KMeansE(pts, 2, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 || len(res.Assign) != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+}

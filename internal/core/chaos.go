@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Impairment is a declarative fault specification for one trial: a loss
+// process, duplication/corruption taps, blackout windows, and mid-flow
+// renegotiation of the bottleneck's rate, RTT, and queue. The zero value
+// is the pristine testbed.
+type Impairment struct {
+	// Loss builds a fresh loss process per trial (burst models are
+	// stateful, so each trial needs its own instance). Nil means lossless.
+	Loss func() faults.LossModel
+	// DupProb / CorruptProb are per-packet i.i.d. probabilities on the
+	// data path.
+	DupProb     float64
+	CorruptProb float64
+	// Blackouts are total-outage windows of the data path.
+	Blackouts []faults.Window
+	// RateChanges renegotiate the bottleneck bandwidth mid-flow.
+	RateChanges []RateChange
+	// RTTChanges renegotiate the base RTT mid-flow. The reverse path keeps
+	// its original propagation, so the new RTT must be at least half the
+	// configured base RTT.
+	RTTChanges []RTTChange
+	// QueueChanges resize the bottleneck's droptail queue mid-flow.
+	QueueChanges []QueueChange
+}
+
+// RateChange renegotiates the bottleneck to Mbps at virtual time At.
+type RateChange struct {
+	At   sim.Time
+	Mbps float64
+}
+
+// RTTChange renegotiates the base RTT to RTT at virtual time At.
+type RTTChange struct {
+	At  sim.Time
+	RTT sim.Time
+}
+
+// QueueChange resizes the droptail queue to Bytes at virtual time At.
+type QueueChange struct {
+	At    sim.Time
+	Bytes int
+}
+
+// enabled reports whether the spec requests any impairment at all. It is
+// nil-safe so the clean path can carry a nil *Impairment.
+func (imp *Impairment) enabled() bool {
+	if imp == nil {
+		return false
+	}
+	return imp.Loss != nil || imp.DupProb > 0 || imp.CorruptProb > 0 ||
+		len(imp.Blackouts) > 0 || len(imp.RateChanges) > 0 ||
+		len(imp.RTTChanges) > 0 || len(imp.QueueChanges) > 0
+}
+
+// install builds the injector in front of the dumbbell's bottleneck and
+// schedules the impairment timeline.
+func (imp *Impairment) install(eng *sim.Engine, rng *stats.RNG, db *netem.Dumbbell, baseRTT sim.Time) (*faults.Injector, error) {
+	cfg := faults.Config{
+		DupProb:     imp.DupProb,
+		CorruptProb: imp.CorruptProb,
+	}
+	if imp.Loss != nil {
+		cfg.Loss = imp.Loss()
+	}
+	if cfg.Loss != nil || cfg.DupProb > 0 || cfg.CorruptProb > 0 {
+		cfg.RNG = rng.Fork()
+	}
+	inj, err := faults.NewInjector(eng, cfg, db.Bottleneck)
+	if err != nil {
+		return nil, err
+	}
+	sc := faults.NewScenario()
+	for _, w := range imp.Blackouts {
+		sc.Blackout(inj, w)
+	}
+	for _, rc := range imp.RateChanges {
+		sc.SetRate(db.Bottleneck, rc.At, rc.Mbps*1e6)
+	}
+	for _, rc := range imp.RTTChanges {
+		if rc.RTT < baseRTT/2 {
+			return nil, fmt.Errorf("core: RTT change to %v below the reverse-path floor %v", rc.RTT, baseRTT/2)
+		}
+		// The reverse path contributes baseRTT/2; the forward propagation
+		// absorbs the rest of the renegotiated RTT.
+		sc.SetPropagation(db.Bottleneck, rc.At, rc.RTT-baseRTT/2)
+	}
+	for _, qc := range imp.QueueChanges {
+		sc.SetQueueCapacity(db.Bottleneck, qc.At, qc.Bytes)
+	}
+	if err := sc.Install(eng); err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// ChaosLevel names one impairment setting of a degradation sweep.
+type ChaosLevel struct {
+	Name   string
+	Impair Impairment
+}
+
+// DefaultChaosLevels is the standard sweep: the pristine baseline, two
+// i.i.d. loss rates, a Gilbert–Elliott burst channel with a comparable
+// mean loss, and a mid-run blackout.
+func DefaultChaosLevels(n Network) []ChaosLevel {
+	n = n.withDefaults()
+	// Blackout: a 10th of the run, capped at one second, starting at 40%.
+	bStart := sim.Time(float64(n.Duration) * 0.4)
+	bLen := n.Duration / 10
+	if bLen > sim.Second {
+		bLen = sim.Second
+	}
+	return []ChaosLevel{
+		{Name: "none"},
+		{Name: "iid-0.1%", Impair: Impairment{
+			Loss: func() faults.LossModel { return faults.IIDLoss{P: 0.001} },
+		}},
+		{Name: "iid-1%", Impair: Impairment{
+			Loss: func() faults.LossModel { return faults.IIDLoss{P: 0.01} },
+		}},
+		{Name: "burst-1%", Impair: Impairment{
+			// Mean loss ~1% (piBad ~2%, half the packets in Bad lost), in
+			// bursts of ~25 packets.
+			Loss: func() faults.LossModel {
+				ge, err := faults.NewGilbertElliott(0.0008, 0.04, 0, 0.5)
+				if err != nil {
+					panic(err) // static parameters, validated by tests
+				}
+				return ge
+			},
+		}},
+		{Name: "blackout", Impair: Impairment{
+			Blackouts: []faults.Window{{From: bStart, To: bStart + bLen}},
+		}},
+	}
+}
+
+// ChaosPoint is one row of a degradation curve.
+type ChaosPoint struct {
+	Level  string
+	Report ChaosReport
+	// Err is the typed failure of this level (nil when the level completed).
+	// A failed level is a finding, not a crash: the sweep continues.
+	Err error
+}
+
+// ChaosReport carries the conformance metrics of one chaos level.
+type ChaosReport struct {
+	Conformance  float64
+	ConformanceT float64
+	K            int
+}
+
+// ChaosConformance sweeps a stack's conformance across impairment levels,
+// impairing the test and reference measurements identically, and returns
+// one point per level. Levels that produce degenerate data carry their
+// typed error instead of metrics; the sweep itself never panics.
+func ChaosConformance(test Flow, n Network, levels []ChaosLevel) []ChaosPoint {
+	n = n.withDefaults()
+	out := make([]ChaosPoint, 0, len(levels))
+	for _, lv := range levels {
+		r, err := conformanceImpaired(test, n, &lv.Impair)
+		pt := ChaosPoint{Level: lv.Name, Err: err}
+		if err == nil {
+			pt.Report = ChaosReport{Conformance: r.Conformance, ConformanceT: r.ConformanceT, K: r.K}
+		}
+		out = append(out, pt)
+	}
+	return out
+}

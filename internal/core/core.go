@@ -13,8 +13,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/netem"
@@ -23,6 +25,15 @@ import (
 	"repro/internal/stacks"
 	"repro/internal/stats"
 	"repro/internal/transport"
+)
+
+// Typed trial failures, surfaced by the E-suffixed APIs. Watchdog aborts
+// additionally match faults.ErrRunaway / faults.ErrStalled via errors.Is.
+var (
+	// ErrZeroThroughput marks a trial in which a flow moved no data inside
+	// the measurement window — a degenerate run (e.g. a blackout covering
+	// the whole trial) whose samples would poison the envelope machinery.
+	ErrZeroThroughput = errors.New("core: flow achieved zero throughput in the measurement window")
 )
 
 // Network describes one experiment configuration from the §4 grid.
@@ -137,7 +148,30 @@ func (tr *TrialResult) Series(i int, n Network) []metrics.SeriesPoint {
 
 // RunTrial runs one two-flow experiment: a and b share the bottleneck for
 // the configured duration. The trial index individualizes randomness.
+// Degenerate outcomes are silently returned as-is; RunTrialE reports them.
 func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
+	res, _ := runTrial(a, b, n, trial, nil)
+	return res
+}
+
+// RunTrialE is RunTrial with degenerate outcomes reported as typed errors:
+// a watchdog abort (faults.ErrRunaway / faults.ErrStalled) or a flow that
+// moved no data (ErrZeroThroughput). The partial result is returned
+// alongside the error for diagnostics.
+func RunTrialE(a, b Flow, n Network, trial int) (*TrialResult, error) {
+	return runTrial(a, b, n, trial, nil)
+}
+
+// RunTrialImpaired is RunTrialE with a fault-injection specification
+// applied to the forward (data) path.
+func RunTrialImpaired(a, b Flow, n Network, trial int, imp Impairment) (*TrialResult, error) {
+	return runTrial(a, b, n, trial, &imp)
+}
+
+// runTrial is the shared trial engine. A nil imp (or an empty one) runs
+// the pristine testbed with an RNG draw sequence identical to the
+// pre-fault-layer code, so clean-run results are bit-for-bit unchanged.
+func runTrial(a, b Flow, n Network, trial int, imp *Impairment) (*TrialResult, error) {
 	n = n.withDefaults()
 	// Mix the pairing into the seed so different stacks never share the
 	// exact same randomness, even when their configurations coincide.
@@ -162,7 +196,7 @@ func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
 	eng := sim.New()
 	bdp := netem.BDPBytes(n.BandwidthMbps*1e6, baseRTT)
 	queue := int(float64(bdp) * n.BufferBDP)
-	db := netem.NewDumbbell(eng, netem.DumbbellConfig{
+	db, err := netem.NewDumbbellE(eng, netem.DumbbellConfig{
 		BottleneckBps: n.BandwidthMbps * 1e6,
 		BaseRTT:       baseRTT,
 		QueueBytes:    queue,
@@ -177,10 +211,35 @@ func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
 		ReorderProb:  reorderProb(n),
 		ReorderDelay: serializationTime(8*1500, n.BandwidthMbps),
 	})
+	if err != nil {
+		return &TrialResult{}, fmt.Errorf("core: trial %d topology: %w", trial, err)
+	}
 
 	res := &TrialResult{}
 	res.Traces[0] = &metrics.FlowTrace{}
 	res.Traces[1] = &metrics.FlowTrace{}
+
+	// Fault layer: the injector sits between the senders and the shared
+	// bottleneck, so impairments hit the data path (ACK paths stay clean,
+	// mirroring a lossy forward segment). It is only constructed when an
+	// impairment is requested, keeping the clean path's RNG draw sequence
+	// — and therefore every published number — unchanged.
+	dataPath := netem.Handler(db.Bottleneck)
+	if imp.enabled() {
+		inj, ierr := imp.install(eng, rng, db, baseRTT)
+		if ierr != nil {
+			return res, fmt.Errorf("core: trial %d fault layer: %w", trial, ierr)
+		}
+		dataPath = inj
+	}
+
+	// Watchdog: abort wedged or runaway runs with a diagnostic instead of
+	// spinning. The guard only observes the engine, so results of healthy
+	// runs are unaffected.
+	expectedPackets := uint64(n.BandwidthMbps*1e6*n.Duration.Seconds()/(8*1200))*2 + 1024
+	faults.InstallWatchdog(eng, faults.WatchdogConfig{
+		MaxEvents: faults.EventBudget(expectedPackets),
+	})
 
 	// The paper computes throughput and delay offline from packet traces.
 	// We mirror that: delay samples come from each data packet's bottleneck
@@ -214,7 +273,7 @@ func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
 		db.AttachFlow(flowID, rx, netem.HandlerFunc(func(p *netem.Packet) {
 			senders[i].HandlePacket(p)
 		}))
-		tx := transport.NewSender(eng, fl.Stack.Profile, ctrl, db.Bottleneck, flowID)
+		tx := transport.NewSender(eng, fl.Stack.Profile, ctrl, dataPath, flowID)
 		senders[i] = tx
 
 		// Randomized start within the first 2 RTTs decorrelates trials
@@ -224,15 +283,24 @@ func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
 	}
 
 	eng.RunUntil(n.Duration)
+	if werr := eng.Err(); werr != nil {
+		return res, fmt.Errorf("core: trial %d (%s %s vs %s %s, %s) aborted at %v: %w",
+			trial, a.Stack.Name, a.CCA, b.Stack.Name, b.CCA, n, eng.Now(), werr)
+	}
 
 	trim := sim.Time(float64(n.Duration) * 0.10)
+	var zeroErr error
 	for i := range res.Traces {
 		res.MeanMbps[i] = res.Traces[i].MeanThroughputMbps(trim, n.Duration-trim)
 		res.Losses[i] = senders[i].Stats.PacketsLost
 		res.Spurious[i] = senders[i].Stats.SpuriousLosses
+		if res.MeanMbps[i] == 0 && zeroErr == nil {
+			zeroErr = fmt.Errorf("core: trial %d flow %d (%s %s vs %s %s, %s): %w",
+				trial, i, a.Stack.Name, a.CCA, b.Stack.Name, b.CCA, n, ErrZeroThroughput)
+		}
 	}
 	res.Drops = db.Bottleneck.Dropped
-	return res
+	return res, zeroErr
 }
 
 // TestTrials measures the test implementation competing against the kernel
@@ -289,11 +357,77 @@ func ReferenceTrialsFor(ref Flow, n Network) [][]geom.Point {
 }
 
 // Conformance runs the full §3 pipeline for one implementation under one
-// network configuration.
+// network configuration. Degenerate runs silently yield zero metrics;
+// ConformanceE reports them as typed errors.
 func Conformance(test Flow, n Network) pe.Report {
 	testTrials := TestTrials(test, n)
 	refTrials := ReferenceTrials(test.CCA, n)
 	return pe.Evaluate(testTrials, refTrials, pe.Options{Seed: n.Seed})
+}
+
+// ConformanceE is Conformance with every degenerate outcome surfaced as a
+// typed error: trial-level aborts (watchdog, zero throughput) and
+// envelope-level degeneracies (pe.ErrNoSamples, pe.ErrInsufficientSamples,
+// pe.ErrDegenerateEnvelope).
+func ConformanceE(test Flow, n Network) (pe.Report, error) {
+	return conformanceImpaired(test, n, nil)
+}
+
+// ConformanceImpaired runs the conformance pipeline with the given fault
+// specification applied to every trial — test and reference alike, so both
+// envelopes are measured under the same impaired path.
+func ConformanceImpaired(test Flow, n Network, imp Impairment) (pe.Report, error) {
+	return conformanceImpaired(test, n, &imp)
+}
+
+func conformanceImpaired(test Flow, n Network, imp *Impairment) (pe.Report, error) {
+	testTrials, err := testTrialsImpaired(test, n, imp)
+	if err != nil {
+		return pe.Report{}, err
+	}
+	refTrials, err := referenceTrialsImpaired(test.CCA, n, imp)
+	if err != nil {
+		return pe.Report{}, err
+	}
+	return pe.EvaluateE(testTrials, refTrials, pe.Options{Seed: n.Seed})
+}
+
+// TestTrialsE is TestTrials with trial-level failures reported.
+func TestTrialsE(test Flow, n Network) ([][]geom.Point, error) {
+	return testTrialsImpaired(test, n, nil)
+}
+
+func testTrialsImpaired(test Flow, n Network, imp *Impairment) ([][]geom.Point, error) {
+	n = n.withDefaults()
+	ref := Flow{Stack: stacks.Reference(), CCA: test.CCA}
+	trials := make([][]geom.Point, n.Trials)
+	for t := 0; t < n.Trials; t++ {
+		res, err := runTrial(test, ref, n, t, imp)
+		if err != nil {
+			return nil, fmt.Errorf("test trial %d: %w", t, err)
+		}
+		trials[t] = res.Points(0, n)
+	}
+	return trials, nil
+}
+
+// ReferenceTrialsE is ReferenceTrials with trial-level failures reported.
+func ReferenceTrialsE(cca stacks.CCA, n Network) ([][]geom.Point, error) {
+	return referenceTrialsImpaired(cca, n, nil)
+}
+
+func referenceTrialsImpaired(cca stacks.CCA, n Network, imp *Impairment) ([][]geom.Point, error) {
+	n = n.withDefaults()
+	ref := Flow{Stack: stacks.Reference(), CCA: cca}
+	trials := make([][]geom.Point, n.Trials)
+	for t := 0; t < n.Trials; t++ {
+		res, err := runTrial(ref, ref, n, t+1000, imp)
+		if err != nil {
+			return nil, fmt.Errorf("reference trial %d: %w", t, err)
+		}
+		trials[t] = res.Points(0, n)
+	}
+	return trials, nil
 }
 
 // ConformanceAgainst evaluates test against an explicit reference flow.

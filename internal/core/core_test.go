@@ -111,6 +111,9 @@ func TestTestTrialsShape(t *testing.T) {
 }
 
 func TestConformantStackScoresHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance sweep; skipped with -short")
+	}
 	rep := Conformance(Spec("quicgo", stacks.CUBIC), quickNet())
 	if rep.Conformance < 0.5 {
 		t.Fatalf("quicgo CUBIC conformance = %.2f, want conformant (>= 0.5)", rep.Conformance)
@@ -118,6 +121,9 @@ func TestConformantStackScoresHigh(t *testing.T) {
 }
 
 func TestMvfstBBRSignature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance sweep; skipped with -short")
+	}
 	// The paper's strongest result: mvfst BBR has ~0 conformance, high
 	// Conformance-T, large positive Δ-throughput, ~0 Δ-delay (Table 3).
 	rep := Conformance(Spec("mvfst", stacks.BBR), quickNet())
@@ -133,6 +139,9 @@ func TestMvfstBBRSignature(t *testing.T) {
 }
 
 func TestNeqoCubicSignature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance sweep; skipped with -short")
+	}
 	// Table 3: conf ~0, Δ-tput ~ -6 Mbps.
 	rep := Conformance(Spec("neqo", stacks.CUBIC), quickNet())
 	if rep.Conformance > 0.4 {

@@ -1,0 +1,246 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// collector records delivered packets.
+type collector struct {
+	pkts []*netem.Packet
+}
+
+func (c *collector) HandlePacket(p *netem.Packet) { c.pkts = append(c.pkts, p) }
+
+func TestGilbertElliottValidation(t *testing.T) {
+	for _, bad := range [][4]float64{
+		{-0.1, 0.5, 0, 1},
+		{0.5, 1.5, 0, 1},
+		{0.5, 0.5, -1, 1},
+		{0.5, 0.5, 0, 2},
+	} {
+		if _, err := NewGilbertElliott(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Errorf("NewGilbertElliott(%v) accepted invalid parameters", bad)
+		}
+	}
+	if _, err := NewGilbertElliott(0.01, 0.3, 0, 1); err != nil {
+		t.Fatalf("valid parameters rejected: %v", err)
+	}
+}
+
+// TestGilbertElliottStateMachine pins the loss-then-transition ordering
+// with degenerate probabilities whose outcomes are exact, independent of
+// the RNG stream.
+func TestGilbertElliottStateMachine(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cases := []struct {
+		name                        string
+		pGB, pBG, lossGood, lossBad float64
+		want                        []bool
+	}{
+		// Always transition: states alternate G,B,G,B..., Bad always loses.
+		{"alternating", 1, 1, 0, 1, []bool{false, true, false, true, false, true}},
+		// Never leave Good, Good never loses.
+		{"stay-good", 0, 1, 0, 1, []bool{false, false, false, false}},
+		// Jump to Bad after the first packet and stay: all but first lost.
+		{"absorb-bad", 1, 0, 0, 1, []bool{false, true, true, true, true}},
+		// Loss probability 1 in both states.
+		{"always-lossy", 0.5, 0.5, 1, 1, []bool{true, true, true}},
+	}
+	for _, tc := range cases {
+		ge, err := NewGilbertElliott(tc.pGB, tc.pBG, tc.lossGood, tc.lossBad)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i, want := range tc.want {
+			if got := ge.Drop(rng); got != want {
+				t.Errorf("%s: packet %d: Drop() = %v, want %v", tc.name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGilbertElliottDeterministicTrace(t *testing.T) {
+	trace := func(seed uint64) []bool {
+		rng := stats.NewRNG(seed)
+		ge, _ := NewGilbertElliott(0.05, 0.3, 0.01, 0.6)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = ge.Drop(rng)
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at packet %d", i)
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 200-packet trace")
+	}
+}
+
+func TestGilbertElliottMeanLoss(t *testing.T) {
+	rng := stats.NewRNG(7)
+	ge, _ := NewGilbertElliott(0.01, 0.2, 0, 0.5)
+	const n = 200000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if ge.Drop(rng) {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	want := ge.MeanLoss()
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("empirical loss %.4f, stationary %.4f", got, want)
+	}
+}
+
+func TestIIDLossRate(t *testing.T) {
+	rng := stats.NewRNG(3)
+	m := IIDLoss{P: 0.03}
+	const n = 100000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if m.Drop(rng) {
+			lost++
+		}
+	}
+	if got := float64(lost) / n; math.Abs(got-0.03) > 0.005 {
+		t.Errorf("empirical loss %.4f, want ~0.03", got)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	eng := sim.New()
+	dst := &collector{}
+	if _, err := NewInjector(nil, Config{}, dst); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewInjector(eng, Config{}, nil); err == nil {
+		t.Error("nil destination accepted")
+	}
+	if _, err := NewInjector(eng, Config{DupProb: 1.5, RNG: stats.NewRNG(1)}, dst); err == nil {
+		t.Error("DupProb > 1 accepted")
+	}
+	if _, err := NewInjector(eng, Config{CorruptProb: -0.1, RNG: stats.NewRNG(1)}, dst); err == nil {
+		t.Error("negative CorruptProb accepted")
+	}
+	if _, err := NewInjector(eng, Config{Loss: IIDLoss{P: 0.1}}, dst); err == nil {
+		t.Error("probabilistic impairment without RNG accepted")
+	}
+	if _, err := NewInjector(eng, Config{}, dst); err != nil {
+		t.Errorf("impairment-free injector rejected: %v", err)
+	}
+}
+
+func TestInjectorCorruptionFlagsCopy(t *testing.T) {
+	eng := sim.New()
+	dst := &collector{}
+	in, err := NewInjector(eng, Config{RNG: stats.NewRNG(1), CorruptProb: 1}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := &netem.Packet{Flow: 1, Seq: 5, Size: 1200}
+	in.HandlePacket(orig)
+	if orig.Corrupted {
+		t.Error("injector mutated the sender's packet")
+	}
+	if len(dst.pkts) != 1 || !dst.pkts[0].Corrupted {
+		t.Fatalf("want one corrupted delivery, got %+v", dst.pkts)
+	}
+	if dst.pkts[0].Size != orig.Size {
+		t.Error("corruption changed the wire size")
+	}
+	if in.Stats.Corrupted != 1 {
+		t.Errorf("Stats.Corrupted = %d, want 1", in.Stats.Corrupted)
+	}
+}
+
+func TestInjectorDuplication(t *testing.T) {
+	eng := sim.New()
+	dst := &collector{}
+	in, err := NewInjector(eng, Config{RNG: stats.NewRNG(1), DupProb: 1}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.HandlePacket(&netem.Packet{Flow: 1, Seq: 9, Size: 100})
+	if len(dst.pkts) != 2 {
+		t.Fatalf("want 2 deliveries, got %d", len(dst.pkts))
+	}
+	if dst.pkts[0].Seq != 9 || dst.pkts[1].Seq != 9 {
+		t.Errorf("duplicate carries wrong seq: %+v", dst.pkts)
+	}
+	if in.Stats.Duplicated != 1 || in.Stats.Passed != 1 {
+		t.Errorf("stats = %+v", in.Stats)
+	}
+}
+
+func TestInjectorBlackout(t *testing.T) {
+	eng := sim.New()
+	dst := &collector{}
+	in, err := NewInjector(eng, Config{}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.HandlePacket(&netem.Packet{Seq: 1})
+	in.SetDown(true)
+	in.HandlePacket(&netem.Packet{Seq: 2})
+	in.HandlePacket(&netem.Packet{Seq: 3})
+	in.SetDown(false)
+	in.HandlePacket(&netem.Packet{Seq: 4})
+	if len(dst.pkts) != 2 || dst.pkts[0].Seq != 1 || dst.pkts[1].Seq != 4 {
+		t.Fatalf("blackout delivered the wrong set: %+v", dst.pkts)
+	}
+	if in.Stats.Blackholed != 2 {
+		t.Errorf("Stats.Blackholed = %d, want 2", in.Stats.Blackholed)
+	}
+}
+
+// TestInjectorTraceDeterminism: the same seed must damage the same packets
+// — the impairment trace is a pure function of the seed.
+func TestInjectorTraceDeterminism(t *testing.T) {
+	run := func(seed uint64) []Event {
+		eng := sim.New()
+		dst := &collector{}
+		ge, _ := NewGilbertElliott(0.05, 0.3, 0.01, 0.6)
+		in, err := NewInjector(eng, Config{
+			RNG:         stats.NewRNG(seed),
+			Loss:        ge,
+			DupProb:     0.02,
+			CorruptProb: 0.02,
+		}, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []Event
+		in.Tap(func(ev Event) { events = append(events, ev) })
+		for i := 0; i < 500; i++ {
+			in.HandlePacket(&netem.Packet{Flow: 1, Seq: int64(i), Size: 1200})
+		}
+		return events
+	}
+	a, b := run(11), run(11)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Window is a closed-open virtual-time interval [From, To).
+type Window struct {
+	From, To sim.Time
+}
+
+// Step is one timed action on a scenario timeline.
+type Step struct {
+	At    sim.Time
+	Desc  string
+	apply func()
+}
+
+// Scenario is a validated timeline of impairment events on the virtual
+// clock — the emulator's equivalent of a pumba/tc-netem command sequence:
+// blackout and flap windows, mid-flow rate and delay renegotiation, queue
+// resizing. Builder methods accumulate steps and record the first
+// validation error; Install schedules everything on an engine and reports
+// that error, so a malformed timeline never half-applies.
+type Scenario struct {
+	steps []Step
+	err   error
+}
+
+// NewScenario returns an empty timeline.
+func NewScenario() *Scenario { return &Scenario{} }
+
+// Err returns the first validation error recorded by a builder method.
+func (s *Scenario) Err() error { return s.err }
+
+// Steps returns a copy of the accumulated timeline, in insertion order.
+func (s *Scenario) Steps() []Step { return append([]Step(nil), s.steps...) }
+
+func (s *Scenario) fail(format string, args ...any) *Scenario {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+	return s
+}
+
+// At schedules an arbitrary action at virtual time at.
+func (s *Scenario) At(at sim.Time, desc string, apply func()) *Scenario {
+	if at < 0 {
+		return s.fail("faults: scenario step %q at negative time %v", desc, at)
+	}
+	if apply == nil {
+		return s.fail("faults: scenario step %q has nil action", desc)
+	}
+	s.steps = append(s.steps, Step{At: at, Desc: desc, apply: apply})
+	return s
+}
+
+// Blackout takes the injector down for the window [from, to): every packet
+// in the window is blackholed, modelling a total outage of the path.
+func (s *Scenario) Blackout(in *Injector, w Window) *Scenario {
+	if in == nil {
+		return s.fail("faults: Blackout with nil injector")
+	}
+	if w.From < 0 || w.To <= w.From {
+		return s.fail("faults: Blackout window [%v, %v) is not a positive interval", w.From, w.To)
+	}
+	s.At(w.From, fmt.Sprintf("blackout start @%v", w.From), func() { in.SetDown(true) })
+	s.At(w.To, fmt.Sprintf("blackout end @%v", w.To), func() { in.SetDown(false) })
+	return s
+}
+
+// Flap alternates the injector down/up across [from, to): down for downFor,
+// up for upFor, repeating — a flapping link. The link is left up at `to`.
+func (s *Scenario) Flap(in *Injector, w Window, downFor, upFor sim.Time) *Scenario {
+	if in == nil {
+		return s.fail("faults: Flap with nil injector")
+	}
+	if w.From < 0 || w.To <= w.From {
+		return s.fail("faults: Flap window [%v, %v) is not a positive interval", w.From, w.To)
+	}
+	if downFor <= 0 || upFor < 0 {
+		return s.fail("faults: Flap requires downFor > 0 and upFor >= 0, got %v/%v", downFor, upFor)
+	}
+	for t := w.From; t < w.To; t += downFor + upFor {
+		end := t + downFor
+		if end > w.To {
+			end = w.To
+		}
+		s.Blackout(in, Window{From: t, To: end})
+		if s.err != nil {
+			return s
+		}
+	}
+	return s
+}
+
+// SetRate renegotiates a link's serialization rate at virtual time at.
+func (s *Scenario) SetRate(l *netem.Link, at sim.Time, rateBps float64) *Scenario {
+	if l == nil {
+		return s.fail("faults: SetRate with nil link")
+	}
+	if rateBps <= 0 {
+		return s.fail("faults: SetRate to non-positive rate %g bps", rateBps)
+	}
+	return s.At(at, fmt.Sprintf("rate -> %.0f bps @%v", rateBps, at), func() { l.SetRateBps(rateBps) })
+}
+
+// SetPropagation renegotiates a link's one-way propagation delay at
+// virtual time at (mid-flow RTT change).
+func (s *Scenario) SetPropagation(l *netem.Link, at sim.Time, d sim.Time) *Scenario {
+	if l == nil {
+		return s.fail("faults: SetPropagation with nil link")
+	}
+	if d < 0 {
+		return s.fail("faults: SetPropagation to negative delay %v", d)
+	}
+	return s.At(at, fmt.Sprintf("propagation -> %v @%v", d, at), func() { l.SetPropagation(d) })
+}
+
+// SetQueueCapacity resizes a link's droptail queue at virtual time at
+// (0 = unlimited).
+func (s *Scenario) SetQueueCapacity(l *netem.Link, at sim.Time, bytes int) *Scenario {
+	if l == nil {
+		return s.fail("faults: SetQueueCapacity with nil link")
+	}
+	if bytes < 0 {
+		return s.fail("faults: SetQueueCapacity to negative capacity %d", bytes)
+	}
+	return s.At(at, fmt.Sprintf("queue -> %dB @%v", bytes, at), func() { l.SetQueueCapacity(bytes) })
+}
+
+// Install schedules the whole timeline on eng. It refuses to schedule
+// anything when a builder method recorded a validation error, or when a
+// step lies in the engine's past.
+func (s *Scenario) Install(eng *sim.Engine) error {
+	if s.err != nil {
+		return s.err
+	}
+	if eng == nil {
+		return fmt.Errorf("faults: Install with nil engine")
+	}
+	for _, st := range s.steps {
+		if st.At < eng.Now() {
+			return fmt.Errorf("faults: scenario step %q at %v is in the past (now %v)", st.Desc, st.At, eng.Now())
+		}
+	}
+	for _, st := range s.steps {
+		eng.At(st.At, st.apply)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// timedCollector records delivery times.
+type timedCollector struct {
+	eng   *sim.Engine
+	seqs  []int64
+	times []sim.Time
+}
+
+func (c *timedCollector) HandlePacket(p *netem.Packet) {
+	c.seqs = append(c.seqs, p.Seq)
+	c.times = append(c.times, c.eng.Now())
+}
+
+// TestScenarioBlackoutGap drives packets through injector -> link with a
+// blackout window [300ms, 500ms) and checks the delivery gap: nothing sent
+// inside the window arrives, traffic before and after does.
+func TestScenarioBlackoutGap(t *testing.T) {
+	eng := sim.New()
+	dst := &timedCollector{eng: eng}
+	link, err := netem.NewLinkE(eng, netem.LinkConfig{
+		RateBps:     100e6,
+		Propagation: sim.Millisecond,
+	}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(eng, Config{}, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Window{From: 300 * sim.Millisecond, To: 500 * sim.Millisecond}
+	sc := NewScenario().Blackout(in, w)
+	if err := sc.Install(eng); err != nil {
+		t.Fatal(err)
+	}
+	// One packet every 10ms for 1s. Scenario steps were scheduled first, so
+	// at the window edges the state flips before the same-instant send.
+	for i := 0; i < 100; i++ {
+		seq := int64(i)
+		at := sim.Time(i) * 10 * sim.Millisecond
+		eng.At(at, func() {
+			in.HandlePacket(&netem.Packet{Flow: 1, Seq: seq, Size: 1200})
+		})
+	}
+	eng.Run()
+	if eng.Err() != nil {
+		t.Fatalf("engine error: %v", eng.Err())
+	}
+
+	for i, seq := range dst.seqs {
+		sent := sim.Time(seq) * 10 * sim.Millisecond
+		if sent >= w.From && sent < w.To {
+			t.Errorf("packet %d sent at %v inside the blackout was delivered at %v", seq, sent, dst.times[i])
+		}
+	}
+	// 100 sends minus the 20 inside [300ms, 500ms).
+	if len(dst.seqs) != 80 {
+		t.Errorf("delivered %d packets, want 80", len(dst.seqs))
+	}
+	if in.Stats.Blackholed != 20 {
+		t.Errorf("Stats.Blackholed = %d, want 20", in.Stats.Blackholed)
+	}
+	// The delivery timeline must show the outage as a gap spanning the
+	// window.
+	var before, after sim.Time = -1, -1
+	for _, dt := range dst.times {
+		if dt < w.From+sim.Millisecond {
+			before = dt
+		} else if after == -1 {
+			after = dt
+		}
+	}
+	if before == -1 || after == -1 {
+		t.Fatal("expected deliveries on both sides of the blackout")
+	}
+	if gap := after - before; gap < 200*sim.Millisecond {
+		t.Errorf("delivery gap %v, want >= 200ms", gap)
+	}
+}
+
+// TestScenarioFlapPattern checks that Flap carves the expected repeating
+// down/up windows out of [0, 300ms).
+func TestScenarioFlapPattern(t *testing.T) {
+	eng := sim.New()
+	dst := &timedCollector{eng: eng}
+	link, err := netem.NewLinkE(eng, netem.LinkConfig{
+		RateBps:     100e6,
+		Propagation: sim.Millisecond,
+	}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(eng, Config{}, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, up := 50*sim.Millisecond, 50*sim.Millisecond
+	sc := NewScenario().Flap(in, Window{From: 0, To: 300 * sim.Millisecond}, down, up)
+	if err := sc.Install(eng); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		seq := int64(i)
+		eng.At(sim.Time(i)*10*sim.Millisecond, func() {
+			in.HandlePacket(&netem.Packet{Flow: 1, Seq: seq, Size: 1200})
+		})
+	}
+	eng.Run()
+
+	// Down windows: [0,50), [100,150), [200,250) ms. Sends are at 10ms
+	// multiples, so seq k is blackholed iff (k/5) is even.
+	delivered := map[int64]bool{}
+	for _, s := range dst.seqs {
+		delivered[s] = true
+	}
+	for k := int64(0); k < 30; k++ {
+		wantDown := (k/5)%2 == 0
+		if wantDown && delivered[k] {
+			t.Errorf("packet %d sent in a down window was delivered", k)
+		}
+		if !wantDown && !delivered[k] {
+			t.Errorf("packet %d sent in an up window was dropped", k)
+		}
+	}
+	if in.Stats.Blackholed != 15 || in.Stats.Passed != 15 {
+		t.Errorf("stats = %+v, want 15 blackholed / 15 passed", in.Stats)
+	}
+}
+
+// TestScenarioRateChangeSerialization pins the mid-flow rate renegotiation
+// semantics: a packet already accepted keeps its old serialization timing;
+// packets arriving after the change serialize at the new rate.
+func TestScenarioRateChangeSerialization(t *testing.T) {
+	eng := sim.New()
+	dst := &timedCollector{eng: eng}
+	// 1 Mbps, no propagation: a 1250-byte packet serializes in exactly 10ms.
+	link, err := netem.NewLinkE(eng, netem.LinkConfig{RateBps: 1e6}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario().SetRate(link, 15*sim.Millisecond, 2e6)
+	if err := sc.Install(eng); err != nil {
+		t.Fatal(err)
+	}
+	send := func(at sim.Time, seq int64) {
+		eng.At(at, func() { link.HandlePacket(&netem.Packet{Seq: seq, Size: 1250}) })
+	}
+	send(0, 0)                  // old rate: delivered at 10ms
+	send(5*sim.Millisecond, 1)  // queued behind 0, serialized 10-20ms at the old rate
+	send(20*sim.Millisecond, 2) // new rate (2 Mbps): 5ms, delivered at 25ms
+	eng.Run()
+
+	want := []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond, 25 * sim.Millisecond}
+	if len(dst.times) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(dst.times), len(want))
+	}
+	for i, at := range dst.times {
+		if at != want[i] {
+			t.Errorf("packet %d delivered at %v, want %v", dst.seqs[i], at, want[i])
+		}
+	}
+}
+
+// TestScenarioPropagationChange: an RTT renegotiation applies to packets
+// serialized after the step.
+func TestScenarioPropagationChange(t *testing.T) {
+	eng := sim.New()
+	dst := &timedCollector{eng: eng}
+	link, err := netem.NewLinkE(eng, netem.LinkConfig{
+		RateBps:     1e9, // serialization negligible (10us per 1250B)
+		Propagation: sim.Millisecond,
+	}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario().SetPropagation(link, 50*sim.Millisecond, 5*sim.Millisecond)
+	if err := sc.Install(eng); err != nil {
+		t.Fatal(err)
+	}
+	send := func(at sim.Time, seq int64) {
+		eng.At(at, func() { link.HandlePacket(&netem.Packet{Seq: seq, Size: 1250}) })
+	}
+	send(0, 0)
+	send(100*sim.Millisecond, 1)
+	eng.Run()
+
+	serial := sim.Time(10 * sim.Microsecond)
+	want := []sim.Time{serial + sim.Millisecond, 100*sim.Millisecond + serial + 5*sim.Millisecond}
+	if len(dst.times) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(dst.times))
+	}
+	for i, at := range dst.times {
+		if at != want[i] {
+			t.Errorf("packet %d delivered at %v, want %v", dst.seqs[i], at, want[i])
+		}
+	}
+}
+
+// TestScenarioQueueShrink: shrinking the droptail capacity mid-run causes
+// arrival drops while the standing queue exceeds the new capacity.
+func TestScenarioQueueShrink(t *testing.T) {
+	eng := sim.New()
+	dst := &timedCollector{eng: eng}
+	// Slow link: 10ms per packet keeps the queue standing.
+	link, err := netem.NewLinkE(eng, netem.LinkConfig{RateBps: 1e6}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario().SetQueueCapacity(link, sim.Millisecond, 1300)
+	if err := sc.Install(eng); err != nil {
+		t.Fatal(err)
+	}
+	send := func(at sim.Time, seq int64) {
+		eng.At(at, func() { link.HandlePacket(&netem.Packet{Seq: seq, Size: 1250}) })
+	}
+	send(0, 0)
+	send(0, 1)
+	send(0, 2)                 // 3750B standing queue, accepted (capacity was unlimited)
+	send(2*sim.Millisecond, 3) // queue still 3750B > 1300B: dropped
+	eng.Run()
+	if link.Dropped != 1 {
+		t.Errorf("link.Dropped = %d, want 1", link.Dropped)
+	}
+	if len(dst.seqs) != 3 {
+		t.Errorf("delivered %d packets, want 3", len(dst.seqs))
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	eng := sim.New()
+	dst := &timedCollector{eng: eng}
+	link := netem.NewLink(eng, netem.LinkConfig{RateBps: 1e6}, dst)
+	in, _ := NewInjector(eng, Config{}, link)
+
+	cases := []struct {
+		name string
+		sc   *Scenario
+	}{
+		{"negative time", NewScenario().At(-1, "x", func() {})},
+		{"nil action", NewScenario().At(0, "x", nil)},
+		{"nil injector blackout", NewScenario().Blackout(nil, Window{From: 0, To: 1})},
+		{"empty blackout window", NewScenario().Blackout(in, Window{From: 5, To: 5})},
+		{"inverted flap window", NewScenario().Flap(in, Window{From: 10, To: 5}, 1, 1)},
+		{"zero flap downFor", NewScenario().Flap(in, Window{From: 0, To: 10}, 0, 1)},
+		{"nil link rate", NewScenario().SetRate(nil, 0, 1e6)},
+		{"non-positive rate", NewScenario().SetRate(link, 0, 0)},
+		{"negative propagation", NewScenario().SetPropagation(link, 0, -1)},
+		{"negative queue", NewScenario().SetQueueCapacity(link, 0, -1)},
+	}
+	for _, tc := range cases {
+		if tc.sc.Err() == nil {
+			t.Errorf("%s: builder recorded no error", tc.name)
+		}
+		if err := tc.sc.Install(eng); err == nil {
+			t.Errorf("%s: Install succeeded on an invalid timeline", tc.name)
+		}
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("invalid timelines scheduled %d events; want none", eng.Pending())
+	}
+
+	// A step in the engine's past must be refused atomically.
+	eng.At(10*sim.Millisecond, func() {})
+	eng.Run()
+	late := NewScenario().At(5*sim.Millisecond, "late", func() {})
+	if err := late.Install(eng); err == nil {
+		t.Error("Install accepted a step in the engine's past")
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("rejected timeline left %d events scheduled", eng.Pending())
+	}
+
+	if err := NewScenario().At(0, "ok", func() {}).Install(nil); err == nil {
+		t.Error("Install accepted a nil engine")
+	}
+}

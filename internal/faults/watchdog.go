@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Typed watchdog failures, matched with errors.Is through the wrapping
+// diagnostics.
+var (
+	// ErrRunaway marks a run that fired more events than its budget —
+	// usually a timer feedback loop generating events faster than virtual
+	// time advances.
+	ErrRunaway = errors.New("faults: watchdog: event budget exhausted (runaway run)")
+	// ErrStalled marks a run whose virtual clock stopped advancing while
+	// events kept firing — a zero-delay scheduling loop.
+	ErrStalled = errors.New("faults: watchdog: virtual clock stalled (wedged run)")
+)
+
+// WatchdogConfig bounds a simulation run.
+type WatchdogConfig struct {
+	// MaxEvents aborts the run once this many events have fired
+	// (0 = default 64M). Size it with EventBudget for throughput-bound
+	// runs.
+	MaxEvents uint64
+	// CheckEvery is the guard cadence in events (0 = default 65536). The
+	// stall detector requires the virtual clock to advance at least once
+	// per CheckEvery events, so it must exceed the largest legitimate
+	// same-instant event burst.
+	CheckEvery uint64
+}
+
+// EventBudget estimates a generous MaxEvents for a run moving roughly
+// `packets` packets end to end: tens of events per packet (enqueue,
+// deliver, ACK path, timers, pacing) with a wide safety margin, floored so
+// short runs are never starved.
+func EventBudget(packets uint64) uint64 {
+	const perPacket = 64
+	budget := packets * perPacket
+	const floor = 1 << 22 // 4M events
+	if budget < floor {
+		return floor
+	}
+	return budget
+}
+
+// InstallWatchdog installs a guard on eng that halts the run with
+// ErrRunaway or ErrStalled (wrapped with a diagnostic) when it exceeds its
+// event budget or its virtual clock stops advancing. The guard observes
+// the engine from Step without scheduling events, so installing it never
+// changes simulation results; the abort error surfaces through
+// sim.Engine.Err.
+func InstallWatchdog(eng *sim.Engine, cfg WatchdogConfig) {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1 << 26 // 64M events
+	}
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = 65536
+	}
+	var lastNow sim.Time
+	first := true
+	eng.SetGuard(cfg.CheckEvery, func(now sim.Time, fired uint64) error {
+		if fired >= cfg.MaxEvents {
+			return fmt.Errorf("%w: %d events fired at virtual time %v (budget %d)",
+				ErrRunaway, fired, now, cfg.MaxEvents)
+		}
+		if !first && now == lastNow {
+			return fmt.Errorf("%w: %d events fired without the clock moving past %v",
+				ErrStalled, cfg.CheckEvery, now)
+		}
+		first = false
+		lastNow = now
+		return nil
+	})
+}

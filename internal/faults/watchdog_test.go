@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWatchdogStalled: a zero-delay self-rescheduling event wedges the
+// virtual clock; the watchdog must abort the run with ErrStalled instead of
+// spinning forever.
+func TestWatchdogStalled(t *testing.T) {
+	eng := sim.New()
+	InstallWatchdog(eng, WatchdogConfig{CheckEvery: 512})
+	var loop func()
+	loop = func() { eng.At(eng.Now(), loop) }
+	eng.At(0, loop)
+	eng.Run() // would never return without the watchdog
+	if err := eng.Err(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("Err() = %v, want ErrStalled", err)
+	}
+	if eng.Fired() > 2048 {
+		t.Errorf("watchdog let %d events fire before aborting", eng.Fired())
+	}
+}
+
+// TestWatchdogRunaway: virtual time advances, but the event count blows
+// through the budget.
+func TestWatchdogRunaway(t *testing.T) {
+	eng := sim.New()
+	InstallWatchdog(eng, WatchdogConfig{MaxEvents: 5000, CheckEvery: 512})
+	var loop func()
+	loop = func() { eng.At(eng.Now()+1, loop) }
+	eng.At(0, loop)
+	eng.Run()
+	if err := eng.Err(); !errors.Is(err, ErrRunaway) {
+		t.Fatalf("Err() = %v, want ErrRunaway", err)
+	}
+	if eng.Fired() < 5000 || eng.Fired() > 5000+512 {
+		t.Errorf("aborted after %d events; budget was 5000, cadence 512", eng.Fired())
+	}
+}
+
+// TestWatchdogCleanRun: a healthy simulation is untouched.
+func TestWatchdogCleanRun(t *testing.T) {
+	eng := sim.New()
+	InstallWatchdog(eng, WatchdogConfig{MaxEvents: 1000, CheckEvery: 16})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		eng.At(at, func() { fired++ })
+	}
+	eng.Run()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("clean run aborted: %v", err)
+	}
+	if fired != 100 {
+		t.Errorf("fired %d events, want 100", fired)
+	}
+}
+
+// TestWatchdogSameInstantBurstTolerated: CheckEvery bounds the stall
+// detector's sensitivity — a same-instant burst smaller than CheckEvery
+// must not trip it.
+func TestWatchdogSameInstantBurstTolerated(t *testing.T) {
+	eng := sim.New()
+	InstallWatchdog(eng, WatchdogConfig{CheckEvery: 1000})
+	for i := 0; i < 800; i++ {
+		eng.At(5*sim.Millisecond, func() {})
+	}
+	eng.At(10*sim.Millisecond, func() {})
+	eng.Run()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("burst of 800 same-instant events tripped the watchdog: %v", err)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	if got := EventBudget(0); got != 1<<22 {
+		t.Errorf("EventBudget(0) = %d, want the 4M floor", got)
+	}
+	if got := EventBudget(1 << 20); got != 1<<26 {
+		t.Errorf("EventBudget(1M) = %d, want 64M", got)
+	}
+	if EventBudget(10) != 1<<22 {
+		t.Error("small runs must get the floor")
+	}
+}

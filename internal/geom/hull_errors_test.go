@@ -1,0 +1,33 @@
+package geom
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConvexHullEDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+	}{
+		{"empty", nil},
+		{"single point", []Point{{X: 1, Y: 1}}},
+		{"two points", []Point{{X: 1, Y: 1}, {X: 2, Y: 2}}},
+		{"collinear", []Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}},
+	}
+	for _, tc := range cases {
+		if _, err := ConvexHullE(tc.pts); !errors.Is(err, ErrDegenerate) {
+			t.Errorf("%s: err = %v, want ErrDegenerate", tc.name, err)
+		}
+	}
+}
+
+func TestConvexHullEValid(t *testing.T) {
+	hull, err := ConvexHullE([]Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 3}, {X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hull) != 3 {
+		t.Fatalf("hull has %d vertices, want 3", len(hull))
+	}
+}

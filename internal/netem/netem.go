@@ -32,6 +32,12 @@ type Packet struct {
 	// ECNCE counts Congestion Experienced marks seen by the receiver
 	// (reserved for the ECN extension; zero in the paper's experiments).
 	ECNCE int64
+	// Corrupted marks a packet whose payload was damaged in flight
+	// (internal/faults). The packet still occupies its full Size on every
+	// link, but endpoints discard it on arrival, so the sender learns about
+	// it only through loss detection — a different signal path than a
+	// queue drop.
+	Corrupted bool
 }
 
 // AckRange is a closed interval [Smallest, Largest] of acknowledged packet
@@ -130,19 +136,37 @@ type LinkConfig struct {
 	ReorderDelay sim.Time
 }
 
-// NewLink creates a link that delivers packets to dst.
+// NewLink creates a link that delivers packets to dst. It panics on an
+// invalid configuration; NewLinkE is the validating, error-returning
+// variant preferred by code that must degrade gracefully.
 func NewLink(eng *sim.Engine, cfg LinkConfig, dst Handler) *Link {
+	l, err := NewLinkE(eng, cfg, dst)
+	if err != nil {
+		panic(err.Error())
+	}
+	return l
+}
+
+// NewLinkE creates a link that delivers packets to dst, reporting
+// configuration errors instead of panicking.
+func NewLinkE(eng *sim.Engine, cfg LinkConfig, dst Handler) (*Link, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("netem: nil engine")
+	}
 	if cfg.RateBps <= 0 {
-		panic("netem: link rate must be positive")
+		return nil, fmt.Errorf("netem: link rate must be positive, got %g bps", cfg.RateBps)
 	}
 	if cfg.Propagation < 0 {
-		panic("netem: negative propagation delay")
+		return nil, fmt.Errorf("netem: negative propagation delay %v", cfg.Propagation)
 	}
 	if dst == nil {
-		panic("netem: nil destination handler")
+		return nil, fmt.Errorf("netem: nil destination handler")
 	}
 	if (cfg.Jitter > 0 || cfg.ReorderProb > 0) && cfg.JitterRNG == nil {
-		panic("netem: Jitter/ReorderProb require JitterRNG")
+		return nil, fmt.Errorf("netem: Jitter/ReorderProb require JitterRNG")
+	}
+	if cfg.ReorderProb < 0 || cfg.ReorderProb > 1 {
+		return nil, fmt.Errorf("netem: ReorderProb %g outside [0,1]", cfg.ReorderProb)
 	}
 	return &Link{
 		eng:          eng,
@@ -154,7 +178,7 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Handler) *Link {
 		jitterRNG:    cfg.JitterRNG,
 		reorderProb:  cfg.ReorderProb,
 		reorderDelay: cfg.ReorderDelay,
-	}
+	}, nil
 }
 
 // Tap registers fn to observe every link event. Taps run synchronously in
@@ -173,6 +197,38 @@ func (l *Link) RateBps() float64 { return l.rateBps }
 
 // Propagation returns the one-way propagation delay.
 func (l *Link) Propagation() sim.Time { return l.propag }
+
+// SetRateBps changes the serialization rate mid-run (a tc-style rate
+// renegotiation). Packets already being serialized keep their old timing;
+// subsequent packets use the new rate. Panics on a non-positive rate —
+// callers that build timelines validate through faults.Scenario.
+func (l *Link) SetRateBps(bps float64) {
+	if bps <= 0 {
+		panic("netem: SetRateBps requires a positive rate")
+	}
+	l.rateBps = bps
+}
+
+// SetPropagation changes the one-way propagation delay mid-run. Packets
+// already in flight keep their old delay; FIFO ordering is still enforced
+// for non-reordered traffic, so a large downward step delivers back-to-back
+// rather than reordering. Panics on negative delay.
+func (l *Link) SetPropagation(d sim.Time) {
+	if d < 0 {
+		panic("netem: SetPropagation requires a non-negative delay")
+	}
+	l.propag = d
+}
+
+// SetQueueCapacity changes the droptail capacity mid-run (0 = unlimited).
+// Bytes already queued are not evicted; a shrink takes effect through
+// arrival drops. Panics on negative capacity.
+func (l *Link) SetQueueCapacity(bytes int) {
+	if bytes < 0 {
+		panic("netem: SetQueueCapacity requires a non-negative capacity")
+	}
+	l.queueCap = bytes
+}
 
 // serializationTime returns how long size bytes occupy the link.
 func (l *Link) serializationTime(size int) sim.Time {
@@ -291,7 +347,18 @@ type DumbbellConfig struct {
 }
 
 // NewDumbbell builds the topology. Flows are attached with AttachFlow.
+// It panics on an invalid configuration; NewDumbbellE reports errors.
 func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	d, err := NewDumbbellE(eng, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return d
+}
+
+// NewDumbbellE builds the topology, reporting configuration errors instead
+// of panicking.
+func NewDumbbellE(eng *sim.Engine, cfg DumbbellConfig) (*Dumbbell, error) {
 	if cfg.ReverseBps == 0 {
 		cfg.ReverseBps = cfg.BottleneckBps * 40
 	}
@@ -313,10 +380,17 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 		lc.Jitter = cfg.Jitter
 		lc.ReorderProb = cfg.ReorderProb
 		lc.ReorderDelay = cfg.ReorderDelay
+		if cfg.Rng == nil {
+			return nil, fmt.Errorf("netem: dumbbell Jitter/ReorderProb require Rng")
+		}
 		lc.JitterRNG = cfg.Rng.Fork()
 	}
-	d.Bottleneck = NewLink(eng, lc, d.fwdDemux)
-	return d
+	bn, err := NewLinkE(eng, lc, d.fwdDemux)
+	if err != nil {
+		return nil, fmt.Errorf("netem: bottleneck: %w", err)
+	}
+	d.Bottleneck = bn
+	return d, nil
 }
 
 // AttachFlow wires a sender/receiver pair into the topology. dataSink

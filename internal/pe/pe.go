@@ -15,6 +15,8 @@
 package pe
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -22,6 +24,25 @@ import (
 	"repro/internal/geom"
 	"repro/internal/stats"
 )
+
+// Typed degenerate-input errors, reported by BuildE/EvaluateE. The legacy
+// Build/Evaluate keep their permissive behaviour (empty envelopes, zero
+// conformance) for backward compatibility.
+var (
+	// ErrNoSamples marks a trial set with no samples at all — e.g. every
+	// packet of a measured flow was lost.
+	ErrNoSamples = errors.New("pe: no samples in any trial")
+	// ErrInsufficientSamples marks a trial set too small for the
+	// clustering/hull machinery to be meaningful.
+	ErrInsufficientSamples = errors.New("pe: insufficient samples")
+	// ErrDegenerateEnvelope marks an envelope whose hull set has no area
+	// (collinear samples, or cross-trial intersections all empty).
+	ErrDegenerateEnvelope = errors.New("pe: degenerate envelope (no hull with positive area)")
+)
+
+// MinSamples is the minimum pooled sample count BuildE accepts before the
+// clustering and hull machinery is considered meaningful.
+const MinSamples = 10
 
 // Envelope is a Performance Envelope: a set of convex polygons on the
 // delay(ms)/throughput(Mbps) plane plus the samples that produced it.
@@ -134,6 +155,35 @@ func Build(trials [][]geom.Point, opts Options) *Envelope {
 	e.K = k
 	e.Hulls = cluster.EnvelopeForK(trials, k, rng.Fork())
 	return e
+}
+
+// BuildE is Build with degenerate inputs reported as typed errors: an
+// all-empty trial set returns ErrNoSamples, fewer than MinSamples pooled
+// points returns ErrInsufficientSamples, and an envelope whose hulls all
+// collapsed returns ErrDegenerateEnvelope. The best-effort envelope is
+// returned alongside the error so callers can still inspect or plot it.
+func BuildE(trials [][]geom.Point, opts Options) (*Envelope, error) {
+	e := Build(trials, opts)
+	return e, validate(e)
+}
+
+// validate reports the typed degeneracy of a built envelope, or nil.
+func validate(e *Envelope) error {
+	total := 0
+	for _, t := range e.Trials {
+		total += len(t)
+	}
+	if total == 0 {
+		return fmt.Errorf("%w: %d trials", ErrNoSamples, len(e.Trials))
+	}
+	if total < MinSamples {
+		return fmt.Errorf("%w: %d pooled points across %d trials (need >= %d)",
+			ErrInsufficientSamples, total, len(e.Trials), MinSamples)
+	}
+	if e.Area() <= 0 {
+		return fmt.Errorf("%w: %d pooled points, k=%d", ErrDegenerateEnvelope, total, e.K)
+	}
+	return nil
 }
 
 // BuildOld constructs the original PE definition from the authors' earlier
@@ -311,8 +361,19 @@ type Report struct {
 }
 
 // Evaluate computes the full metric set: enhanced conformance,
-// old-definition conformance, and Conformance-T with Δ hints.
+// old-definition conformance, and Conformance-T with Δ hints. Degenerate
+// inputs silently yield zero metrics; EvaluateE reports them as typed
+// errors.
 func Evaluate(testTrials, refTrials [][]geom.Point, opts Options) Report {
+	r, _ := EvaluateE(testTrials, refTrials, opts)
+	return r
+}
+
+// EvaluateE is Evaluate with degenerate inputs surfaced as typed errors
+// (ErrNoSamples, ErrInsufficientSamples, ErrDegenerateEnvelope), wrapped
+// to say which side — test or reference — was degenerate. The best-effort
+// report is returned alongside the error.
+func EvaluateE(testTrials, refTrials [][]geom.Point, opts Options) (Report, error) {
 	test := Build(testTrials, opts)
 	ref := Build(refTrials, opts)
 	oldTest := BuildOld(testTrials)
@@ -330,5 +391,11 @@ func Evaluate(testTrials, refTrials [][]geom.Point, opts Options) Report {
 		r.DeltaThroughputMbps = 0
 		r.DeltaDelayMs = 0
 	}
-	return r
+	if err := validate(test); err != nil {
+		return r, fmt.Errorf("test envelope: %w", err)
+	}
+	if err := validate(ref); err != nil {
+		return r, fmt.Errorf("reference envelope: %w", err)
+	}
+	return r, nil
 }

@@ -90,7 +90,17 @@ type Engine struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+
+	guard      Guard
+	guardEvery uint64
+	err        error
 }
+
+// Guard inspects engine progress and may abort the run by returning a
+// non-nil error. It is invoked from Step every N fired events (see
+// SetGuard), so it observes the simulation without scheduling events —
+// installing a guard never perturbs event ordering or results.
+type Guard func(now Time, fired uint64) error
 
 // New returns a fresh engine with the clock at zero.
 func New() *Engine { return &Engine{} }
@@ -101,6 +111,22 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have been executed, useful for
 // instrumentation and benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetGuard installs g, invoked after every `every` fired events (every ==
+// 0 selects a default of 65536). When the guard returns an error the engine
+// halts and the error is available from Err. Passing a nil guard removes
+// any installed guard.
+func (e *Engine) SetGuard(every uint64, g Guard) {
+	if every == 0 {
+		every = 65536
+	}
+	e.guard = g
+	e.guardEvery = every
+}
+
+// Err returns the error recorded by an aborting guard, or nil when the run
+// is healthy.
+func (e *Engine) Err() error { return e.err }
 
 // Pending reports how many scheduled (non-cancelled) events remain.
 func (e *Engine) Pending() int {
@@ -167,6 +193,12 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.fired++
 		ev.fn()
+		if e.guard != nil && e.fired%e.guardEvery == 0 {
+			if err := e.guard(e.now, e.fired); err != nil {
+				e.err = err
+				e.halted = true
+			}
+		}
 		return true
 	}
 	return false
@@ -222,12 +254,26 @@ type Timer struct {
 	set bool
 }
 
-// NewTimer returns a stopped timer that will invoke fn when it fires.
+// NewTimer returns a stopped timer that will invoke fn when it fires. It
+// panics on configuration errors; NewTimerE is the error-returning variant.
 func NewTimer(eng *Engine, fn func()) *Timer {
-	if fn == nil {
-		panic("sim: nil timer callback")
+	t, err := NewTimerE(eng, fn)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Timer{eng: eng, fn: fn}
+	return t
+}
+
+// NewTimerE is NewTimer with configuration validation reported as an error
+// instead of a panic.
+func NewTimerE(eng *Engine, fn func()) (*Timer, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("sim: nil engine")
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sim: nil timer callback")
+	}
+	return &Timer{eng: eng, fn: fn}, nil
 }
 
 // Reset (re)arms the timer to fire at absolute time t, replacing any

@@ -12,6 +12,10 @@ type ReceiverStats struct {
 	PacketsReceived int64
 	BytesReceived   int64
 	AcksSent        int64
+	// PacketsCorrupted counts arrivals discarded because the fault layer
+	// damaged them in flight (netem.Packet.Corrupted). They are never
+	// acknowledged, so the sender sees them as losses.
+	PacketsCorrupted int64
 }
 
 // DeliveredSample records a data packet arrival for throughput measurement.
@@ -72,6 +76,13 @@ func (r *Receiver) OnDeliver(fn func(DeliveredSample)) {
 // HandlePacket implements netem.Handler for data packets.
 func (r *Receiver) HandlePacket(pkt *netem.Packet) {
 	if pkt.IsAck {
+		return
+	}
+	if pkt.Corrupted {
+		// A damaged packet consumed its slot on every link but carries no
+		// usable payload: drop it without acknowledging, leaving the sender
+		// to detect the gap through loss detection.
+		r.Stats.PacketsCorrupted++
 		return
 	}
 	now := r.clk.Now()

@@ -257,7 +257,7 @@ func (s *Sender) sendPacket(now sim.Time, bytes int) {
 // HandlePacket implements netem.Handler for the reverse path: it consumes
 // ACK packets.
 func (s *Sender) HandlePacket(pkt *netem.Packet) {
-	if !pkt.IsAck || s.stopped {
+	if !pkt.IsAck || s.stopped || pkt.Corrupted {
 		return
 	}
 	now := s.clk.Now()

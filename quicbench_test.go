@@ -130,6 +130,9 @@ func TestDeviationNotes(t *testing.T) {
 }
 
 func TestMeasureCustomKnobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full conformance sweeps; skipped with -short")
+	}
 	net := testNet()
 	// A deliberately mis-tuned BBR must score worse than a default one.
 	std, err := MeasureCustom("std", BBR, Tunables{}, net)
@@ -173,11 +176,11 @@ func TestProfileLookup(t *testing.T) {
 
 func TestExperimentCatalog(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("experiments = %d, want 23 (15 figures + tables 1-4 + 4 extensions)", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("experiments = %d, want 24 (15 figures + tables 1-4 + 5 extensions)", len(exps))
 	}
-	if got := len(Extensions()); got != 4 {
-		t.Fatalf("extensions = %d, want 4", got)
+	if got := len(Extensions()); got != 5 {
+		t.Fatalf("extensions = %d, want 5", got)
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
