@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -32,3 +32,20 @@ test-full:
 ## chaos: quick demo of the fault-injection degradation sweep.
 chaos:
 	$(GO) run ./cmd/quicbench chaos -duration 4s -trials 2
+
+## sweep-smoke: exercise the supervised runner end to end — the resume
+## determinism tests under the race detector, then a tiny checkpointed CLI
+## sweep interrupted mid-way (-abort-after, exit 130 expected) and resumed
+## from its journal.
+sweep-smoke:
+	$(GO) test -race -count=1 -run 'TestResume|TestSweepResume|TestRunSweepFacade' ./internal/runner ./internal/core .
+	@rm -f /tmp/quicbench-sweep-smoke.jsonl
+	$(GO) build -race -o /tmp/quicbench-sweep-smoke ./cmd/quicbench
+	/tmp/quicbench-sweep-smoke sweep -stacks quicgo,lsquic,xquic -ccas cubic \
+		-duration 2s -trials 2 -checkpoint /tmp/quicbench-sweep-smoke.jsonl -abort-after 1; \
+	status=$$?; if [ $$status -ne 130 ]; then \
+		echo "sweep-smoke: interrupted run exited $$status, want 130"; exit 1; fi
+	/tmp/quicbench-sweep-smoke sweep -stacks quicgo,lsquic,xquic -ccas cubic \
+		-duration 2s -trials 2 -checkpoint /tmp/quicbench-sweep-smoke.jsonl -resume
+	@rm -f /tmp/quicbench-sweep-smoke /tmp/quicbench-sweep-smoke.jsonl
+	@echo "sweep-smoke: ok"

@@ -35,16 +35,14 @@ func (l ChaosLevel) toCore() core.ChaosLevel {
 	imp := core.Impairment{DupProb: l.DupProb, CorruptProb: l.CorruptProb}
 	switch {
 	case l.Burst:
-		imp.Loss = func() faults.LossModel {
-			ge, err := faults.NewGilbertElliott(0.0008, 0.04, 0, 0.5)
-			if err != nil {
-				panic(err) // static parameters
-			}
-			return ge
+		// A parameter error propagates through the trial error path and
+		// surfaces on the level's ChaosPoint instead of panicking.
+		imp.Loss = func() (faults.LossModel, error) {
+			return faults.NewGilbertElliott(0.0008, 0.04, 0, 0.5)
 		}
 	case l.LossProb > 0:
 		p := l.LossProb
-		imp.Loss = func() faults.LossModel { return faults.IIDLoss{P: p} }
+		imp.Loss = func() (faults.LossModel, error) { return faults.IIDLoss{P: p}, nil }
 	}
 	if l.BlackoutDuration > 0 {
 		from := sim.Duration(l.BlackoutStart)

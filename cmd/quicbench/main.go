@@ -8,6 +8,8 @@
 //	quicbench -exp fig9 -plots out/     # also write SVG plots
 //	quicbench -exp tab3 -duration 60s -trials 3 -seed 7
 //	quicbench chaos -stack quicgo -cca cubic -loss 0,0.001,0.01
+//	quicbench sweep -stacks quicgo,lsquic -ccas cubic -checkpoint run.jsonl
+//	quicbench sweep -checkpoint run.jsonl -resume   # continue after ^C
 //
 // Quick scale (30 s flows, 2 trials) gives the qualitative shapes in
 // minutes; full scale (120 s, 5 trials) mirrors the paper's methodology
@@ -18,6 +20,13 @@
 // the degradation curve. It exits nonzero when a level produces degenerate
 // data — e.g. a loss rate of 1 starves every trial — with the typed
 // diagnostic from the pipeline instead of a panic.
+//
+// The sweep subcommand runs a supervised conformance sweep over a
+// stack × CCA grid: a bounded worker pool with panic isolation, retry with
+// deterministic backoff, per-trial virtual-clock timeouts (-trial-timeout),
+// and a JSONL checkpoint journal (-checkpoint). ^C drains gracefully (exit
+// 130) and -resume continues from the journal, reproducing the
+// uninterrupted results bit for bit.
 package main
 
 import (
@@ -34,6 +43,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		os.Exit(chaosMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		os.Exit(sweepMain(os.Args[2:]))
 	}
 	var (
 		list     = flag.Bool("list", false, "list available experiments")

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	quicbench "repro"
+)
+
+// sweepMain implements the `quicbench sweep` subcommand: a supervised,
+// checkpointed conformance sweep over a stack × CCA × network grid. It
+// returns the process exit code: 0 on success, 1 when cells exhausted
+// their retry budget, 2 on usage errors, and 130 when interrupted (the
+// journal stays valid; re-run with -resume to continue).
+func sweepMain(args []string) int {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		stackList  = fs.String("stacks", "", "comma-separated stacks (empty = all 11 QUIC stacks)")
+		ccaList    = fs.String("ccas", "", "comma-separated CCAs (empty = cubic,bbr,reno)")
+		bw         = fs.Float64("bw", 20, "bottleneck bandwidth (Mbps)")
+		rtt        = fs.Duration("rtt", 10*time.Millisecond, "base RTT")
+		buffer     = fs.Float64("buffer", 1, "droptail buffer (BDP multiples)")
+		duration   = fs.Duration("duration", 10*time.Second, "flow duration")
+		trials     = fs.Int("trials", 2, "trials per cell")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		workers    = fs.Int("workers", 1, "concurrent cells")
+		retries    = fs.Int("retries", 3, "attempt budget per cell")
+		trialTO    = fs.Duration("trial-timeout", 0, "virtual-clock deadline per trial (0 = none)")
+		checkpoint = fs.String("checkpoint", "", "JSONL journal path (empty = no checkpointing)")
+		resume     = fs.Bool("resume", false, "replay the checkpoint journal and run only missing/failed cells")
+		abortAfter = fs.Int("abort-after", 0, "testing aid: cancel the sweep after N completed cells")
+		quiet      = fs.Bool("q", false, "suppress per-cell progress lines")
+	)
+	fs.Parse(args)
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -resume requires -checkpoint")
+		return 2
+	}
+
+	opts := quicbench.SweepOptions{
+		Workers:      *workers,
+		Retries:      *retries,
+		TrialTimeout: *trialTO,
+		Seed:         *seed,
+		Checkpoint:   *checkpoint,
+		Resume:       *resume,
+		Networks: []quicbench.Network{{
+			BandwidthMbps: *bw,
+			RTT:           *rtt,
+			BufferBDP:     *buffer,
+			Duration:      *duration,
+			Trials:        *trials,
+			Seed:          *seed,
+		}},
+	}
+	if *stackList != "" {
+		opts.Stacks = splitList(*stackList)
+	}
+	if *ccaList != "" {
+		for _, c := range splitList(*ccaList) {
+			opts.CCAs = append(opts.CCAs, quicbench.CCA(c))
+		}
+	}
+
+	// SIGINT cancels the context: in-flight cells abort at the next
+	// watchdog tick, pending cells record "skipped", and the journal is
+	// flushed record-by-record, so a second ^C loses nothing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var done atomic.Int64
+	opts.Progress = func(r quicbench.SweepCellResult) {
+		n := done.Add(1)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%3d] %-4s %s\n", n, r.Outcome, r.Cell)
+		}
+		if *abortAfter > 0 && n >= int64(*abortAfter) {
+			cancel()
+		}
+	}
+
+	sum, err := quicbench.RunSweep(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 2
+	}
+	if err := quicbench.RenderSweep(os.Stdout, sum); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 2
+	}
+	switch {
+	case sum.Interrupted:
+		return 130
+	case sum.Failed() > 0:
+		return 1
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

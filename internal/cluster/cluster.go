@@ -64,11 +64,12 @@ func KMeansE(pts []geom.Point, k int, rng *stats.RNG) (*Result, error) {
 
 // KMeans clusters pts into k groups using Lloyd's algorithm with
 // k-means++ seeding. The rng makes runs deterministic. It panics when
-// k <= 0 (KMeansE reports it as an error); when k >= len(pts), each point
-// is its own cluster.
+// k <= 0 (KMeansE reports it as an error); the panic value is an error
+// wrapping ErrBadK so recover paths can match it with errors.Is. When
+// k >= len(pts), each point is its own cluster.
 func KMeans(pts []geom.Point, k int, rng *stats.RNG) *Result {
 	if k <= 0 {
-		panic(ErrBadK.Error())
+		panic(fmt.Errorf("%w: got %d", ErrBadK, k))
 	}
 	n := len(pts)
 	if n == 0 {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -92,8 +93,18 @@ func TestKMeansEmptyInput(t *testing.T) {
 
 func TestKMeansPanicsOnBadK(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("expected panic for k=0")
+		}
+		// The panic value must be an error wrapping ErrBadK so supervised
+		// recover paths can classify it with errors.Is.
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+		if !errors.Is(err, ErrBadK) {
+			t.Fatalf("panic error %v does not wrap ErrBadK", err)
 		}
 	}()
 	KMeans([]geom.Point{{X: 0, Y: 0}}, 0, stats.NewRNG(1))

@@ -16,7 +16,9 @@ import (
 type Impairment struct {
 	// Loss builds a fresh loss process per trial (burst models are
 	// stateful, so each trial needs its own instance). Nil means lossless.
-	Loss func() faults.LossModel
+	// A construction error (bad model parameters) propagates through the
+	// trial's error path instead of panicking.
+	Loss func() (faults.LossModel, error)
 	// DupProb / CorruptProb are per-packet i.i.d. probabilities on the
 	// data path.
 	DupProb     float64
@@ -70,7 +72,11 @@ func (imp *Impairment) install(eng *sim.Engine, rng *stats.RNG, db *netem.Dumbbe
 		CorruptProb: imp.CorruptProb,
 	}
 	if imp.Loss != nil {
-		cfg.Loss = imp.Loss()
+		lm, err := imp.Loss()
+		if err != nil {
+			return nil, fmt.Errorf("core: loss model: %w", err)
+		}
+		cfg.Loss = lm
 	}
 	if cfg.Loss != nil || cfg.DupProb > 0 || cfg.CorruptProb > 0 {
 		cfg.RNG = rng.Fork()
@@ -123,20 +129,17 @@ func DefaultChaosLevels(n Network) []ChaosLevel {
 	return []ChaosLevel{
 		{Name: "none"},
 		{Name: "iid-0.1%", Impair: Impairment{
-			Loss: func() faults.LossModel { return faults.IIDLoss{P: 0.001} },
+			Loss: func() (faults.LossModel, error) { return faults.IIDLoss{P: 0.001}, nil },
 		}},
 		{Name: "iid-1%", Impair: Impairment{
-			Loss: func() faults.LossModel { return faults.IIDLoss{P: 0.01} },
+			Loss: func() (faults.LossModel, error) { return faults.IIDLoss{P: 0.01}, nil },
 		}},
 		{Name: "burst-1%", Impair: Impairment{
 			// Mean loss ~1% (piBad ~2%, half the packets in Bad lost), in
-			// bursts of ~25 packets.
-			Loss: func() faults.LossModel {
-				ge, err := faults.NewGilbertElliott(0.0008, 0.04, 0, 0.5)
-				if err != nil {
-					panic(err) // static parameters, validated by tests
-				}
-				return ge
+			// bursts of ~25 packets. A parameter error propagates through
+			// the trial error path and ends up on the level's ChaosPoint.
+			Loss: func() (faults.LossModel, error) {
+				return faults.NewGilbertElliott(0.0008, 0.04, 0, 0.5)
 			},
 		}},
 		{Name: "blackout", Impair: Impairment{
@@ -169,7 +172,7 @@ func ChaosConformance(test Flow, n Network, levels []ChaosLevel) []ChaosPoint {
 	n = n.withDefaults()
 	out := make([]ChaosPoint, 0, len(levels))
 	for _, lv := range levels {
-		r, err := conformanceImpaired(test, n, &lv.Impair)
+		r, err := conformanceImpaired(test, n, &lv.Impair, Bounds{})
 		pt := ChaosPoint{Level: lv.Name, Err: err}
 		if err == nil {
 			pt.Report = ChaosReport{Conformance: r.Conformance, ConformanceT: r.ConformanceT, K: r.K}

@@ -23,7 +23,7 @@ func chaosNet(seed uint64) Network {
 }
 
 func allLossy() Impairment {
-	return Impairment{Loss: func() faults.LossModel { return faults.IIDLoss{P: 1} }}
+	return Impairment{Loss: func() (faults.LossModel, error) { return faults.IIDLoss{P: 1}, nil }}
 }
 
 // TestAllLossyTrialReturnsTypedError is the headline regression: a trial
@@ -103,7 +103,7 @@ func TestImpairedTrialDeterministic(t *testing.T) {
 	n := chaosNet(7)
 	a := Spec("quicgo", stacks.CUBIC)
 	b := Flow{Stack: stacks.Reference(), CCA: stacks.CUBIC}
-	imp := Impairment{Loss: func() faults.LossModel { return faults.IIDLoss{P: 0.01} }}
+	imp := Impairment{Loss: func() (faults.LossModel, error) { return faults.IIDLoss{P: 0.01}, nil }}
 	r1, err1 := RunTrialImpaired(a, b, n, 0, imp)
 	r2, err2 := RunTrialImpaired(a, b, n, 0, imp)
 	if err1 != nil || err2 != nil {
@@ -152,7 +152,7 @@ func TestChaosSeedSweepSmoke(t *testing.T) {
 		t.Skip("seed sweep is slow; skipped with -short")
 	}
 	fl := Spec("quicgo", stacks.CUBIC)
-	imp := Impairment{Loss: func() faults.LossModel { return faults.IIDLoss{P: 0.001} }}
+	imp := Impairment{Loss: func() (faults.LossModel, error) { return faults.IIDLoss{P: 0.001}, nil }}
 	seeds := []uint64{1, 2, 3, 4, 5}
 	confs := make([]float64, 0, len(seeds))
 	for _, seed := range seeds {

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -34,6 +35,10 @@ var (
 	// the measurement window — a degenerate run (e.g. a blackout covering
 	// the whole trial) whose samples would poison the envelope machinery.
 	ErrZeroThroughput = errors.New("core: flow achieved zero throughput in the measurement window")
+	// ErrUnknownStack marks a stack name absent from the registry, reported
+	// by SpecE (Spec keeps panicking for compat, with an error value that
+	// wraps this sentinel).
+	ErrUnknownStack = errors.New("core: unknown stack")
 )
 
 // Network describes one experiment configuration from the §4 grid.
@@ -106,13 +111,26 @@ type Flow struct {
 }
 
 // Spec builds a Flow from a registry stack name, panicking on unknown
-// stacks (registry names are compile-time constants in callers).
+// stacks (registry names are compile-time constants in callers). The panic
+// value is an error wrapping ErrUnknownStack so recover paths can match it;
+// code handling user-supplied names should call SpecE instead.
 func Spec(stack string, cca stacks.CCA) Flow {
+	f, err := SpecE(stack, cca)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// SpecE is Spec with the unknown-stack case reported as a typed error
+// (ErrUnknownStack) instead of a panic, for the RunTrialE/supervised paths
+// where stack names arrive from flags or journals rather than constants.
+func SpecE(stack string, cca stacks.CCA) (Flow, error) {
 	s := stacks.Get(stack)
 	if s == nil {
-		panic("core: unknown stack " + stack)
+		return Flow{}, fmt.Errorf("%w %q", ErrUnknownStack, stack)
 	}
-	return Flow{Stack: s, CCA: cca}
+	return Flow{Stack: s, CCA: cca}, nil
 }
 
 // TrialResult carries one trial's measurements for both flows.
@@ -146,11 +164,27 @@ func (tr *TrialResult) Series(i int, n Network) []metrics.SeriesPoint {
 	})
 }
 
+// Bounds supervises one trial run: an optional cancellation context and an
+// optional virtual-clock deadline, both enforced through the faults
+// watchdog that every trial already installs. The zero value is unbounded
+// (beyond the standing runaway/stall guards).
+type Bounds struct {
+	// Ctx, when non-nil, aborts an in-flight trial at the next watchdog
+	// tick after cancellation; the trial reports faults.ErrInterrupted.
+	// This is how SIGINT reaches trials already running inside the
+	// discrete-event engine.
+	Ctx context.Context
+	// Deadline, when positive, caps the trial's virtual clock; exceeding
+	// it reports faults.ErrDeadline (the supervised runner's
+	// trial-timeout).
+	Deadline sim.Time
+}
+
 // RunTrial runs one two-flow experiment: a and b share the bottleneck for
 // the configured duration. The trial index individualizes randomness.
 // Degenerate outcomes are silently returned as-is; RunTrialE reports them.
 func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
-	res, _ := runTrial(a, b, n, trial, nil)
+	res, _ := runTrial(a, b, n, trial, nil, Bounds{})
 	return res
 }
 
@@ -159,19 +193,28 @@ func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
 // moved no data (ErrZeroThroughput). The partial result is returned
 // alongside the error for diagnostics.
 func RunTrialE(a, b Flow, n Network, trial int) (*TrialResult, error) {
-	return runTrial(a, b, n, trial, nil)
+	return runTrial(a, b, n, trial, nil, Bounds{})
+}
+
+// RunTrialBounded is RunTrialE under supervision bounds: cancellation via
+// bounds.Ctx surfaces as faults.ErrInterrupted, a virtual-clock deadline as
+// faults.ErrDeadline.
+func RunTrialBounded(a, b Flow, n Network, trial int, bounds Bounds) (*TrialResult, error) {
+	return runTrial(a, b, n, trial, nil, bounds)
 }
 
 // RunTrialImpaired is RunTrialE with a fault-injection specification
 // applied to the forward (data) path.
 func RunTrialImpaired(a, b Flow, n Network, trial int, imp Impairment) (*TrialResult, error) {
-	return runTrial(a, b, n, trial, &imp)
+	return runTrial(a, b, n, trial, &imp, Bounds{})
 }
 
 // runTrial is the shared trial engine. A nil imp (or an empty one) runs
 // the pristine testbed with an RNG draw sequence identical to the
 // pre-fault-layer code, so clean-run results are bit-for-bit unchanged.
-func runTrial(a, b Flow, n Network, trial int, imp *Impairment) (*TrialResult, error) {
+// bounds only adds watchdog checks, which observe the engine without
+// scheduling events, so supervision never perturbs results either.
+func runTrial(a, b Flow, n Network, trial int, imp *Impairment, bounds Bounds) (*TrialResult, error) {
 	n = n.withDefaults()
 	// Mix the pairing into the seed so different stacks never share the
 	// exact same randomness, even when their configurations coincide.
@@ -235,11 +278,25 @@ func runTrial(a, b Flow, n Network, trial int, imp *Impairment) (*TrialResult, e
 
 	// Watchdog: abort wedged or runaway runs with a diagnostic instead of
 	// spinning. The guard only observes the engine, so results of healthy
-	// runs are unaffected.
+	// runs are unaffected. Supervision bounds ride on the same guard: the
+	// per-trial virtual-clock deadline and the cancellation context.
 	expectedPackets := uint64(n.BandwidthMbps*1e6*n.Duration.Seconds()/(8*1200))*2 + 1024
-	faults.InstallWatchdog(eng, faults.WatchdogConfig{
+	wcfg := faults.WatchdogConfig{
 		MaxEvents: faults.EventBudget(expectedPackets),
-	})
+		Deadline:  bounds.Deadline,
+	}
+	if ctx := bounds.Ctx; ctx != nil {
+		wcfg.Interrupted = func() bool { return ctx.Err() != nil }
+	}
+	if bounds.Deadline > 0 || bounds.Ctx != nil {
+		// Supervised runs need responsive aborts: the default guard cadence
+		// (65536 events) can exceed a short trial's entire event count, so a
+		// deadline or cancellation would never be observed. 4096 is still far
+		// above any legitimate same-instant event burst, keeping the stall
+		// detector sound.
+		wcfg.CheckEvery = 4096
+	}
+	faults.InstallWatchdog(eng, wcfg)
 
 	// The paper computes throughput and delay offline from packet traces.
 	// We mirror that: delay samples come from each data packet's bottleneck
@@ -370,22 +427,29 @@ func Conformance(test Flow, n Network) pe.Report {
 // envelope-level degeneracies (pe.ErrNoSamples, pe.ErrInsufficientSamples,
 // pe.ErrDegenerateEnvelope).
 func ConformanceE(test Flow, n Network) (pe.Report, error) {
-	return conformanceImpaired(test, n, nil)
+	return conformanceImpaired(test, n, nil, Bounds{})
+}
+
+// ConformanceBounded is ConformanceE under supervision bounds, the entry
+// point of the supervised sweep runner: every underlying trial observes the
+// cancellation context and the per-trial virtual-clock deadline.
+func ConformanceBounded(test Flow, n Network, bounds Bounds) (pe.Report, error) {
+	return conformanceImpaired(test, n, nil, bounds)
 }
 
 // ConformanceImpaired runs the conformance pipeline with the given fault
 // specification applied to every trial — test and reference alike, so both
 // envelopes are measured under the same impaired path.
 func ConformanceImpaired(test Flow, n Network, imp Impairment) (pe.Report, error) {
-	return conformanceImpaired(test, n, &imp)
+	return conformanceImpaired(test, n, &imp, Bounds{})
 }
 
-func conformanceImpaired(test Flow, n Network, imp *Impairment) (pe.Report, error) {
-	testTrials, err := testTrialsImpaired(test, n, imp)
+func conformanceImpaired(test Flow, n Network, imp *Impairment, bounds Bounds) (pe.Report, error) {
+	testTrials, err := testTrialsImpaired(test, n, imp, bounds)
 	if err != nil {
 		return pe.Report{}, err
 	}
-	refTrials, err := referenceTrialsImpaired(test.CCA, n, imp)
+	refTrials, err := referenceTrialsImpaired(test.CCA, n, imp, bounds)
 	if err != nil {
 		return pe.Report{}, err
 	}
@@ -394,15 +458,15 @@ func conformanceImpaired(test Flow, n Network, imp *Impairment) (pe.Report, erro
 
 // TestTrialsE is TestTrials with trial-level failures reported.
 func TestTrialsE(test Flow, n Network) ([][]geom.Point, error) {
-	return testTrialsImpaired(test, n, nil)
+	return testTrialsImpaired(test, n, nil, Bounds{})
 }
 
-func testTrialsImpaired(test Flow, n Network, imp *Impairment) ([][]geom.Point, error) {
+func testTrialsImpaired(test Flow, n Network, imp *Impairment, bounds Bounds) ([][]geom.Point, error) {
 	n = n.withDefaults()
 	ref := Flow{Stack: stacks.Reference(), CCA: test.CCA}
 	trials := make([][]geom.Point, n.Trials)
 	for t := 0; t < n.Trials; t++ {
-		res, err := runTrial(test, ref, n, t, imp)
+		res, err := runTrial(test, ref, n, t, imp, bounds)
 		if err != nil {
 			return nil, fmt.Errorf("test trial %d: %w", t, err)
 		}
@@ -413,15 +477,15 @@ func testTrialsImpaired(test Flow, n Network, imp *Impairment) ([][]geom.Point, 
 
 // ReferenceTrialsE is ReferenceTrials with trial-level failures reported.
 func ReferenceTrialsE(cca stacks.CCA, n Network) ([][]geom.Point, error) {
-	return referenceTrialsImpaired(cca, n, nil)
+	return referenceTrialsImpaired(cca, n, nil, Bounds{})
 }
 
-func referenceTrialsImpaired(cca stacks.CCA, n Network, imp *Impairment) ([][]geom.Point, error) {
+func referenceTrialsImpaired(cca stacks.CCA, n Network, imp *Impairment, bounds Bounds) ([][]geom.Point, error) {
 	n = n.withDefaults()
 	ref := Flow{Stack: stacks.Reference(), CCA: cca}
 	trials := make([][]geom.Point, n.Trials)
 	for t := 0; t < n.Trials; t++ {
-		res, err := runTrial(ref, ref, n, t+1000, imp)
+		res, err := runTrial(ref, ref, n, t+1000, imp, bounds)
 		if err != nil {
 			return nil, fmt.Errorf("reference trial %d: %w", t, err)
 		}

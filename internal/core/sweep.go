@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+)
+
+// SweepCell identifies one unit of a conformance sweep: an implementation
+// (stack, CCA) measured under one network configuration. Cells are the
+// supervised runner's trial granularity — a panicking or wedged cell is
+// isolated, retried, and journaled without touching its neighbours.
+type SweepCell struct {
+	Stack string
+	CCA   stacks.CCA
+	Net   Network
+}
+
+// Key returns the cell's stable identity — the checkpoint-journal key that
+// makes resume idempotent. It encodes everything that changes the cell's
+// result, so a journal recorded under different parameters never replays.
+func (c SweepCell) Key() string {
+	n := c.Net.withDefaults()
+	key := fmt.Sprintf("%s/%s/%s/%v/x%d/seed%d", c.Stack, c.CCA, n, n.Duration, n.Trials, n.Seed)
+	if n.Wild {
+		key += "/wild"
+	}
+	return key
+}
+
+// CellReport is the JSON-stable result payload journaled per cell: the full
+// §3 metric set of one conformance evaluation.
+type CellReport struct {
+	Conformance         float64 `json:"conf"`
+	ConformanceOld      float64 `json:"conf_old"`
+	ConformanceT        float64 `json:"conf_t"`
+	DeltaThroughputMbps float64 `json:"d_tput_mbps"`
+	DeltaDelayMs        float64 `json:"d_delay_ms"`
+	K                   int     `json:"k"`
+}
+
+// GridCells expands stackNames × ccas × nets into sweep cells, keeping only
+// the (stack, CCA) pairs the registry implements — the paper's grid never
+// measures a stack on an algorithm it does not ship. Unknown stack names
+// report ErrUnknownStack.
+func GridCells(stackNames []string, ccas []stacks.CCA, nets []Network) ([]SweepCell, error) {
+	var out []SweepCell
+	for _, name := range stackNames {
+		s := stacks.Get(name)
+		if s == nil {
+			return nil, fmt.Errorf("%w %q", ErrUnknownStack, name)
+		}
+		for _, cca := range ccas {
+			if !s.Has(cca) {
+				continue
+			}
+			for _, n := range nets {
+				out = append(out, SweepCell{Stack: name, CCA: cca, Net: n})
+			}
+		}
+	}
+	return out, nil
+}
+
+// SweepTrials lowers cells to supervised runner trials. Each trial runs the
+// full conformance pipeline for its cell under Bounds{Ctx, deadline}: the
+// sweep's cancellation context reaches every in-flight discrete-event run,
+// and a positive deadline caps each underlying trial's virtual clock.
+func SweepTrials(cells []SweepCell, deadline sim.Time) []runner.Trial {
+	out := make([]runner.Trial, len(cells))
+	for i, c := range cells {
+		c := c
+		out[i] = runner.Trial{
+			Key:  c.Key(),
+			Seed: c.Net.withDefaults().Seed,
+			Run: func(ctx context.Context) (any, error) {
+				fl, err := SpecE(c.Stack, c.CCA)
+				if err != nil {
+					return nil, err
+				}
+				r, err := ConformanceBounded(fl, c.Net, Bounds{Ctx: ctx, Deadline: deadline})
+				if err != nil {
+					return nil, err
+				}
+				return CellReport{
+					Conformance:         r.Conformance,
+					ConformanceOld:      r.ConformanceOld,
+					ConformanceT:        r.ConformanceT,
+					DeltaThroughputMbps: r.DeltaThroughputMbps,
+					DeltaDelayMs:        r.DeltaDelayMs,
+					K:                   r.K,
+				}, nil
+			},
+		}
+	}
+	return out
+}
+
+// SweepConfig tunes a supervised conformance sweep.
+type SweepConfig struct {
+	// Workers bounds the pool (<= 0 selects 1).
+	Workers int
+	// MaxAttempts is the per-cell retry budget (<= 0 selects 3).
+	MaxAttempts int
+	// TrialDeadline, when positive, caps each underlying trial's virtual
+	// clock (faults.ErrDeadline on excess).
+	TrialDeadline sim.Time
+	// Seed seeds the deterministic retry-jitter stream.
+	Seed uint64
+	// Checkpoint is the JSONL journal path ("" disables checkpointing).
+	Checkpoint string
+	// Resume replays the journal at Checkpoint and re-executes only
+	// missing, failed, or skipped cells.
+	Resume bool
+	// OnRecord observes every cell record as it completes (serialized).
+	OnRecord func(runner.Record)
+}
+
+// RunSweep executes a conformance sweep over cells under full supervision:
+// panic isolation, retry with deterministic backoff, checkpointing, and
+// graceful cancellation. Records merge in cell order; an interrupted sweep
+// resumed from its journal is bit-identical to an uninterrupted one.
+func RunSweep(ctx context.Context, cfg SweepConfig, cells []SweepCell) (*runner.SweepResult, error) {
+	trials := SweepTrials(cells, cfg.TrialDeadline)
+	rcfg := runner.Config{
+		Workers:     cfg.Workers,
+		MaxAttempts: cfg.MaxAttempts,
+		Seed:        cfg.Seed,
+		OnRecord:    cfg.OnRecord,
+	}
+	if cfg.Checkpoint == "" {
+		return runner.Run(ctx, rcfg, trials)
+	}
+	return runner.RunCheckpointed(ctx, rcfg, trials, cfg.Checkpoint, cfg.Resume)
+}

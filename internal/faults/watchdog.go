@@ -17,6 +17,13 @@ var (
 	// ErrStalled marks a run whose virtual clock stopped advancing while
 	// events kept firing — a zero-delay scheduling loop.
 	ErrStalled = errors.New("faults: watchdog: virtual clock stalled (wedged run)")
+	// ErrDeadline marks a run whose virtual clock passed its per-trial
+	// deadline — the supervised runner's trial-timeout signal.
+	ErrDeadline = errors.New("faults: watchdog: virtual-clock deadline exceeded")
+	// ErrInterrupted marks a run aborted by an external cancellation
+	// signal (e.g. a context cancelled by SIGINT) observed via
+	// WatchdogConfig.Interrupted.
+	ErrInterrupted = errors.New("faults: watchdog: run interrupted")
 )
 
 // WatchdogConfig bounds a simulation run.
@@ -30,6 +37,15 @@ type WatchdogConfig struct {
 	// per CheckEvery events, so it must exceed the largest legitimate
 	// same-instant event burst.
 	CheckEvery uint64
+	// Deadline, when positive, aborts the run with ErrDeadline once the
+	// virtual clock passes it. Like every guard check it is evaluated
+	// every CheckEvery events, so the abort lands at the first guard tick
+	// past the deadline, not at the exact instant.
+	Deadline sim.Time
+	// Interrupted, when non-nil, is polled at every guard tick; returning
+	// true aborts the run with ErrInterrupted. The supervised runner wires
+	// a context's cancellation here so SIGINT reaches in-flight trials.
+	Interrupted func() bool
 }
 
 // EventBudget estimates a generous MaxEvents for a run moving roughly
@@ -62,6 +78,14 @@ func InstallWatchdog(eng *sim.Engine, cfg WatchdogConfig) {
 	var lastNow sim.Time
 	first := true
 	eng.SetGuard(cfg.CheckEvery, func(now sim.Time, fired uint64) error {
+		if cfg.Interrupted != nil && cfg.Interrupted() {
+			return fmt.Errorf("%w at virtual time %v (%d events fired)",
+				ErrInterrupted, now, fired)
+		}
+		if cfg.Deadline > 0 && now > cfg.Deadline {
+			return fmt.Errorf("%w: virtual time %v past deadline %v",
+				ErrDeadline, now, cfg.Deadline)
+		}
 		if fired >= cfg.MaxEvents {
 			return fmt.Errorf("%w: %d events fired at virtual time %v (budget %d)",
 				ErrRunaway, fired, now, cfg.MaxEvents)

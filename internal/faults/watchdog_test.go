@@ -76,6 +76,52 @@ func TestWatchdogSameInstantBurstTolerated(t *testing.T) {
 	}
 }
 
+// TestWatchdogDeadline: a run whose virtual clock passes the configured
+// deadline aborts with ErrDeadline at the next guard tick.
+func TestWatchdogDeadline(t *testing.T) {
+	eng := sim.New()
+	InstallWatchdog(eng, WatchdogConfig{CheckEvery: 8, Deadline: 50 * sim.Millisecond})
+	var loop func()
+	loop = func() { eng.At(eng.Now()+sim.Millisecond, loop) }
+	eng.At(0, loop)
+	eng.Run()
+	if err := eng.Err(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Err() = %v, want ErrDeadline", err)
+	}
+	if eng.Now() <= 50*sim.Millisecond || eng.Now() > 60*sim.Millisecond {
+		t.Errorf("aborted at %v; want shortly past the 50ms deadline", eng.Now())
+	}
+}
+
+// TestWatchdogDeadlineNotReached: a deadline beyond the run is inert.
+func TestWatchdogDeadlineNotReached(t *testing.T) {
+	eng := sim.New()
+	InstallWatchdog(eng, WatchdogConfig{CheckEvery: 4, Deadline: sim.Second})
+	for i := 0; i < 100; i++ {
+		eng.At(sim.Time(i)*sim.Millisecond, func() {})
+	}
+	eng.Run()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("run under its deadline aborted: %v", err)
+	}
+}
+
+// TestWatchdogInterrupted: flipping the interrupt poll mid-run aborts the
+// engine with ErrInterrupted, the supervised runner's cancellation path.
+func TestWatchdogInterrupted(t *testing.T) {
+	eng := sim.New()
+	interrupted := false
+	InstallWatchdog(eng, WatchdogConfig{CheckEvery: 8, Interrupted: func() bool { return interrupted }})
+	var loop func()
+	loop = func() { eng.At(eng.Now()+sim.Millisecond, loop) }
+	eng.At(0, loop)
+	eng.At(20*sim.Millisecond, func() { interrupted = true })
+	eng.Run()
+	if err := eng.Err(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Err() = %v, want ErrInterrupted", err)
+	}
+}
+
 func TestEventBudget(t *testing.T) {
 	if got := EventBudget(0); got != 1<<22 {
 		t.Errorf("EventBudget(0) = %d, want the 4M floor", got)

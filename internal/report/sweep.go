@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/runner"
+)
+
+// SweepRow is one rendered cell of a supervised sweep: its identity, the
+// supervised outcome, and — for cells that completed — the §3 metric set.
+type SweepRow struct {
+	Cell     string
+	Outcome  runner.Outcome
+	Attempts int
+	// Metrics; meaningful only when the outcome is ok or retried.
+	Conf      float64
+	ConfT     float64
+	DTputMbps float64
+	DDelayMs  float64
+	K         int
+	// Err is the typed failure text for failed/skipped cells.
+	Err string
+}
+
+// completed reports whether the row carries metrics.
+func (r SweepRow) completed() bool {
+	return r.Outcome == runner.OutcomeOK || r.Outcome == runner.OutcomeRetried
+}
+
+// outcomeMark renders an outcome as a table annotation: retried cells are
+// flagged "ok*" so partial renders show which results survived a retry, and
+// failures stand out at a glance.
+func outcomeMark(o runner.Outcome) string {
+	switch o {
+	case runner.OutcomeOK:
+		return "ok"
+	case runner.OutcomeRetried:
+		return "ok*"
+	case runner.OutcomeFailed:
+		return "FAIL"
+	case runner.OutcomeSkipped:
+		return "skip"
+	}
+	return string(o)
+}
+
+// SweepTable builds the outcome-annotated table of a (possibly partial)
+// sweep. Cells without results render "-" metrics and carry their error.
+func SweepTable(rows []SweepRow) *Table {
+	t := &Table{Header: []string{
+		"cell", "out", "att", "conf", "conf-T", "dTput", "dDelay", "K", "err",
+	}}
+	for _, r := range rows {
+		if r.completed() {
+			t.AddRow(r.Cell, outcomeMark(r.Outcome), r.Attempts,
+				r.Conf, r.ConfT, r.DTputMbps, r.DDelayMs, r.K, "")
+			continue
+		}
+		t.AddRow(r.Cell, outcomeMark(r.Outcome), r.Attempts,
+			"-", "-", "-", "-", "-", truncateErr(r.Err))
+	}
+	return t
+}
+
+// truncateErr keeps error cells to one readable line.
+func truncateErr(s string) string {
+	const max = 72
+	for i, c := range s {
+		if c == '\n' {
+			s = s[:i]
+			break
+		}
+	}
+	if len(s) > max {
+		return s[:max-1] + "…"
+	}
+	return s
+}
+
+// SweepSummary renders the one-line outcome tally of a sweep, e.g.
+// "6 cells: 4 ok, 1 retried (ok*), 1 failed". Outcomes with zero cells are
+// omitted; "interrupted" is appended when the sweep was cancelled mid-run.
+func SweepSummary(rows []SweepRow, interrupted bool) string {
+	counts := map[runner.Outcome]int{}
+	for _, r := range rows {
+		counts[r.Outcome]++
+	}
+	noun := "cells"
+	if len(rows) == 1 {
+		noun = "cell"
+	}
+	s := fmt.Sprintf("%d %s:", len(rows), noun)
+	for _, o := range []struct {
+		outcome runner.Outcome
+		label   string
+	}{
+		{runner.OutcomeOK, "ok"},
+		{runner.OutcomeRetried, "retried (ok*)"},
+		{runner.OutcomeFailed, "failed"},
+		{runner.OutcomeSkipped, "skipped"},
+	} {
+		if n := counts[o.outcome]; n > 0 {
+			s += fmt.Sprintf(" %d %s,", n, o.label)
+		}
+	}
+	s = s[:len(s)-1] // either the trailing comma or the colon of "0 cells:"
+	if interrupted {
+		s += " — interrupted, resume with the same checkpoint"
+	}
+	return s
+}
+
+// RenderSweep writes the annotated table followed by the summary line.
+func RenderSweep(w io.Writer, rows []SweepRow, interrupted bool) error {
+	if err := SweepTable(rows).Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\n%s\n", SweepSummary(rows, interrupted))
+	return err
+}

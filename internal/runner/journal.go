@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSONL checkpoint file: one Record per line,
+// synced to disk per append so a crash loses at most the line being
+// written. Appends are safe for concurrent use by the worker pool.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path. With
+// appendMode the existing contents are kept — the resume path — otherwise
+// the file is truncated for a fresh sweep.
+func OpenJournal(path string, appendMode bool) (*Journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !appendMode {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one record as a JSONL line and syncs it to disk.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("marshal record %q: %w", rec.Key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("append to closed journal")
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("append record %q: %w", rec.Key, err)
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file. It is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// ReadJournal replays the journal at path into a map of the last record per
+// trial key. A missing file is an empty journal (a resume of a sweep that
+// never started). A malformed *final* line — the signature of a crash mid-
+// append — is tolerated and dropped; a malformed interior line is corruption
+// and reported as an error.
+func ReadJournal(path string) (map[string]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]Record{}, nil
+		}
+		return nil, fmt.Errorf("runner: read journal: %w", err)
+	}
+	done := make(map[string]Record)
+	lines := bytes.Split(data, []byte("\n"))
+	// Trim trailing blank lines so "last line" means the last record.
+	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // truncated final append from a crash: re-execute it
+			}
+			return nil, fmt.Errorf("runner: journal %s line %d: %w", path, i+1, err)
+		}
+		if rec.Key == "" {
+			return nil, fmt.Errorf("runner: journal %s line %d: record without key", path, i+1)
+		}
+		done[rec.Key] = rec
+	}
+	return done, nil
+}

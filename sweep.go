@@ -1,0 +1,208 @@
+package quicbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+)
+
+// SweepOptions configures a supervised conformance sweep: the grid to
+// measure and the supervision policy (worker pool, retry budget, per-trial
+// virtual-clock timeout, checkpoint journal).
+type SweepOptions struct {
+	// Stacks names the stacks under test (default: all 11 QUIC stacks).
+	Stacks []string
+	// CCAs selects the algorithms (default: CUBIC, BBR, Reno). Pairs a
+	// stack does not implement are skipped, as in the paper's grid.
+	CCAs []CCA
+	// Networks lists the network configurations (default: the paper's
+	// representative 20 Mbps / 10 ms / 1 BDP setting).
+	Networks []Network
+	// Workers bounds the concurrent cells (default 1).
+	Workers int
+	// Retries is the per-cell attempt budget (default 3).
+	Retries int
+	// TrialTimeout caps each underlying trial's virtual clock; 0 disables.
+	TrialTimeout time.Duration
+	// Seed seeds the deterministic retry-backoff jitter.
+	Seed uint64
+	// Checkpoint is the JSONL journal path ("" disables checkpointing).
+	Checkpoint string
+	// Resume replays the journal at Checkpoint and re-executes only
+	// missing, failed, or skipped cells.
+	Resume bool
+	// Progress, when non-nil, observes each cell result as it completes
+	// (calls are serialized).
+	Progress func(SweepCellResult)
+}
+
+// SweepCellResult is one cell of a supervised sweep: its identity, the
+// supervised outcome, and the metrics when the cell completed.
+type SweepCellResult struct {
+	Cell     string
+	Outcome  string // "ok", "retried", "failed", or "skipped"
+	Attempts int
+	// Report holds the §3 metrics; valid only when Completed() is true.
+	Report Report
+	// Err is the typed failure text for failed/skipped cells.
+	Err string
+}
+
+// Completed reports whether the cell produced metrics.
+func (r SweepCellResult) Completed() bool {
+	return r.Outcome == string(runner.OutcomeOK) || r.Outcome == string(runner.OutcomeRetried)
+}
+
+// SweepSummary is the merged result of a sweep, in grid order regardless of
+// completion order or how many runs it took to get here.
+type SweepSummary struct {
+	Cells []SweepCellResult
+	// Reused counts cells replayed from the checkpoint journal.
+	Reused int
+	// Interrupted reports that the sweep was cancelled before finishing;
+	// re-run with Resume to pick up where it left off.
+	Interrupted bool
+}
+
+// Failed counts cells that exhausted their retry budget.
+func (s *SweepSummary) Failed() int { return s.count(runner.OutcomeFailed) }
+
+// Skipped counts cells abandoned by cancellation.
+func (s *SweepSummary) Skipped() int { return s.count(runner.OutcomeSkipped) }
+
+func (s *SweepSummary) count(o runner.Outcome) int {
+	n := 0
+	for _, c := range s.Cells {
+		if c.Outcome == string(o) {
+			n++
+		}
+	}
+	return n
+}
+
+// sweepCells expands the options into the internal grid.
+func sweepCells(opts SweepOptions) ([]core.SweepCell, error) {
+	names := opts.Stacks
+	if len(names) == 0 {
+		for _, s := range stacks.QUICStacks() {
+			names = append(names, s.Name)
+		}
+	}
+	ccas := opts.CCAs
+	if len(ccas) == 0 {
+		ccas = AllCCAs
+	}
+	sccas := make([]stacks.CCA, len(ccas))
+	for i, c := range ccas {
+		sccas[i] = stacks.CCA(c)
+	}
+	nets := opts.Networks
+	if len(nets) == 0 {
+		nets = []Network{{}}
+	}
+	cnets := make([]core.Network, len(nets))
+	for i, n := range nets {
+		cnets[i] = n.toCore()
+	}
+	return core.GridCells(names, sccas, cnets)
+}
+
+// cellResult lowers a journal record to the public result type.
+func cellResult(rec runner.Record) SweepCellResult {
+	out := SweepCellResult{
+		Cell:     rec.Key,
+		Outcome:  string(rec.Outcome),
+		Attempts: rec.Attempts,
+		Err:      rec.Err,
+	}
+	if len(rec.Result) > 0 {
+		var cr core.CellReport
+		if err := json.Unmarshal(rec.Result, &cr); err == nil {
+			out.Report = Report{
+				Conformance:         cr.Conformance,
+				ConformanceOld:      cr.ConformanceOld,
+				ConformanceT:        cr.ConformanceT,
+				DeltaThroughputMbps: cr.DeltaThroughputMbps,
+				DeltaDelayMs:        cr.DeltaDelayMs,
+				K:                   cr.K,
+			}
+		}
+	}
+	return out
+}
+
+// RunSweep measures conformance over the requested grid under full
+// supervision: each cell runs on a bounded worker pool with panic
+// isolation, deterministic retry/backoff, and an optional per-trial
+// virtual-clock timeout. With a Checkpoint path every completed cell is
+// journaled (fsync'd JSONL), and Resume replays the journal so an
+// interrupted sweep continues exactly where it stopped — the merged results
+// are bit-identical to an uninterrupted run. Cancelling ctx (e.g. on
+// SIGINT) drains in-flight cells gracefully: running trials abort at the
+// next watchdog tick, pending cells record "skipped", and the journal stays
+// valid for resumption.
+func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
+	cells, err := sweepCells(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.SweepConfig{
+		Workers:       opts.Workers,
+		MaxAttempts:   opts.Retries,
+		TrialDeadline: sim.Duration(opts.TrialTimeout),
+		Seed:          opts.Seed,
+		Checkpoint:    opts.Checkpoint,
+		Resume:        opts.Resume,
+	}
+	if opts.Progress != nil {
+		cfg.OnRecord = func(rec runner.Record) { opts.Progress(cellResult(rec)) }
+	}
+	res, err := core.RunSweep(ctx, cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	sum := &SweepSummary{Reused: res.Reused, Interrupted: res.Interrupted}
+	for _, rec := range res.Records {
+		sum.Cells = append(sum.Cells, cellResult(rec))
+	}
+	return sum, nil
+}
+
+// RenderSweep writes the outcome-annotated sweep table and summary line.
+func RenderSweep(w io.Writer, s *SweepSummary) error {
+	rows := make([]report.SweepRow, len(s.Cells))
+	for i, c := range s.Cells {
+		rows[i] = report.SweepRow{
+			Cell:      c.Cell,
+			Outcome:   runner.Outcome(c.Outcome),
+			Attempts:  c.Attempts,
+			Conf:      c.Report.Conformance,
+			ConfT:     c.Report.ConformanceT,
+			DTputMbps: c.Report.DeltaThroughputMbps,
+			DDelayMs:  c.Report.DeltaDelayMs,
+			K:         c.Report.K,
+			Err:       c.Err,
+		}
+	}
+	if err := report.RenderSweep(w, rows, s.Interrupted); err != nil {
+		return err
+	}
+	if s.Reused > 0 {
+		noun := "cells"
+		if s.Reused == 1 {
+			noun = "cell"
+		}
+		if _, err := fmt.Fprintf(w, "(%d %s replayed from checkpoint)\n", s.Reused, noun); err != nil {
+			return err
+		}
+	}
+	return nil
+}
