@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke bench bench-check
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -28,6 +28,19 @@ test-race:
 
 test-full:
 	$(GO) test -count=1 ./...
+
+## bench: run the pinned-seed benchmark suite (internal/bench) and refresh
+## the committed baseline BENCH_sim.json (ns/op, allocs/op, events/sec).
+bench:
+	$(GO) run ./cmd/quicbench bench -out BENCH_sim.json
+
+## bench-check: the perf regression gate — a fresh suite run compared
+## against the committed baseline. Only the deterministic work metrics
+## (allocs/op, bytes/op, events/op) are gated, at 10% tolerance; timing is
+## reported but not compared, since the baseline may come from different
+## hardware. The fresh report lands in BENCH_sim.ci.json for CI to upload.
+bench-check:
+	$(GO) run ./cmd/quicbench bench -out BENCH_sim.ci.json -compare BENCH_sim.json
 
 ## chaos: quick demo of the fault-injection degradation sweep.
 chaos:

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// benchMain runs the pinned-seed benchmark suite (internal/bench) and
+// writes BENCH_sim.json. With -compare it additionally gates the run
+// against a committed baseline and exits 1 on regression.
+func benchMain(args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		out     = fs.String("out", "BENCH_sim.json", "output report path ('' = don't write)")
+		compare = fs.String("compare", "", "baseline report to compare against (e.g. the committed BENCH_sim.json)")
+		tol     = fs.Float64("tolerance", 0.10, "allowed fractional regression for deterministic work metrics (allocs/op, bytes/op, events/op)")
+		timeTol = fs.Float64("time-tolerance", 0, "when > 0, also gate ns/op at this fractional regression (only meaningful for same-machine A/B runs)")
+		warm    = fs.Int("warm", 1, "discarded warm-up iterations per benchmark")
+		iters   = fs.Int("iters", 3, "measured iterations per benchmark")
+	)
+	fs.Parse(args)
+
+	fmt.Printf("%-22s %14s %14s %14s %12s\n", "benchmark", "ns/op", "allocs/op", "bytes/op", "events/sec")
+	rep := bench.RunSuite(*warm, *iters, func(m bench.Metric) {
+		evs := "-"
+		if m.EventsPerSec > 0 {
+			evs = fmt.Sprintf("%.3gM", m.EventsPerSec/1e6)
+		}
+		fmt.Printf("%-22s %14.0f %14d %14d %12s\n", m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, evs)
+	})
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *compare != "" {
+		base, err := bench.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		regs := bench.Compare(base, rep, *tol, *timeTol)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d regression(s) vs %s:\n", len(regs), *compare)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			return 1
+		}
+		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", *compare, *tol*100)
+	}
+	return 0
+}

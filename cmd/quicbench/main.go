@@ -47,6 +47,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		os.Exit(sweepMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		os.Exit(benchMain(os.Args[2:]))
+	}
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
 		exp      = flag.String("exp", "", "experiment id (e.g. fig6, tab3) or 'all'")

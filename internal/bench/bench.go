@@ -1,0 +1,303 @@
+// Package bench is the repo's pinned-seed performance benchmark suite and
+// its regression-comparison logic. `quicbench bench` (and `make bench`) run
+// the suite and emit BENCH_sim.json; CI compares a fresh run against the
+// committed baseline and fails the build on a regression.
+//
+// Two kinds of metric come out of a run:
+//
+//   - Deterministic work metrics — allocs/op, bytes/op, events/op. With
+//     pinned seeds every iteration performs the identical event sequence,
+//     so these are machine-independent (up to pool-eviction noise, far
+//     below the gate's tolerance) and are what the regression comparison
+//     checks against the committed baseline.
+//   - Timing metrics — ns/op and the derived events/sec. These depend on
+//     the host, so they are reported for humans (and gated only in local
+//     A/B runs via a non-zero time tolerance), never against a baseline
+//     that may come from different hardware.
+//
+// Measurement is deliberately not testing.Benchmark: its auto-scaling
+// picks an iteration count from wall-clock speed, which changes how pool
+// warm-up amortizes into allocs/op and would make the gate host-dependent.
+// Instead every benchmark runs a fixed warm-up (discarded) followed by a
+// fixed number of measured iterations.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+	"repro/internal/transport"
+)
+
+// Schema identifies the BENCH_sim.json format.
+const Schema = "quicbench-bench/v1"
+
+// Metric is one benchmark's measurements.
+type Metric struct {
+	Name string `json:"name"`
+	// Deterministic work metrics (gated against the baseline).
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	EventsPerOp float64 `json:"events_per_op,omitempty"`
+	// Timing metrics (host-dependent; informational by default).
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Iterations   int     `json:"iterations"`
+}
+
+// Report is the serialized form of one suite run.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Metric `json:"benchmarks"`
+}
+
+// Benchmark is one suite entry. Run executes the workload once and returns
+// the number of engine events it fired (0 when the workload spans several
+// engines and the count is not meaningful).
+type Benchmark struct {
+	Name string
+	Run  func() (events uint64)
+}
+
+// benchNet is the shared small-scale network: big enough to leave slow
+// start and exercise loss recovery, small enough that the whole suite runs
+// in well under a minute.
+func benchNet(seed uint64) core.Network {
+	return core.Network{
+		BandwidthMbps: 20,
+		RTT:           10 * sim.Millisecond,
+		BufferBDP:     1,
+		Duration:      5 * sim.Second,
+		Trials:        1,
+		Seed:          seed,
+	}
+}
+
+// singleFlow runs one sender/receiver pair over a dumbbell for 5 s and
+// returns the events fired. This is the tightest loop the repo has: sim
+// engine, link queueing, transport bookkeeping, and one congestion
+// controller, with nothing from the measurement pipeline on top.
+func singleFlow(newCtrl func() cc.Controller) uint64 {
+	eng := sim.New()
+	db := netem.NewDumbbell(eng, netem.DumbbellConfig{
+		BottleneckBps: 20e6,
+		BaseRTT:       10 * sim.Millisecond,
+		QueueBytes:    netem.BDPBytes(20e6, 10*sim.Millisecond),
+	})
+	var tx *transport.Sender
+	cfg := transport.Config{MSS: 1200}
+	rx := transport.NewReceiver(eng, cfg, netem.HandlerFunc(func(p *netem.Packet) {
+		db.ReverseLink(1).HandlePacket(p)
+	}), 1)
+	db.AttachFlow(1, rx, netem.HandlerFunc(func(p *netem.Packet) {
+		tx.HandlePacket(p)
+	}))
+	tx = transport.NewSender(eng, cfg, newCtrl(), db.Bottleneck, 1)
+	tx.Start()
+	eng.RunUntil(5 * sim.Second)
+	return eng.Fired()
+}
+
+// Suite returns the fixed benchmark list, in reporting order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "single_flow_reno", Run: func() uint64 {
+			return singleFlow(func() cc.Controller { return cc.NewReno(cc.Config{MSS: 1200}) })
+		}},
+		{Name: "single_flow_cubic", Run: func() uint64 {
+			return singleFlow(func() cc.Controller { return cc.NewCubic(cc.Config{MSS: 1200, HyStart: true}) })
+		}},
+		{Name: "single_flow_bbr", Run: func() uint64 {
+			return singleFlow(func() cc.Controller { return cc.NewBBR(cc.Config{MSS: 1200}) })
+		}},
+		{Name: "two_flow_trial_cubic", Run: func() uint64 {
+			res, err := core.RunTrialE(core.Spec("quicgo", stacks.CUBIC), core.Spec("kernel", stacks.CUBIC), benchNet(1), 0)
+			if err != nil {
+				panic(fmt.Sprintf("bench: two_flow_trial_cubic: %v", err))
+			}
+			return res.Events
+		}},
+		{Name: "mini_sweep_3stacks", Run: func() uint64 {
+			// One conformance measurement per stack at reduced scale: the
+			// full pipeline (test + reference trials, clustering, hulls,
+			// translation search) across three implementations.
+			n := benchNet(7)
+			n.Duration = 2 * sim.Second
+			for _, stack := range []string{"quicgo", "mvfst", "quiche"} {
+				if _, err := core.ConformanceE(core.Spec(stack, stacks.CUBIC), n); err != nil {
+					panic(fmt.Sprintf("bench: mini_sweep_3stacks %s: %v", stack, err))
+				}
+			}
+			return 0 // spans many engines; events/op not meaningful
+		}},
+		{Name: "chaos_trial_gilbert", Run: func() uint64 {
+			// One fault-injected trial: Gilbert–Elliott burst loss on the
+			// data path exercises the injector and the spurious-loss paths.
+			imp := core.Impairment{Loss: func() (faults.LossModel, error) {
+				return faults.NewGilbertElliott(0.002, 0.3, 0, 0.5)
+			}}
+			res, err := core.RunTrialImpaired(core.Spec("quicgo", stacks.CUBIC), core.Spec("kernel", stacks.CUBIC), benchNet(3), 0, imp)
+			if err != nil {
+				panic(fmt.Sprintf("bench: chaos_trial_gilbert: %v", err))
+			}
+			return res.Events
+		}},
+	}
+}
+
+// Measure runs one benchmark with warm discarded warm-up iterations and
+// iters measured ones, accounting allocations the same way testing's
+// -benchmem does (runtime.MemStats deltas across the measured window).
+func Measure(bm Benchmark, warm, iters int) Metric {
+	if iters < 1 {
+		iters = 1
+	}
+	var events uint64
+	for i := 0; i < warm; i++ {
+		events = bm.Run()
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		events = bm.Run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	m := Metric{
+		Name:        bm.Name,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		EventsPerOp: float64(events),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		Iterations:  iters,
+	}
+	if m.EventsPerOp > 0 && m.NsPerOp > 0 {
+		m.EventsPerSec = m.EventsPerOp / (m.NsPerOp / 1e9)
+	}
+	return m
+}
+
+// RunSuite executes every benchmark and assembles the report. progress,
+// when non-nil, is called with each benchmark's metric as it completes.
+func RunSuite(warm, iters int, progress func(Metric)) Report {
+	rep := Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, bm := range Suite() {
+		m := Measure(bm, warm, iters)
+		if progress != nil {
+			progress(m)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, m)
+	}
+	return rep
+}
+
+// WriteFile serializes the report to path.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("bench: read baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse baseline %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return r, fmt.Errorf("bench: baseline %s has schema %q, want %q", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// Regression describes one metric that got worse than the baseline allows.
+type Regression struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	// Ratio is current/baseline, so >1 means worse.
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.1f%% (baseline %.0f, current %.0f)",
+		r.Benchmark, r.Metric, (r.Ratio-1)*100, r.Baseline, r.Current)
+}
+
+// Compare checks current against baseline. tol is the allowed fractional
+// regression (0.10 = 10%) for the deterministic work metrics (allocs/op,
+// bytes/op, events/op); timeTol, when positive, additionally gates ns/op —
+// use it for local A/B runs on one machine, leave it zero when the
+// baseline may come from different hardware. A benchmark present in the
+// baseline but missing from current is itself a regression (the suite
+// shrank).
+func Compare(baseline, current Report, tol, timeTol float64) []Regression {
+	cur := make(map[string]Metric, len(current.Benchmarks))
+	for _, m := range current.Benchmarks {
+		cur[m.Name] = m
+	}
+	var regs []Regression
+	worse := func(name, metric string, base, now, allowed float64) {
+		if base <= 0 || allowed <= 0 {
+			return
+		}
+		if ratio := now / base; ratio > 1+allowed {
+			regs = append(regs, Regression{
+				Benchmark: name, Metric: metric,
+				Baseline: base, Current: now, Ratio: ratio,
+			})
+		}
+	}
+	for _, b := range baseline.Benchmarks {
+		c, ok := cur[b.Name]
+		if !ok {
+			regs = append(regs, Regression{Benchmark: b.Name, Metric: "missing", Ratio: 1 + tol})
+			continue
+		}
+		worse(b.Name, "allocs_per_op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), tol)
+		worse(b.Name, "bytes_per_op", float64(b.BytesPerOp), float64(c.BytesPerOp), tol)
+		// More events for the same pinned-seed workload means the engine is
+		// doing extra work per trial — also a regression.
+		worse(b.Name, "events_per_op", b.EventsPerOp, c.EventsPerOp, tol)
+		worse(b.Name, "ns_per_op", b.NsPerOp, c.NsPerOp, timeTol)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Benchmark != regs[j].Benchmark {
+			return regs[i].Benchmark < regs[j].Benchmark
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

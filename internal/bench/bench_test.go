@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func metric(name string, allocs, bytes int64, events, ns float64) Metric {
+	return Metric{Name: name, AllocsPerOp: allocs, BytesPerOp: bytes, EventsPerOp: events, NsPerOp: ns, Iterations: 3}
+}
+
+func report(ms ...Metric) Report {
+	return Report{Schema: Schema, Benchmarks: ms}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := report(metric("a", 1000, 50000, 2e6, 5e7))
+	// 9% worse allocs stays inside the 10% gate; timing ignored at timeTol 0.
+	cur := report(metric("a", 1090, 50000, 2e6, 9e7))
+	if regs := Compare(base, cur, 0.10, 0); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareCatchesAllocRegression(t *testing.T) {
+	base := report(metric("a", 1000, 50000, 2e6, 5e7))
+	cur := report(metric("a", 1200, 50000, 2e6, 5e7))
+	regs := Compare(base, cur, 0.10, 0)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("want one allocs_per_op regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "allocs_per_op") {
+		t.Fatalf("String() = %q", regs[0])
+	}
+}
+
+func TestCompareCatchesEventGrowthAndMissing(t *testing.T) {
+	base := report(
+		metric("a", 1000, 50000, 2e6, 5e7),
+		metric("b", 1000, 50000, 2e6, 5e7),
+	)
+	cur := report(metric("a", 1000, 50000, 2.5e6, 5e7))
+	regs := Compare(base, cur, 0.10, 0)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (events growth + missing bench), got %v", regs)
+	}
+	if regs[0].Benchmark != "a" || regs[0].Metric != "events_per_op" {
+		t.Fatalf("regs[0] = %v", regs[0])
+	}
+	if regs[1].Benchmark != "b" || regs[1].Metric != "missing" {
+		t.Fatalf("regs[1] = %v", regs[1])
+	}
+}
+
+func TestCompareTimeToleranceOptIn(t *testing.T) {
+	base := report(metric("a", 1000, 50000, 2e6, 5e7))
+	cur := report(metric("a", 1000, 50000, 2e6, 9e7)) // 80% slower
+	if regs := Compare(base, cur, 0.10, 0); len(regs) != 0 {
+		t.Fatalf("timing must not be gated at timeTol 0, got %v", regs)
+	}
+	regs := Compare(base, cur, 0.10, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "ns_per_op" {
+		t.Fatalf("want ns_per_op regression with timeTol, got %v", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := report(metric("a", 1000, 50000, 2e6, 5e7))
+	rep.GoVersion = "go0.0"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Benchmarks) != 1 || got.Benchmarks[0] != rep.Benchmarks[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := report(metric("a", 1, 1, 0, 1))
+	rep.Schema = "something-else/v9"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("want schema error")
+	}
+}
+
+// TestMeasureCountsWork sanity-checks the manual accounting against a
+// workload with a known floor: one single-flow trial must fire events and
+// report a positive duration.
+func TestMeasureCountsWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real 5s-virtual-time trial; skipped in -short")
+	}
+	bm := Suite()[0] // single_flow_reno
+	m := Measure(bm, 0, 1)
+	if m.EventsPerOp < 1000 {
+		t.Fatalf("events_per_op = %v, want a real trial's worth", m.EventsPerOp)
+	}
+	if m.NsPerOp <= 0 || m.EventsPerSec <= 0 {
+		t.Fatalf("timing not populated: %+v", m)
+	}
+}

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -55,8 +56,8 @@ func driveController(t *testing.T, mk func() Controller) {
 				t.Logf("cwnd %d below minimum %d after op %d", cw, minCwnd, op)
 				return false
 			}
-			if rate := ctrl.PacingRate(); rate < 0 {
-				t.Logf("negative pacing rate %v", rate)
+			if rate := ctrl.PacingRate(); rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+				t.Logf("pacing rate %v is negative or non-finite", rate)
 				return false
 			}
 		}

@@ -144,6 +144,9 @@ type TrialResult struct {
 	// Losses/Spurious are sender-side counters per flow.
 	Losses   [2]int64
 	Spurious [2]int64
+	// Events is the number of discrete events the simulation engine fired
+	// for this trial — the denominator of the events/sec benchmark metric.
+	Events uint64
 }
 
 // Points extracts flow i's (delay, throughput) samples per §3.1.
@@ -340,6 +343,7 @@ func runTrial(a, b Flow, n Network, trial int, imp *Impairment, bounds Bounds) (
 	}
 
 	eng.RunUntil(n.Duration)
+	res.Events = eng.Fired()
 	if werr := eng.Err(); werr != nil {
 		return res, fmt.Errorf("core: trial %d (%s %s vs %s %s, %s) aborted at %v: %w",
 			trial, a.Stack.Name, a.CCA, b.Stack.Name, b.CCA, n, eng.Now(), werr)

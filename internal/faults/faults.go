@@ -218,29 +218,38 @@ func (in *Injector) HandlePacket(pkt *netem.Packet) {
 	if in.down {
 		in.Stats.Blackholed++
 		in.emit(pkt, Blackholed)
+		netem.ReleasePacket(pkt) // terminal: swallowed by the blackout
 		return
 	}
 	if in.cfg.Loss != nil && in.cfg.Loss.Drop(in.cfg.RNG) {
 		in.Stats.Lost++
 		in.emit(pkt, Lost)
+		netem.ReleasePacket(pkt) // terminal: injected loss
 		return
 	}
 	if in.cfg.CorruptProb > 0 && in.cfg.RNG.Float64() < in.cfg.CorruptProb {
 		in.Stats.Corrupted++
 		in.emit(pkt, Corrupted)
-		cp := *pkt
+		cp := netem.ClonePacket(pkt)
 		cp.Corrupted = true
-		in.dst.HandlePacket(&cp)
+		netem.ReleasePacket(pkt) // the clone travels on in its place
+		in.dst.HandlePacket(cp)
 		return
 	}
 	in.Stats.Passed++
 	in.emit(pkt, Pass)
-	in.dst.HandlePacket(pkt)
+	// Decide on duplication (and clone) before forwarding: the destination
+	// may consume and recycle pkt synchronously (e.g. a droptail discard),
+	// after which its fields are no longer ours to read.
+	var dup *netem.Packet
 	if in.cfg.DupProb > 0 && in.cfg.RNG.Float64() < in.cfg.DupProb {
 		in.Stats.Duplicated++
-		in.emit(pkt, Duplicated)
-		cp := *pkt
-		in.dst.HandlePacket(&cp)
+		dup = netem.ClonePacket(pkt)
+	}
+	in.dst.HandlePacket(pkt)
+	if dup != nil {
+		in.emit(dup, Duplicated)
+		in.dst.HandlePacket(dup)
 	}
 }
 

@@ -10,6 +10,7 @@ package netem
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -38,6 +39,50 @@ type Packet struct {
 	// it only through loss detection — a different signal path than a
 	// queue drop.
 	Corrupted bool
+
+	// pooled marks a packet obtained from GetPacket; only such packets are
+	// recycled by ReleasePacket. Caller-constructed packets stay with the GC.
+	pooled bool
+}
+
+// pktPool recycles Packet objects across the hot send/ACK path. A two-flow
+// trial moves tens of thousands of packets; without recycling every one is
+// a fresh allocation (plus an ACK-range slice) that the GC must chase.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// GetPacket returns a zeroed pool-managed packet. Its Ranges slice keeps
+// the capacity from previous use, so per-ACK range storage is amortised.
+// The packet must be handed back with ReleasePacket at its terminal point.
+func GetPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	p.pooled = true
+	return p
+}
+
+// ReleasePacket recycles a pool-managed packet. It is a no-op for nil and
+// for caller-constructed packets, so endpoints can release unconditionally
+// at their terminal points (consumption, queue drop, unknown-flow discard,
+// injected loss). Releasing twice is guarded: the first call clears the
+// pool marker.
+func ReleasePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	r := p.Ranges[:0]
+	*p = Packet{Ranges: r}
+	pktPool.Put(p)
+}
+
+// ClonePacket returns a pool-managed deep copy of pkt. The Ranges storage
+// is copied, never aliased, so the clone and the original can be released
+// independently (duplication-style impairments rely on this).
+func ClonePacket(pkt *Packet) *Packet {
+	cp := GetPacket()
+	r := cp.Ranges
+	*cp = *pkt
+	cp.Ranges = append(r[:0], pkt.Ranges...)
+	cp.pooled = true
+	return cp
 }
 
 // AckRange is a closed interval [Smallest, Largest] of acknowledged packet
@@ -242,6 +287,7 @@ func (l *Link) HandlePacket(pkt *Packet) {
 		l.Dropped++
 		l.DroppedBytes += uint64(pkt.Size)
 		l.emit(LinkEvent{Time: now, Packet: pkt, Kind: Drop, QueueB: l.queuedBytes})
+		ReleasePacket(pkt) // terminal: droptail discard
 		return
 	}
 	l.queuedBytes += pkt.Size
@@ -308,7 +354,9 @@ func (d *Demux) Register(flow int, h Handler) { d.handlers[flow] = h }
 func (d *Demux) HandlePacket(pkt *Packet) {
 	if h, ok := d.handlers[pkt.Flow]; ok {
 		h.HandlePacket(pkt)
+		return
 	}
+	ReleasePacket(pkt) // terminal: no socket for this flow
 }
 
 // Dumbbell is the experiment topology: every sender's data packets share

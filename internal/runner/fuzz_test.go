@@ -1,0 +1,41 @@
+package runner
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseJournal feeds arbitrary bytes to the checkpoint-journal parser.
+// Invariants: it never panics, every failure matches the typed
+// ErrJournalCorrupt sentinel, and every record it does return carries a
+// non-empty key (the resume index would silently lose trials otherwise).
+func FuzzParseJournal(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"key":"a","outcome":"ok","attempts":1}` + "\n"))
+	f.Add([]byte(`{"key":"a","outcome":"ok"}` + "\n" + `{"key":"b","outcome":"failed","err":"x"}` + "\n"))
+	// Crash artifact: torn final append.
+	f.Add([]byte(`{"key":"a","outcome":"ok"}` + "\n" + `{"key":"b","outco`))
+	// Corruption: malformed interior line, keyless interior record.
+	f.Add([]byte("garbage\n" + `{"key":"a"}` + "\n"))
+	f.Add([]byte(`{"seed":7}` + "\n" + `{"key":"a"}` + "\n"))
+	// Valid JSON of the wrong shape.
+	f.Add([]byte("[1,2,3]\n{\"key\":\"a\"}\n"))
+	f.Add([]byte("null\n"))
+	f.Add([]byte(`{"key":"a","result":{"deep":[{"nest":[[[[1]]]]}]}}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		done, err := ParseJournal(data)
+		if err != nil {
+			if !errors.Is(err, ErrJournalCorrupt) {
+				t.Fatalf("ParseJournal returned an untyped error: %v", err)
+			}
+			return
+		}
+		for key := range done {
+			if key == "" {
+				t.Fatal("ParseJournal returned a record with an empty key")
+			}
+		}
+	})
+}

@@ -3,10 +3,17 @@ package runner
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
 )
+
+// ErrJournalCorrupt is the typed failure for a journal whose interior is
+// damaged (unparseable line, record without a key). Callers match it with
+// errors.Is to distinguish corruption — which needs operator attention —
+// from a clean-crash truncated tail, which resume handles silently.
+var ErrJournalCorrupt = errors.New("journal corrupt")
 
 // Journal is an append-only JSONL checkpoint file: one Record per line,
 // synced to disk per append so a crash loses at most the line being
@@ -73,6 +80,20 @@ func ReadJournal(path string) (map[string]Record, error) {
 		}
 		return nil, fmt.Errorf("runner: read journal: %w", err)
 	}
+	done, err := ParseJournal(data)
+	if err != nil {
+		return nil, fmt.Errorf("runner: journal %s: %w", path, err)
+	}
+	return done, nil
+}
+
+// ParseJournal replays raw JSONL journal bytes into a map of the last
+// record per trial key. It never panics: any malformed interior input —
+// bad JSON, a non-object line, a record without a key — is reported as an
+// error matching ErrJournalCorrupt. A malformed or truncated *final* line
+// is the signature of a crash mid-append and is silently dropped (that
+// trial simply re-executes on resume).
+func ParseJournal(data []byte) (map[string]Record, error) {
 	done := make(map[string]Record)
 	lines := bytes.Split(data, []byte("\n"))
 	// Trim trailing blank lines so "last line" means the last record.
@@ -88,10 +109,13 @@ func ReadJournal(path string) (map[string]Record, error) {
 			if i == len(lines)-1 {
 				break // truncated final append from a crash: re-execute it
 			}
-			return nil, fmt.Errorf("runner: journal %s line %d: %w", path, i+1, err)
+			return nil, fmt.Errorf("line %d: %v: %w", i+1, err, ErrJournalCorrupt)
 		}
 		if rec.Key == "" {
-			return nil, fmt.Errorf("runner: journal %s line %d: record without key", path, i+1)
+			if i == len(lines)-1 {
+				break // a keyless tail is indistinguishable from a torn write
+			}
+			return nil, fmt.Errorf("line %d: record without key: %w", i+1, ErrJournalCorrupt)
 		}
 		done[rec.Key] = rec
 	}

@@ -5,13 +5,26 @@
 // times; the engine fires them in non-decreasing time order, breaking ties by
 // scheduling order so that runs are fully deterministic.
 //
+// The engine is built for throughput — every experiment in the repository
+// bottoms out in this loop, so sweep wall-clock time is dominated by it:
+//
+//   - events live on a free list, so steady-state scheduling does not
+//     allocate (the pool grows to the peak number of pending events and is
+//     reused from there);
+//   - cancellation is O(1) tombstoning — the heap is never re-fixed, dead
+//     events are discarded lazily when they surface;
+//   - the heap is hand-rolled over the (at, seq) key, avoiding
+//     container/heap's interface dispatch on every sift step;
+//   - Run and RunUntil dispatch same-timestamp events as one batch, keeping
+//     the pop/fire loop tight across the bursts produced by quantized
+//     timers and back-to-back link deliveries.
+//
 // Everything in the repository that needs time — links, pacing, loss-detection
 // timers, measurement sampling — runs on top of this engine, which replaces
 // the paper's physical testbed clock.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -42,43 +55,25 @@ func (t Time) String() string {
 	return fmt.Sprintf("%.6fs", t.Seconds())
 }
 
-// event is one scheduled callback.
+// event is one scheduled callback. Events are pooled: once an event has
+// fired (or its tombstone has been discarded) it returns to the engine's
+// free list and its generation advances, so any EventID still pointing at
+// it goes stale instead of touching the recycled slot.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among events at the same instant
 	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
+	gen  uint64 // incremented on recycle; validates EventIDs
+	dead bool   // cancelled (tombstone awaiting lazy removal)
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a orders strictly before b under the (at, seq)
+// dispatch key.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulation loop. The zero value is ready to
@@ -86,7 +81,9 @@ func (h *eventHeap) Pop() any {
 // goroutine by design.
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	queue  []*event // binary min-heap ordered by (at, seq)
+	free   []*event // event pool: recycled, generation-advanced events
+	batch  []*event // scratch for same-timestamp batch dispatch
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -94,6 +91,76 @@ type Engine struct {
 	guard      Guard
 	guardEvery uint64
 	err        error
+}
+
+// heapPush inserts ev, sifting it up with inlined comparisons.
+func (e *Engine) heapPush(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if before(p, ev) {
+			break
+		}
+		q[i] = p
+		i = parent
+	}
+	q[i] = ev
+	e.queue = q
+}
+
+// heapPop removes and returns the minimum event. The caller must ensure the
+// queue is non-empty.
+func (e *Engine) heapPop() *event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	e.queue = q
+	if n > 0 {
+		// Sift the displaced last element down from the root.
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m, c := l, q[l]
+			if r := l + 1; r < n && before(q[r], c) {
+				m, c = r, q[r]
+			}
+			if before(last, c) {
+				break
+			}
+			q[i] = c
+			i = m
+		}
+		q[i] = last
+	}
+	return top
+}
+
+// alloc takes an event from the free list, or makes a fresh one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns ev to the free list. Advancing the generation invalidates
+// every outstanding EventID for it; dropping fn releases the closure.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.dead = false
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Guard inspects engine progress and may abort the run by returning a
@@ -140,11 +207,19 @@ func (e *Engine) Pending() int {
 }
 
 // EventID identifies a scheduled event so that it can be cancelled. The
-// zero EventID is invalid.
-type EventID struct{ ev *event }
+// zero EventID is invalid. IDs are generation-checked: once the event has
+// fired or been discarded (and its slot recycled), the ID goes stale and
+// Cancel on it is a no-op.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
-// Valid reports whether the id refers to a scheduled event.
-func (id EventID) Valid() bool { return id.ev != nil }
+// Valid reports whether the id refers to a live scheduled event (not yet
+// fired or cancelled).
+func (id EventID) Valid() bool {
+	return id.ev != nil && id.ev.gen == id.gen && !id.ev.dead
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it would silently reorder causality.
@@ -155,10 +230,13 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	e.heapPush(ev)
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -170,15 +248,40 @@ func (e *Engine) After(d Time, fn func()) EventID {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel revokes a previously scheduled event. Cancelling an event that
-// already fired (or was already cancelled) is a no-op. It returns whether
-// the event was actually revoked.
+// Cancel revokes a previously scheduled event in O(1) by tombstoning it:
+// the heap is untouched and the dead event is discarded lazily when it
+// surfaces at the root. Cancelling an event that already fired (or was
+// already cancelled) is a no-op. It returns whether the event was actually
+// revoked.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.dead || id.ev.idx < 0 {
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.dead {
 		return false
 	}
-	id.ev.dead = true
+	ev.dead = true
 	return true
+}
+
+// fire executes one popped live event with the bookkeeping every dispatch
+// path shares: clock advance, fired accounting, and the periodic guard.
+func (e *Engine) fire(ev *event) {
+	e.now = ev.at
+	e.fired++
+	// Invalidate outstanding EventIDs before the callback runs, so a
+	// Cancel of the firing event from inside its own callback is the same
+	// no-op it was when the heap tracked popped indices.
+	ev.gen++
+	fn := ev.fn
+	ev.fn = nil
+	ev.dead = false
+	e.free = append(e.free, ev)
+	fn()
+	if e.guard != nil && e.fired%e.guardEvery == 0 {
+		if err := e.guard(e.now, e.fired); err != nil {
+			e.err = err
+			e.halted = true
+		}
+	}
 }
 
 // Step executes the next event, advancing the clock to its timestamp.
@@ -186,39 +289,92 @@ func (e *Engine) Cancel(id EventID) bool {
 // or the engine was halted).
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 && !e.halted {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.heapPop()
 		if ev.dead {
+			e.release(ev)
 			continue
 		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-		if e.guard != nil && e.fired%e.guardEvery == 0 {
-			if err := e.guard(e.now, e.fired); err != nil {
-				e.err = err
-				e.halted = true
-			}
-		}
+		e.fire(ev)
 		return true
 	}
 	return false
 }
 
+// dispatchBatch pops the full run of live events sharing the earliest
+// timestamp and fires them back to back — one tight loop per instant
+// instead of one Step round-trip per event. Newly scheduled events at the
+// same instant (higher seq) land in the heap and join the next batch, which
+// preserves exact FIFO order. If the engine halts mid-batch (Halt or an
+// aborting guard), the unfired remainder is pushed back with its original
+// (at, seq) keys, leaving the queue exactly as a Step-by-Step run would.
+// It reports whether any event fired.
+func (e *Engine) dispatchBatch(deadline Time, bounded bool) bool {
+	// Find the first live event.
+	var head *event
+	for len(e.queue) > 0 {
+		ev := e.heapPop()
+		if ev.dead {
+			e.release(ev)
+			continue
+		}
+		head = ev
+		break
+	}
+	if head == nil {
+		return false
+	}
+	if bounded && head.at > deadline {
+		e.heapPush(head) // beyond the horizon: leave it queued
+		return false
+	}
+	// Collect the rest of the instant.
+	at := head.at
+	batch := append(e.batch[:0], head)
+	for len(e.queue) > 0 && e.queue[0].at == at {
+		ev := e.heapPop()
+		if ev.dead {
+			e.release(ev)
+			continue
+		}
+		batch = append(batch, ev)
+	}
+	fired := false
+	for i, ev := range batch {
+		if e.halted {
+			// Restore the unfired tail; original seqs keep the order.
+			for _, rest := range batch[i:] {
+				e.heapPush(rest)
+			}
+			break
+		}
+		if ev.dead {
+			// Cancelled by an earlier event of the same instant, after the
+			// batch was collected.
+			e.release(ev)
+			continue
+		}
+		e.fire(ev)
+		fired = true
+	}
+	// Events were either fired (released in fire) or re-pushed; drop the
+	// stale pointers so the pool owns them exclusively.
+	for i := range batch {
+		batch[i] = nil
+	}
+	e.batch = batch[:0]
+	return fired
+}
+
 // Run executes events until the queue drains or Halt is called.
 func (e *Engine) Run() {
-	for e.Step() {
+	for !e.halted && e.dispatchBatch(0, false) {
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled beyond the deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for !e.halted {
-		next, ok := e.peek()
-		if !ok || next > deadline {
-			break
-		}
-		e.Step()
+	for !e.halted && e.dispatchBatch(deadline, true) {
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -230,18 +386,6 @@ func (e *Engine) Halt() { e.halted = true }
 
 // Halted reports whether Halt has been called.
 func (e *Engine) Halted() bool { return e.halted }
-
-// peek returns the timestamp of the next live event.
-func (e *Engine) peek() (Time, bool) {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.dead {
-			return ev.at, true
-		}
-		heap.Pop(&e.queue)
-	}
-	return 0, false
-}
 
 // Timer is a restartable one-shot timer bound to an engine, analogous to
 // time.Timer but virtual. The zero value is unusable; create timers with

@@ -329,3 +329,182 @@ func BenchmarkEngineScheduleAndFire(b *testing.B) {
 		e.Step()
 	}
 }
+
+func TestCancelAfterFireIsStale(t *testing.T) {
+	e := New()
+	fired := 0
+	id := e.At(10*Millisecond, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The event slot is recycled; a stale ID must neither cancel nor
+	// report valid.
+	if e.Cancel(id) {
+		t.Fatal("Cancel of a fired event returned true")
+	}
+	if id.Valid() {
+		t.Fatal("EventID still valid after firing")
+	}
+	// Recycle the slot with a fresh event: the stale ID must not be able
+	// to cancel the newcomer.
+	e.At(20*Millisecond, func() { fired++ })
+	if e.Cancel(id) {
+		t.Fatal("stale ID cancelled a recycled event")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("recycled event did not fire: fired = %d", fired)
+	}
+}
+
+// Regression: an event cancelling a later event of the same instant must
+// prevent it from firing, also under the batched dispatch used by Run.
+func TestCancelWithinSameInstantBatch(t *testing.T) {
+	e := New()
+	var order []int
+	var second EventID
+	e.At(5*Millisecond, func() {
+		order = append(order, 1)
+		e.Cancel(second)
+	})
+	second = e.At(5*Millisecond, func() { order = append(order, 2) })
+	e.At(5*Millisecond, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+// Scheduling at the current instant from inside a callback joins the same
+// dispatch instant, after all previously scheduled events of that instant.
+func TestScheduleAtNowDuringBatch(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(5*Millisecond, func() {
+		order = append(order, 1)
+		e.After(0, func() { order = append(order, 9) })
+	})
+	e.At(5*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 9}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Halt from inside a same-instant batch leaves the unfired remainder
+// queued, exactly as step-by-step dispatch would.
+func TestHaltMidBatchPreservesRemainder(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.At(5*Millisecond, func() {
+			count++
+			if count == 2 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("fired %d events after Halt, want 2", count)
+	}
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending after mid-batch halt = %d, want 3", got)
+	}
+}
+
+// The pool must keep steady-state scheduling allocation-free.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := New()
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i)*Microsecond, func() {})
+	}
+	e.Run()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.After(10*Microsecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %v per op, want 0", allocs)
+	}
+}
+
+// Property: batched Run and step-by-step dispatch observe identical
+// execution orders, including tombstones and same-instant ties.
+func TestPropBatchedRunMatchesStepwise(t *testing.T) {
+	run := func(offsets []uint8, cancelMask []bool, stepwise bool) []int {
+		e := New()
+		var order []int
+		ids := make([]EventID, len(offsets))
+		for i, off := range offsets {
+			i := i
+			// Coarse timestamps force heavy same-instant batching.
+			ids[i] = e.At(Time(off%8)*Millisecond, func() { order = append(order, i) })
+		}
+		for i := range offsets {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(ids[i])
+			}
+		}
+		if stepwise {
+			for e.Step() {
+			}
+		} else {
+			e.Run()
+		}
+		return order
+	}
+	f := func(offsets []uint8, cancelMask []bool) bool {
+		a := run(offsets, cancelMask, false)
+		b := run(offsets, cancelMask, true)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineSameInstantBatch(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 16 {
+		at := e.Now() + Microsecond
+		for j := 0; j < 16; j++ {
+			e.At(at, fn)
+		}
+		e.RunUntil(at)
+	}
+}
+
+func BenchmarkEngineCancel(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.After(Microsecond, fn)
+		e.Cancel(id)
+		if i%1024 == 1023 {
+			e.Run() // drain tombstones
+		}
+	}
+}

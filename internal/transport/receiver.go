@@ -75,6 +75,9 @@ func (r *Receiver) OnDeliver(fn func(DeliveredSample)) {
 
 // HandlePacket implements netem.Handler for data packets.
 func (r *Receiver) HandlePacket(pkt *netem.Packet) {
+	// The receiver is the terminal consumer on the data path, so any
+	// pool-managed packet is recycled on every return below.
+	defer netem.ReleasePacket(pkt)
 	if pkt.IsAck {
 		return
 	}
@@ -153,15 +156,23 @@ func (r *Receiver) sendAck() {
 	r.ackTimer.Stop()
 	ackDelay := now - r.largestReceivedAt
 
-	// Newest ranges first, bounded by MaxAckRanges.
+	// Newest ranges first, bounded by MaxAckRanges. The pooled packet's
+	// Ranges slice keeps its capacity across recycles, so steady-state ACK
+	// generation allocates nothing.
 	n := len(r.ranges)
 	count := n
 	if count > r.cfg.MaxAckRanges {
 		count = r.cfg.MaxAckRanges
 	}
-	out := make([]netem.AckRange, 0, count)
+	pkt := netem.GetPacket()
+	pkt.Flow = r.flow
+	pkt.IsAck = true
+	pkt.Size = r.cfg.AckPacketBytes
+	pkt.SentAt = now
+	pkt.LargestAcked = r.largestReceived
+	pkt.AckDelay = ackDelay
 	for i := n - 1; i >= n-count; i-- {
-		out = append(out, r.ranges[i])
+		pkt.Ranges = append(pkt.Ranges, r.ranges[i])
 	}
 
 	// Old fully-acked history can be compacted: keep at most 4x the
@@ -172,13 +183,5 @@ func (r *Receiver) sendAck() {
 
 	r.unackedCount = 0
 	r.Stats.AcksSent++
-	r.out.HandlePacket(&netem.Packet{
-		Flow:         r.flow,
-		IsAck:        true,
-		Size:         r.cfg.AckPacketBytes,
-		SentAt:       now,
-		LargestAcked: r.largestReceived,
-		AckDelay:     ackDelay,
-		Ranges:       out,
-	})
+	r.out.HandlePacket(pkt)
 }

@@ -59,6 +59,14 @@ type Sender struct {
 	packets       map[int64]*sentPacket
 	oldestUnacked int64
 
+	// spFree recycles sentPacket records: a bulk sender churns through one
+	// per packet, and without a free list every one is a garbage-collected
+	// allocation on the hot path.
+	spFree []*sentPacket
+	// ackedScratch is reused across ACKs for the newly-acked seq list,
+	// eliminating the per-ACK slice allocation in RFC 9002 processing.
+	ackedScratch []int64
+
 	rtt rttEstimator
 
 	// Delivery-rate sampler state.
@@ -101,12 +109,14 @@ func NewSender(eng *sim.Engine, cfg Config, ctrl cc.Controller, out netem.Handle
 func NewSenderWithClock(clk Clock, cfg Config, ctrl cc.Controller, out netem.Handler, flow int) *Sender {
 	cfg = cfg.withDefaults()
 	s := &Sender{
-		clk:          clk,
-		cfg:          cfg,
-		ctrl:         ctrl,
-		out:          out,
-		flow:         flow,
-		packets:      make(map[int64]*sentPacket),
+		clk:  clk,
+		cfg:  cfg,
+		ctrl: ctrl,
+		out:  out,
+		flow: flow,
+		// Pre-sized for a typical flight plus the lost-packet retention
+		// window, so steady state never pays for map growth.
+		packets:      make(map[int64]*sentPacket, 256),
 		largestAcked: -1,
 	}
 	s.sendTimer = clk.NewTimer(s.trySend)
@@ -223,6 +233,25 @@ func (s *Sender) quantumTime(rate float64) sim.Time {
 	return sim.Time(float64(quantum) / rate * float64(sim.Second))
 }
 
+// allocSent takes a sentPacket record from the free list, falling back to
+// the allocator when the list is empty.
+func (s *Sender) allocSent() *sentPacket {
+	if n := len(s.spFree); n > 0 {
+		sp := s.spFree[n-1]
+		s.spFree = s.spFree[:n-1]
+		return sp
+	}
+	return &sentPacket{}
+}
+
+// forgetSent removes seq from the tracked set and recycles its record.
+// Callers must not touch sp afterwards.
+func (s *Sender) forgetSent(seq int64, sp *sentPacket) {
+	delete(s.packets, seq)
+	*sp = sentPacket{}
+	s.spFree = append(s.spFree, sp)
+}
+
 // sendPacket emits one data packet and updates tracking state.
 func (s *Sender) sendPacket(now sim.Time, bytes int) {
 	seq := s.nextSeq
@@ -231,7 +260,8 @@ func (s *Sender) sendPacket(now sim.Time, bytes int) {
 		s.firstSentTime = now
 		s.deliveredTime = now
 	}
-	sp := &sentPacket{
+	sp := s.allocSent()
+	*sp = sentPacket{
 		seq:           seq,
 		bytes:         bytes,
 		sentAt:        now,
@@ -245,18 +275,21 @@ func (s *Sender) sendPacket(now sim.Time, bytes int) {
 	s.Stats.PacketsSent++
 	s.Stats.BytesSent += int64(bytes)
 	s.ctrl.OnPacketSent(now, bytes, s.bytesInFlight)
-	s.out.HandlePacket(&netem.Packet{
-		Flow:   s.flow,
-		Seq:    seq,
-		Size:   bytes,
-		SentAt: now,
-	})
+	pkt := netem.GetPacket()
+	pkt.Flow = s.flow
+	pkt.Seq = seq
+	pkt.Size = bytes
+	pkt.SentAt = now
+	s.out.HandlePacket(pkt)
 	s.armLossTimer()
 }
 
 // HandlePacket implements netem.Handler for the reverse path: it consumes
 // ACK packets.
 func (s *Sender) HandlePacket(pkt *netem.Packet) {
+	// The sender is the terminal consumer on the reverse path, so any
+	// pool-managed packet is recycled on every return below.
+	defer netem.ReleasePacket(pkt)
 	if !pkt.IsAck || s.stopped || pkt.Corrupted {
 		return
 	}
@@ -266,19 +299,19 @@ func (s *Sender) HandlePacket(pkt *netem.Packet) {
 		newlyAckedBytes int
 		largestNewly    *sentPacket
 		sawNew          bool
-		ackedSeqs       []int64
 	)
+	ackedSeqs := s.ackedScratch[:0]
 	process := func(seq int64, sp *sentPacket) {
 		if sp.acked {
 			return
 		}
 		if sp.lost {
 			// Late ACK of a declared-lost packet: spurious loss.
-			sp.acked = true
 			s.Stats.SpuriousLosses++
 			s.accountDelivered(now, sp)
-			s.ctrl.OnSpuriousLoss(now, sp.sentAt)
-			delete(s.packets, seq)
+			spuriousSentAt := sp.sentAt
+			s.forgetSent(seq, sp)
+			s.ctrl.OnSpuriousLoss(now, spuriousSentAt)
 			return
 		}
 		sp.acked = true
@@ -374,10 +407,13 @@ func (s *Sender) HandlePacket(pkt *netem.Packet) {
 	}
 	s.ctrl.OnAck(ev)
 
-	// Acked packets can now be forgotten.
+	// Acked packets can now be forgotten and their records recycled.
 	for _, seq := range ackedSeqs {
-		delete(s.packets, seq)
+		if sp, ok := s.packets[seq]; ok {
+			s.forgetSent(seq, sp)
+		}
 	}
+	s.ackedScratch = ackedSeqs[:0]
 
 	s.detectLosses(now)
 	for _, fn := range s.onCwnd {
@@ -501,7 +537,7 @@ func (s *Sender) detectLosses(now sim.Time) {
 	horizon := now - 4*s.rtt.pto(s.cfg.MaxAckDelay, s.cfg.TimerGranularity)
 	for seq, sp := range s.packets {
 		if sp.lost && sp.sentAt < horizon {
-			delete(s.packets, seq)
+			s.forgetSent(seq, sp)
 		}
 	}
 	if earliestLossAt >= 0 {

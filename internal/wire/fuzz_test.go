@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// FuzzDecode feeds arbitrary datagrams to the parser. Invariants: Decode
+// never panics, failures are one of the typed errors, and a successful
+// decode re-encodes to a canonical form that is a fixed point of another
+// decode/encode round (so nothing is invented or lost past the first
+// canonicalization).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a data packet, an ACK with ranges, and assorted edge
+	// shapes (short, wrong magic, range count past the datagram end).
+	var buf [2048]byte
+	n, _ := Encode(buf[:], &netem.Packet{Flow: 3, Seq: 123456789, Size: 1200})
+	f.Add(append([]byte(nil), buf[:n]...))
+	n, _ = Encode(buf[:], &netem.Packet{
+		Flow: 9, IsAck: true, LargestAcked: 4242, AckDelay: 25 * sim.Millisecond,
+		Ranges: []netem.AckRange{{Smallest: 40, Largest: 4242}, {Smallest: 1, Largest: 30}},
+	})
+	f.Add(append([]byte(nil), buf[:n]...))
+	f.Add([]byte{})
+	f.Add([]byte{0x51})
+	f.Add([]byte("not a datagram at all, just text"))
+	f.Add([]byte{0x51, 1, 2, 255, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrShort) && !errors.Is(err, ErrMagic) {
+				t.Fatalf("Decode returned an untyped error: %v", err)
+			}
+			return
+		}
+		b1 := make([]byte, p1.Size+headerLen+MaxRanges*rangeLen)
+		n1, err := Encode(b1, p1)
+		if err != nil {
+			t.Fatalf("re-encode of decoded packet failed: %v", err)
+		}
+		p2, err := Decode(b1[:n1])
+		if err != nil {
+			t.Fatalf("decode of re-encoded packet failed: %v", err)
+		}
+		b2 := make([]byte, len(b1))
+		n2, err := Encode(b2, p2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1[:n1], b2[:n2]) {
+			t.Fatalf("canonical form is not a fixed point:\n first: %x\nsecond: %x", b1[:n1], b2[:n2])
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip drives the encoder with arbitrary semantic
+// fields and checks the decoder recovers them exactly (modulo the
+// documented clamps: flow is one byte on the wire, at most MaxRanges ACK
+// ranges travel).
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(byte(1), false, int64(7), int64(0), 300, []byte{})
+	f.Add(byte(200), true, int64(1<<40), int64(12345678), 0, []byte{1, 0, 0, 0, 0, 0, 0, 40, 2})
+	f.Add(byte(0), true, int64(-1), int64(-5), 0, bytes.Repeat([]byte{9}, 16*40))
+
+	f.Fuzz(func(t *testing.T, flow byte, isAck bool, seq, delay int64, extra int, rangeBytes []byte) {
+		pkt := &netem.Packet{Flow: int(flow)}
+		if isAck {
+			pkt.IsAck = true
+			pkt.LargestAcked = seq
+			pkt.AckDelay = sim.Time(delay)
+			for i := 0; i+16 <= len(rangeBytes) && len(pkt.Ranges) < MaxRanges+8; i += 16 {
+				pkt.Ranges = append(pkt.Ranges, netem.AckRange{
+					Smallest: int64(rangeBytes[i]),
+					Largest:  int64(rangeBytes[i+8]),
+				})
+			}
+		} else {
+			pkt.Seq = seq
+			if extra < 0 {
+				extra = -extra
+			}
+			pkt.Size = headerLen + extra%1400
+		}
+		buf := make([]byte, headerLen+MaxRanges*rangeLen+pkt.Size)
+		n, err := Encode(buf, pkt)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := Decode(buf[:n])
+		if err != nil {
+			t.Fatalf("decode of freshly encoded packet: %v", err)
+		}
+		if got.Flow != int(flow) || got.IsAck != isAck {
+			t.Fatalf("flow/ack mismatch: got %+v, sent %+v", got, pkt)
+		}
+		if isAck {
+			if got.LargestAcked != seq || got.AckDelay != sim.Time(delay) {
+				t.Fatalf("ack fields mismatch: got %+v, sent %+v", got, pkt)
+			}
+			want := pkt.Ranges
+			if len(want) > MaxRanges {
+				want = want[:MaxRanges]
+			}
+			if len(got.Ranges) != len(want) {
+				t.Fatalf("range count %d, want %d", len(got.Ranges), len(want))
+			}
+			for i := range want {
+				if got.Ranges[i] != want[i] {
+					t.Fatalf("range %d: got %+v, want %+v", i, got.Ranges[i], want[i])
+				}
+			}
+		} else {
+			if got.Seq != seq || got.Size != pkt.Size {
+				t.Fatalf("data fields mismatch: got %+v, sent %+v", got, pkt)
+			}
+		}
+	})
+}
