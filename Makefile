@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke bench bench-check
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke soak bench bench-check
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -49,16 +49,43 @@ chaos:
 ## sweep-smoke: exercise the supervised runner end to end — the resume
 ## determinism tests under the race detector, then a tiny checkpointed CLI
 ## sweep interrupted mid-way (-abort-after, exit 130 expected) and resumed
-## from its journal.
+## from its journal; once in-process and once under -isolate (each cell in
+## a crash-isolated `_trial` child).
 sweep-smoke:
-	$(GO) test -race -count=1 -run 'TestResume|TestSweepResume|TestRunSweepFacade' ./internal/runner ./internal/core .
-	@rm -f /tmp/quicbench-sweep-smoke.jsonl
+	$(GO) test -race -count=1 -run 'TestResume|TestSweepResume|TestRunSweepFacade|TestIsolated' ./internal/runner ./internal/core .
 	$(GO) build -race -o /tmp/quicbench-sweep-smoke ./cmd/quicbench
-	/tmp/quicbench-sweep-smoke sweep -stacks quicgo,lsquic,xquic -ccas cubic \
-		-duration 2s -trials 2 -checkpoint /tmp/quicbench-sweep-smoke.jsonl -abort-after 1; \
-	status=$$?; if [ $$status -ne 130 ]; then \
-		echo "sweep-smoke: interrupted run exited $$status, want 130"; exit 1; fi
-	/tmp/quicbench-sweep-smoke sweep -stacks quicgo,lsquic,xquic -ccas cubic \
-		-duration 2s -trials 2 -checkpoint /tmp/quicbench-sweep-smoke.jsonl -resume
+	@for mode in "" "-isolate"; do \
+		rm -f /tmp/quicbench-sweep-smoke.jsonl; \
+		echo "sweep-smoke: mode '$$mode'"; \
+		/tmp/quicbench-sweep-smoke sweep $$mode -stacks quicgo,lsquic,xquic -ccas cubic \
+			-duration 2s -trials 2 -checkpoint /tmp/quicbench-sweep-smoke.jsonl -abort-after 1; \
+		status=$$?; if [ $$status -ne 130 ]; then \
+			echo "sweep-smoke: interrupted run exited $$status, want 130"; exit 1; fi; \
+		/tmp/quicbench-sweep-smoke sweep $$mode -stacks quicgo,lsquic,xquic -ccas cubic \
+			-duration 2s -trials 2 -checkpoint /tmp/quicbench-sweep-smoke.jsonl -resume \
+			|| exit 1; \
+	done
 	@rm -f /tmp/quicbench-sweep-smoke /tmp/quicbench-sweep-smoke.jsonl
 	@echo "sweep-smoke: ok"
+
+## soak: a short seeded chaos sweep under the race detector with crash
+## isolation on — one cell wedges (reaped by heartbeat stall, classified
+## timeout), one panics (recovered in the child, classified panic), one
+## allocates without bound (killed by the soft memory ceiling's self-check,
+## classified OOM) — while a healthy cell completes. The sweep must finish
+## with exit 1 (classified failures, no crash) and journal every outcome.
+soak:
+	$(GO) build -race -o /tmp/quicbench-soak ./cmd/quicbench
+	@rm -f /tmp/quicbench-soak.jsonl
+	QUICBENCH_TEST_WEDGE=lsquic QUICBENCH_TEST_PANIC=xquic QUICBENCH_TEST_MEMHOG=mvfst \
+	/tmp/quicbench-soak sweep -isolate -stacks quicgo,lsquic,xquic,mvfst -ccas cubic \
+		-duration 2s -trials 2 -seed 7 -retries 2 -stall-timeout 2s -mem-limit 64 \
+		-checkpoint /tmp/quicbench-soak.jsonl; \
+	status=$$?; if [ $$status -ne 1 ]; then \
+		echo "soak: chaos sweep exited $$status, want 1 (classified failures)"; exit 1; fi
+	@grep -q '"outcome":"ok"' /tmp/quicbench-soak.jsonl || { echo "soak: no healthy cell completed"; exit 1; }
+	@grep -q 'heartbeat' /tmp/quicbench-soak.jsonl || { echo "soak: wedge not classified as a heartbeat timeout"; exit 1; }
+	@grep -q 'panic' /tmp/quicbench-soak.jsonl || { echo "soak: injected panic not classified"; exit 1; }
+	@grep -qi 'memory\|ceiling' /tmp/quicbench-soak.jsonl || { echo "soak: memory blowout not classified"; exit 1; }
+	@rm -f /tmp/quicbench-soak /tmp/quicbench-soak.jsonl
+	@echo "soak: ok"

@@ -24,9 +24,15 @@
 // The sweep subcommand runs a supervised conformance sweep over a
 // stack × CCA grid: a bounded worker pool with panic isolation, retry with
 // deterministic backoff, per-trial virtual-clock timeouts (-trial-timeout),
-// and a JSONL checkpoint journal (-checkpoint). ^C drains gracefully (exit
-// 130) and -resume continues from the journal, reproducing the
-// uninterrupted results bit for bit.
+// and a JSONL checkpoint journal (-checkpoint). SIGINT and SIGTERM drain
+// gracefully (exit 130 and 143) and -resume continues from the journal,
+// reproducing the uninterrupted results bit for bit. With -isolate each
+// cell attempt runs in a crash-isolated child process (the hidden `_trial`
+// mode): children heartbeat to the parent, a wall-clock reaper SIGKILLs
+// wedged or overrunning ones (-stall-timeout, -wall-timeout), a soft
+// memory ceiling (-mem-limit) contains allocation blowouts, and every
+// child death is classified (timeout, OOM, signal, crash) and retried —
+// a hard crash costs one attempt of one cell, never the sweep.
 package main
 
 import (
@@ -41,6 +47,11 @@ import (
 )
 
 func main() {
+	// Hidden trial-child mode: the parent half lives in internal/isolate
+	// and `quicbench sweep -isolate`. Not part of the CLI surface.
+	if len(os.Args) > 1 && os.Args[1] == "_trial" {
+		os.Exit(quicbench.TrialChildMain())
+	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		os.Exit(chaosMain(os.Args[2:]))
 	}

@@ -8,6 +8,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	quicbench "repro"
@@ -16,8 +17,9 @@ import (
 // sweepMain implements the `quicbench sweep` subcommand: a supervised,
 // checkpointed conformance sweep over a stack × CCA × network grid. It
 // returns the process exit code: 0 on success, 1 when cells exhausted
-// their retry budget, 2 on usage errors, and 130 when interrupted (the
-// journal stays valid; re-run with -resume to continue).
+// their retry budget, 2 on usage errors, and 128+signal when interrupted —
+// 130 for SIGINT, 143 for SIGTERM (a container runtime's stop signal).
+// Either way the journal stays valid; re-run with -resume to continue.
 func sweepMain(args []string) int {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	var (
@@ -34,6 +36,10 @@ func sweepMain(args []string) int {
 		trialTO    = fs.Duration("trial-timeout", 0, "virtual-clock deadline per trial (0 = none)")
 		checkpoint = fs.String("checkpoint", "", "JSONL journal path (empty = no checkpointing)")
 		resume     = fs.Bool("resume", false, "replay the checkpoint journal and run only missing/failed cells")
+		isolated   = fs.Bool("isolate", false, "run each cell attempt in a crash-isolated child process")
+		memLimit   = fs.Int("mem-limit", 0, "soft heap ceiling per isolated child (MiB, 0 = none)")
+		stallTO    = fs.Duration("stall-timeout", 10*time.Second, "SIGKILL an isolated child silent for this long")
+		wallTO     = fs.Duration("wall-timeout", 0, "wall-clock deadline per isolated child attempt (0 = none)")
 		abortAfter = fs.Int("abort-after", 0, "testing aid: cancel the sweep after N completed cells")
 		quiet      = fs.Bool("q", false, "suppress per-cell progress lines")
 	)
@@ -45,12 +51,16 @@ func sweepMain(args []string) int {
 	}
 
 	opts := quicbench.SweepOptions{
-		Workers:      *workers,
-		Retries:      *retries,
-		TrialTimeout: *trialTO,
-		Seed:         *seed,
-		Checkpoint:   *checkpoint,
-		Resume:       *resume,
+		Workers:             *workers,
+		Retries:             *retries,
+		TrialTimeout:        *trialTO,
+		Seed:                *seed,
+		Checkpoint:          *checkpoint,
+		Resume:              *resume,
+		Isolate:             *isolated,
+		IsolateMemLimitMB:   *memLimit,
+		IsolateStallTimeout: *stallTO,
+		IsolateWallTimeout:  *wallTO,
 		Networks: []quicbench.Network{{
 			BandwidthMbps: *bw,
 			RTT:           *rtt,
@@ -69,13 +79,29 @@ func sweepMain(args []string) int {
 		}
 	}
 
-	// SIGINT cancels the context: in-flight cells abort at the next
-	// watchdog tick, pending cells record "skipped", and the journal is
-	// flushed record-by-record, so a second ^C loses nothing.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	ctx, cancel := context.WithCancel(ctx)
+	if *isolated {
+		opts.OnFallback = func(cell string, err error) {
+			fmt.Fprintf(os.Stderr, "sweep: isolation fallback (in-process) for %s: %v\n", cell, err)
+		}
+	}
+
+	// SIGINT and SIGTERM cancel the context: in-flight cells abort at the
+	// next watchdog tick (isolated children are killed), pending cells
+	// record "skipped", and the journal is flushed record-by-record, so a
+	// container stop or a second ^C loses nothing. The signal is recorded
+	// to pick the conventional exit code (130 vs. 143).
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var gotSig atomic.Value
+	go func() {
+		if s, ok := <-sigCh; ok {
+			gotSig.Store(s)
+			cancel()
+		}
+	}()
 
 	var done atomic.Int64
 	opts.Progress = func(r quicbench.SweepCellResult) {
@@ -99,7 +125,10 @@ func sweepMain(args []string) int {
 	}
 	switch {
 	case sum.Interrupted:
-		return 130
+		if s, _ := gotSig.Load().(os.Signal); s == syscall.SIGTERM {
+			return 143 // 128 + SIGTERM, the containerized-stop convention
+		}
+		return 130 // SIGINT, or a programmatic cancel (-abort-after)
 	case sum.Failed() > 0:
 		return 1
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/runner"
@@ -65,10 +66,59 @@ func GridCells(stackNames []string, ccas []stacks.CCA, nets []Network) ([]SweepC
 	return out, nil
 }
 
+// CellTrialSpec is the serializable description of one sweep trial — the
+// spec a crash-isolated trial child (internal/isolate) receives over its
+// stdin. It carries everything runCell needs, so the child reproduces the
+// in-process computation exactly.
+type CellTrialSpec struct {
+	Cell     SweepCell `json:"cell"`
+	Deadline sim.Time  `json:"deadline,omitempty"`
+}
+
+// runCell executes the full conformance pipeline for one cell — the single
+// code path behind both the in-process trial closure and the isolated
+// child (ExecuteCellSpec), which is what makes their results bit-identical.
+func runCell(ctx context.Context, c SweepCell, deadline sim.Time) (CellReport, error) {
+	fl, err := SpecE(c.Stack, c.CCA)
+	if err != nil {
+		return CellReport{}, err
+	}
+	r, err := ConformanceBounded(fl, c.Net, Bounds{Ctx: ctx, Deadline: deadline})
+	if err != nil {
+		return CellReport{}, err
+	}
+	return CellReport{
+		Conformance:         r.Conformance,
+		ConformanceOld:      r.ConformanceOld,
+		ConformanceT:        r.ConformanceT,
+		DeltaThroughputMbps: r.DeltaThroughputMbps,
+		DeltaDelayMs:        r.DeltaDelayMs,
+		K:                   r.K,
+	}, nil
+}
+
+// ExecuteCellSpec runs the trial described by a marshalled CellTrialSpec
+// and returns the marshalled CellReport — the child half of the isolation
+// protocol. The returned bytes are identical to what the in-process
+// executor journals for the same cell and seed.
+func ExecuteCellSpec(ctx context.Context, payload []byte) (json.RawMessage, error) {
+	var spec CellTrialSpec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		return nil, fmt.Errorf("core: bad cell trial spec: %w", err)
+	}
+	rep, err := runCell(ctx, spec.Cell, spec.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(rep)
+}
+
 // SweepTrials lowers cells to supervised runner trials. Each trial runs the
 // full conformance pipeline for its cell under Bounds{Ctx, deadline}: the
 // sweep's cancellation context reaches every in-flight discrete-event run,
-// and a positive deadline caps each underlying trial's virtual clock.
+// and a positive deadline caps each underlying trial's virtual clock. The
+// trial's Spec carries the same cell serializably, so an isolating executor
+// can ship it to a child process instead.
 func SweepTrials(cells []SweepCell, deadline sim.Time) []runner.Trial {
 	out := make([]runner.Trial, len(cells))
 	for i, c := range cells {
@@ -76,23 +126,9 @@ func SweepTrials(cells []SweepCell, deadline sim.Time) []runner.Trial {
 		out[i] = runner.Trial{
 			Key:  c.Key(),
 			Seed: c.Net.withDefaults().Seed,
+			Spec: CellTrialSpec{Cell: c, Deadline: deadline},
 			Run: func(ctx context.Context) (any, error) {
-				fl, err := SpecE(c.Stack, c.CCA)
-				if err != nil {
-					return nil, err
-				}
-				r, err := ConformanceBounded(fl, c.Net, Bounds{Ctx: ctx, Deadline: deadline})
-				if err != nil {
-					return nil, err
-				}
-				return CellReport{
-					Conformance:         r.Conformance,
-					ConformanceOld:      r.ConformanceOld,
-					ConformanceT:        r.ConformanceT,
-					DeltaThroughputMbps: r.DeltaThroughputMbps,
-					DeltaDelayMs:        r.DeltaDelayMs,
-					K:                   r.K,
-				}, nil
+				return runCell(ctx, c, deadline)
 			},
 		}
 	}
@@ -117,6 +153,10 @@ type SweepConfig struct {
 	Resume bool
 	// OnRecord observes every cell record as it completes (serialized).
 	OnRecord func(runner.Record)
+	// Executor, when non-nil, runs each trial attempt (e.g. the
+	// crash-isolating subprocess executor from internal/isolate); nil
+	// selects the in-process executor.
+	Executor runner.TrialExecutor
 }
 
 // RunSweep executes a conformance sweep over cells under full supervision:
@@ -130,6 +170,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig, cells []SweepCell) (*runner.
 		MaxAttempts: cfg.MaxAttempts,
 		Seed:        cfg.Seed,
 		OnRecord:    cfg.OnRecord,
+		Executor:    cfg.Executor,
 	}
 	if cfg.Checkpoint == "" {
 		return runner.Run(ctx, rcfg, trials)

@@ -201,3 +201,41 @@ func TestSweepTimeoutCellIsTypedFailure(t *testing.T) {
 		t.Errorf("record error %q not classified as timeout", rec.Err)
 	}
 }
+
+// TestExecuteCellSpecBitIdentical: the isolated-child code path
+// (marshalled CellTrialSpec in, marshalled CellReport out) must produce
+// byte-identical results to the in-process trial closure for the same
+// cell and seed — the foundation of the isolate/in-process equivalence.
+func TestExecuteCellSpecBitIdentical(t *testing.T) {
+	cell := SweepCell{Stack: "quicgo", CCA: stacks.CUBIC, Net: sweepNet(5)}
+	trials := SweepTrials([]SweepCell{cell}, 0)
+
+	inproc, err := trials[0].Run(context.Background())
+	if err != nil {
+		t.Fatalf("in-process trial: %v", err)
+	}
+	inprocRaw, err := json.Marshal(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload, err := json.Marshal(trials[0].Spec)
+	if err != nil {
+		t.Fatalf("trial spec is not serializable: %v", err)
+	}
+	childRaw, err := ExecuteCellSpec(context.Background(), payload)
+	if err != nil {
+		t.Fatalf("ExecuteCellSpec: %v", err)
+	}
+	if !bytes.Equal(inprocRaw, childRaw) {
+		t.Errorf("isolated bytes differ from in-process:\nin-process %s\nisolated   %s", inprocRaw, childRaw)
+	}
+}
+
+// TestExecuteCellSpecBadPayload: garbage from a broken child pipe is an
+// error, not a panic.
+func TestExecuteCellSpecBadPayload(t *testing.T) {
+	if _, err := ExecuteCellSpec(context.Background(), []byte("not json")); err == nil {
+		t.Error("garbage payload accepted")
+	}
+}

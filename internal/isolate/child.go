@@ -1,0 +1,203 @@
+package isolate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Child process exit codes. 0 means the protocol completed — even a trial
+// that failed exits 0, with the failure inside the result frame; nonzero
+// exits are reserved for crashes the protocol could not report.
+const (
+	// ExitProtocol: the child could not complete the stdin/stdout
+	// protocol (bad spec frame, result write failure).
+	ExitProtocol = 3
+	// ExitMemExceeded: the memory self-check saw live heap beyond twice
+	// the soft ceiling — the deterministic stand-in for a kernel OOM-kill,
+	// fired before the machine starts swapping.
+	ExitMemExceeded = 87
+)
+
+// ChildEnvMarker is set in every isolated child's environment. Test
+// binaries use it to dispatch TestMain into ChildMain; the production
+// binary dispatches on its hidden `_trial` argv instead.
+const ChildEnvMarker = "QUICBENCH_TRIAL_CHILD"
+
+// Chaos-injection hooks, matched as substrings against the trial key.
+// They only take effect inside an isolated child, where dying is safe —
+// that is the point: the parent must classify and survive each of them.
+const (
+	// EnvWedge: the child blocks forever before its first heartbeat; the
+	// parent's reaper must SIGKILL it and classify a timeout.
+	EnvWedge = "QUICBENCH_TEST_WEDGE"
+	// EnvPanic: the trial panics; the child recovers and reports a typed
+	// panic outcome.
+	EnvPanic = "QUICBENCH_TEST_PANIC"
+	// EnvMemHog: the trial allocates without bound; the soft memory
+	// ceiling's self-check must kill the child (ExitMemExceeded).
+	EnvMemHog = "QUICBENCH_TEST_MEMHOG"
+)
+
+// RunFunc executes the domain trial described by a spec's payload and
+// returns the marshalled result. It is the only domain knowledge the
+// child needs; cmd/quicbench wires it to core.ExecuteCellSpec.
+type RunFunc func(ctx context.Context, spec TrialSpec) (json.RawMessage, error)
+
+// ChildMain is the body of the hidden trial-child mode (`quicbench
+// _trial`): read one spec frame from stdin, apply the soft memory
+// ceiling, heartbeat on stdout while the trial runs, write the result
+// frame, exit. It returns the process exit code.
+func ChildMain(stdin io.Reader, stdout io.Writer, run RunFunc) int {
+	fr, err := readFrame(stdin)
+	if err != nil || fr.Type != frameSpec || fr.Spec == nil {
+		fmt.Fprintf(os.Stderr, "isolate child: bad spec frame: %v\n", err)
+		return ExitProtocol
+	}
+	spec := *fr.Spec
+
+	if spec.MemLimitBytes > 0 {
+		// Soft ceiling: the GC works hard to stay under it. The self-check
+		// is the hard backstop for trials that allocate reachable memory
+		// without bound, which no GC effort can contain.
+		debug.SetMemoryLimit(spec.MemLimitBytes)
+		go memSelfCheck(spec.MemLimitBytes)
+	}
+
+	if hookMatches(EnvWedge, spec.Key) {
+		// Wedge before the first heartbeat: from the parent's view the
+		// child is alive but silent, exactly the failure the reaper's
+		// heartbeat-stall supervision exists for. (A sleep loop, not
+		// `select {}`, so the runtime's deadlock detector doesn't turn
+		// the wedge into a polite crash.)
+		for {
+			time.Sleep(time.Hour)
+		}
+	}
+
+	w := &lockedWriter{w: stdout}
+	hb := time.Duration(spec.HeartbeatMs) * time.Millisecond
+	if hb <= 0 {
+		hb = 100 * time.Millisecond
+	}
+	stopBeats := startHeartbeats(w, hb)
+	out := runSpec(context.Background(), run, spec)
+	stopBeats()
+	if err := w.write(frame{Type: frameResult, Outcome: &out}); err != nil {
+		fmt.Fprintf(os.Stderr, "isolate child: write result: %v\n", err)
+		return ExitProtocol
+	}
+	return 0
+}
+
+// runSpec executes the trial with panic recovery, mirroring the
+// in-process executor: the outcome's Kind matches what runner.Classify
+// would have produced for the same failure.
+func runSpec(ctx context.Context, run RunFunc, spec TrialSpec) (out TrialOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Stack to stderr for diagnostics; the outcome text stays a
+			// pure function of the panic value, like the in-process path.
+			fmt.Fprintf(os.Stderr, "isolate child: trial %s panicked: %v\n%s", spec.Key, r, debug.Stack())
+			out = TrialOutcome{Err: fmt.Sprintf("%v", r), Kind: string(runner.FailPanic)}
+		}
+	}()
+	if hookMatches(EnvPanic, spec.Key) {
+		panic("injected test panic (" + EnvPanic + ")")
+	}
+	if hookMatches(EnvMemHog, spec.Key) {
+		memHog()
+	}
+	raw, err := run(ctx, spec)
+	if err != nil {
+		return TrialOutcome{Err: err.Error(), Kind: string(runner.Classify(err))}
+	}
+	return TrialOutcome{Result: raw}
+}
+
+// hookMatches reports whether the named chaos hook selects this trial.
+func hookMatches(env, key string) bool {
+	sub := os.Getenv(env)
+	return sub != "" && strings.Contains(key, sub)
+}
+
+// memHog allocates reachable memory without bound — the injected memory
+// blowout. It never returns; the self-check (or the kernel) ends it.
+func memHog() {
+	var hog [][]byte
+	for {
+		b := make([]byte, 8<<20)
+		for i := range b {
+			b[i] = byte(i) // touch every page so the heap is real
+		}
+		hog = append(hog, b)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// memSelfCheck hard-kills the child once live heap passes twice the soft
+// ceiling. At that point the GC has already lost: the ceiling is soft
+// precisely because Go will exceed it to keep reachable memory alive, so
+// a runaway trial must be stopped by exiting, not by collecting.
+func memSelfCheck(limit int64) {
+	for {
+		time.Sleep(20 * time.Millisecond)
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > uint64(2*limit) {
+			fmt.Fprintf(os.Stderr, "isolate child: live heap %d B exceeds twice the soft ceiling %d B\n",
+				ms.HeapAlloc, limit)
+			os.Exit(ExitMemExceeded)
+		}
+	}
+}
+
+// lockedWriter serializes frame writes between the heartbeat goroutine
+// and the result path.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) write(fr frame) error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return writeFrame(lw.w, fr)
+}
+
+// startHeartbeats emits a beat frame every `every` until the returned stop
+// function is called (which waits for the goroutine to exit, so no beat
+// can follow the result frame).
+func startHeartbeats(w *lockedWriter, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := w.write(frame{Type: frameBeat}); err != nil {
+					return // parent gone; the trial result write will report it
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

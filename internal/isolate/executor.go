@@ -1,0 +1,436 @@
+package isolate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/runner"
+)
+
+// Typed child-death classifications. Reaper kills additionally match
+// faults.ErrDeadline, so runner.Classify lands them in FailTimeout and
+// the supervisor's deterministic seeded backoff schedules the respawn.
+var (
+	// ErrSpawn marks a child that could not be started at all; the
+	// executor falls back to in-process execution instead of failing.
+	ErrSpawn = errors.New("isolate: spawn trial child")
+	// ErrHeartbeatStall marks a child SIGKILLed by the reaper after going
+	// silent — wedged hard enough that even its heartbeat goroutine
+	// stopped being scheduled.
+	ErrHeartbeatStall = errors.New("isolate: child heartbeats stalled")
+	// ErrWallDeadline marks a child SIGKILLed by the reaper for
+	// overrunning its wall-clock trial deadline.
+	ErrWallDeadline = errors.New("isolate: child exceeded the trial wall-clock deadline")
+	// ErrChildOOM marks a child that died over memory: its own hard
+	// self-check (ExitMemExceeded) or an unsolicited SIGKILL, the kernel
+	// OOM-killer's signature.
+	ErrChildOOM = errors.New("isolate: child killed over memory")
+	// ErrChildSignal marks a child killed by a signal the parent did not
+	// send (segfault, abort, external kill).
+	ErrChildSignal = errors.New("isolate: child killed by signal")
+	// ErrChildExit marks a child that exited nonzero without reporting a
+	// result — a hard crash the in-process runner could never survive.
+	ErrChildExit = errors.New("isolate: child exited nonzero")
+)
+
+// Executor runs trial attempts in crash-isolated child processes and
+// implements runner.TrialExecutor. The zero value is usable; Close stops
+// the reaper when the sweep is done.
+type Executor struct {
+	// Cmd is the child argv. Empty selects the running binary's hidden
+	// trial mode: {os.Executable(), "_trial"}. Test binaries rely on
+	// ChildEnvMarker (always set) to dispatch instead of the argv.
+	Cmd []string
+	// Env is appended to the inherited environment of every child.
+	Env []string
+	// HeartbeatInterval is the child's heartbeat period (default 100 ms).
+	HeartbeatInterval time.Duration
+	// StallTimeout is how long a child may go without a heartbeat before
+	// the reaper SIGKILLs it (default 10 s, floored at twice the
+	// heartbeat interval).
+	StallTimeout time.Duration
+	// StartupGrace extends the stall window until the first heartbeat
+	// arrives (default 2 s): a freshly exec'd child still loading its
+	// binary is slow, not wedged.
+	StartupGrace time.Duration
+	// WallDeadline, when positive, is the wall-clock budget per attempt,
+	// measured from spawn; the reaper SIGKILLs overrunning children.
+	WallDeadline time.Duration
+	// MemLimitBytes, when positive, is each child's soft heap ceiling.
+	MemLimitBytes int64
+	// Fallback executes attempts that cannot be isolated — a trial
+	// without a serializable Spec, or a spawn failure. Nil selects
+	// runner.InProcess. Degradation is graceful by design: isolation
+	// trouble must never turn a runnable trial into a hard error.
+	Fallback runner.TrialExecutor
+	// OnFallback, when non-nil, observes each degradation (serialized by
+	// nothing — it must be safe for concurrent use).
+	OnFallback func(key string, err error)
+
+	reapOnce sync.Once
+	reap     *reaper
+}
+
+// ExecuteTrial implements runner.TrialExecutor.
+func (e *Executor) ExecuteTrial(ctx context.Context, tr runner.Trial, attempt int) (json.RawMessage, *runner.TrialError) {
+	if tr.Spec == nil {
+		return e.fallback(ctx, tr, attempt, errors.New("trial has no serializable spec"))
+	}
+	payload, err := json.Marshal(tr.Spec)
+	if err != nil {
+		return e.fallback(ctx, tr, attempt, fmt.Errorf("marshal trial spec: %w", err))
+	}
+	out, err := e.runChild(ctx, tr, attempt, payload)
+	switch {
+	case errors.Is(err, ErrSpawn):
+		return e.fallback(ctx, tr, attempt, err)
+	case err != nil:
+		return nil, &runner.TrialError{Key: tr.Key, Attempt: attempt, Kind: runner.Classify(err), Err: err}
+	case out.Err != "":
+		kind := runner.FailKind(out.Kind)
+		switch kind {
+		case runner.FailPanic, runner.FailTimeout, runner.FailInterrupted, runner.FailError:
+		default:
+			kind = runner.FailError
+		}
+		return nil, &runner.TrialError{Key: tr.Key, Attempt: attempt, Kind: kind, Err: errors.New(out.Err)}
+	default:
+		return out.Result, nil
+	}
+}
+
+// fallback degrades to the in-process executor.
+func (e *Executor) fallback(ctx context.Context, tr runner.Trial, attempt int, cause error) (json.RawMessage, *runner.TrialError) {
+	if e.OnFallback != nil {
+		e.OnFallback(tr.Key, cause)
+	}
+	fb := e.Fallback
+	if fb == nil {
+		fb = runner.InProcess{}
+	}
+	return fb.ExecuteTrial(ctx, tr, attempt)
+}
+
+// Close stops the reaper. Children in flight are unaffected (each
+// ExecuteTrial owns its child's lifetime); call it once the sweep is done.
+func (e *Executor) Close() {
+	if e.reap != nil {
+		e.reap.close()
+	}
+}
+
+func (e *Executor) heartbeatInterval() time.Duration {
+	if e.HeartbeatInterval > 0 {
+		return e.HeartbeatInterval
+	}
+	return 100 * time.Millisecond
+}
+
+func (e *Executor) stallTimeout() time.Duration {
+	st := e.StallTimeout
+	if st <= 0 {
+		st = 10 * time.Second
+	}
+	if min := 2 * e.heartbeatInterval(); st < min {
+		st = min
+	}
+	return st
+}
+
+func (e *Executor) startupGrace() time.Duration {
+	if e.StartupGrace > 0 {
+		return e.StartupGrace
+	}
+	return 2 * time.Second
+}
+
+// runChild executes one attempt in a child process: spawn, ship the spec,
+// collect heartbeats and the result, wait, classify.
+func (e *Executor) runChild(ctx context.Context, tr runner.Trial, attempt int, payload json.RawMessage) (TrialOutcome, error) {
+	argv := e.Cmd
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return TrialOutcome{}, fmt.Errorf("%w: resolve executable: %v", ErrSpawn, err)
+		}
+		argv = []string{exe, "_trial"}
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(append(os.Environ(), ChildEnvMarker+"=1"), e.Env...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return TrialOutcome{}, fmt.Errorf("%w: stdin pipe: %v", ErrSpawn, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return TrialOutcome{}, fmt.Errorf("%w: stdout pipe: %v", ErrSpawn, err)
+	}
+	stderr := &capBuffer{max: 8 << 10}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return TrialOutcome{}, fmt.Errorf("%w: %v", ErrSpawn, err)
+	}
+
+	// Register with the wall-clock reaper before the child does any work,
+	// so a child that wedges instantly is still supervised.
+	c := &child{
+		proc:     cmd.Process,
+		start:    time.Now(),
+		stall:    e.stallTimeout(),
+		grace:    e.startupGrace(),
+		deadline: e.WallDeadline,
+	}
+	c.lastBeat.Store(c.start.UnixNano())
+	e.reaper().register(c)
+	defer e.reaper().unregister(c)
+
+	// Cancellation kills the child; the watcher is released on return.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.kill(fmt.Errorf("isolate: child killed on cancellation: %w", ctx.Err()))
+		case <-watchDone:
+		}
+	}()
+
+	spec := TrialSpec{
+		Key:           tr.Key,
+		Seed:          tr.Seed,
+		Attempt:       attempt,
+		Payload:       payload,
+		MemLimitBytes: e.MemLimitBytes,
+		HeartbeatMs:   e.heartbeatInterval().Milliseconds(),
+	}
+	// A write error here means the child is already gone; Wait's status
+	// classifies that better than the EPIPE would.
+	_ = writeFrame(stdin, frame{Type: frameSpec, Spec: &spec})
+	_ = stdin.Close()
+
+	// Read frames until the result, EOF (child died), or garbage. A
+	// reaper kill closes the pipe and unblocks this loop.
+	var (
+		outcome *TrialOutcome
+		readErr error
+	)
+	for outcome == nil {
+		fr, ferr := readFrame(stdout)
+		if ferr != nil {
+			if !errors.Is(ferr, io.EOF) {
+				readErr = ferr
+			}
+			break
+		}
+		switch fr.Type {
+		case frameBeat:
+			c.beaten.Store(true)
+			c.lastBeat.Store(time.Now().UnixNano())
+		case frameResult:
+			if fr.Outcome != nil {
+				outcome = fr.Outcome
+			} else {
+				readErr = fmt.Errorf("%w: result frame without an outcome", ErrCorruptOutput)
+			}
+		}
+	}
+	waitErr := cmd.Wait()
+
+	// A result frame is authoritative: the trial completed before
+	// whatever happened at exit.
+	if outcome != nil {
+		return *outcome, nil
+	}
+	if reason := c.killReason(); reason != nil {
+		return TrialOutcome{}, reason
+	}
+	if waitErr != nil {
+		var ee *exec.ExitError
+		if errors.As(waitErr, &ee) {
+			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+				if ws.Signal() == syscall.SIGKILL {
+					return TrialOutcome{}, fmt.Errorf("%w: unsolicited SIGKILL (kernel OOM-kill signature)%s",
+						ErrChildOOM, stderr.suffix())
+				}
+				return TrialOutcome{}, fmt.Errorf("%w: %v%s", ErrChildSignal, ws.Signal(), stderr.suffix())
+			}
+			if ee.ExitCode() == ExitMemExceeded {
+				return TrialOutcome{}, fmt.Errorf("%w: soft ceiling %d B exceeded%s",
+					ErrChildOOM, e.MemLimitBytes, stderr.suffix())
+			}
+			return TrialOutcome{}, fmt.Errorf("%w: exit %d%s", ErrChildExit, ee.ExitCode(), stderr.suffix())
+		}
+		return TrialOutcome{}, fmt.Errorf("%w: wait: %v", ErrChildExit, waitErr)
+	}
+	if readErr != nil {
+		return TrialOutcome{}, readErr
+	}
+	return TrialOutcome{}, fmt.Errorf("%w: child exited cleanly without a result frame", ErrCorruptOutput)
+}
+
+// reaper lazily starts the executor's reaper goroutine.
+func (e *Executor) reaper() *reaper {
+	e.reapOnce.Do(func() {
+		e.reap = newReaper()
+	})
+	return e.reap
+}
+
+// child is one live supervised process, as the reaper sees it.
+type child struct {
+	proc     *os.Process
+	start    time.Time
+	stall    time.Duration
+	grace    time.Duration
+	deadline time.Duration
+	lastBeat atomic.Int64 // unix nanos of the most recent heartbeat
+	beaten   atomic.Bool  // true once any heartbeat has arrived
+
+	mu      sync.Mutex
+	killErr error // why the parent killed it; nil if it died on its own
+}
+
+// kill SIGKILLs the child, recording the first reason. Duplicate kills
+// (reaper vs. cancellation race) keep the original classification.
+func (c *child) kill(reason error) {
+	c.mu.Lock()
+	if c.killErr == nil {
+		c.killErr = reason
+	}
+	c.mu.Unlock()
+	_ = c.proc.Kill()
+}
+
+func (c *child) killReason() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killErr
+}
+
+// reaper is the parent's wall-clock supervisor: a single goroutine that
+// scans live children and SIGKILLs any whose heartbeats stalled or whose
+// wall deadline passed. It runs on the real clock on purpose — a wedged
+// child never advances any virtual clock, so only wall time can free its
+// worker slot.
+type reaper struct {
+	mu   sync.Mutex
+	kids map[*child]struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newReaper() *reaper {
+	r := &reaper{
+		kids: make(map[*child]struct{}),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+func (r *reaper) register(c *child) {
+	r.mu.Lock()
+	r.kids[c] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *reaper) unregister(c *child) {
+	r.mu.Lock()
+	delete(r.kids, c)
+	r.mu.Unlock()
+}
+
+func (r *reaper) close() {
+	select {
+	case <-r.stop:
+		return // already closed
+	default:
+	}
+	close(r.stop)
+	<-r.done
+}
+
+func (r *reaper) run() {
+	defer close(r.done)
+	t := time.NewTicker(25 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.sweep(now)
+		}
+	}
+}
+
+// sweep kills every overdue child. Error texts name the configured
+// limits, not measured elapsed time, so journaled failure records stay
+// deterministic run-to-run.
+func (r *reaper) sweep(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for c := range r.kids {
+		beat := time.Unix(0, c.lastBeat.Load())
+		// Until the first heartbeat, the stall window includes the
+		// startup grace: a child still paging in its binary (or a -race
+		// build initializing) is slow, not wedged.
+		stall := c.stall
+		if !c.beaten.Load() {
+			stall += c.grace
+		}
+		switch {
+		case stall > 0 && now.Sub(beat) > stall:
+			c.kill(fmt.Errorf("%w: no heartbeat within %v: %w", ErrHeartbeatStall, c.stall, faults.ErrDeadline))
+		case c.deadline > 0 && now.Sub(c.start) > c.deadline:
+			c.kill(fmt.Errorf("%w: %v budget: %w", ErrWallDeadline, c.deadline, faults.ErrDeadline))
+		}
+	}
+}
+
+// capBuffer retains the first max bytes written — enough stderr for a
+// crash diagnosis without letting a looping child eat parent memory.
+type capBuffer struct {
+	mu  sync.Mutex
+	max int
+	buf []byte
+}
+
+func (b *capBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	if room := b.max - len(b.buf); room > 0 {
+		if len(p) > room {
+			p = p[:room]
+		}
+		b.buf = append(b.buf, p...)
+	}
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+// suffix renders the captured stderr as an error suffix ("; stderr: ..."),
+// or nothing when the child was silent.
+func (b *capBuffer) suffix() string {
+	b.mu.Lock()
+	s := strings.TrimSpace(string(b.buf))
+	b.mu.Unlock()
+	if s == "" {
+		return ""
+	}
+	if len(s) > 300 {
+		s = s[:300] + "..."
+	}
+	return "; stderr: " + strings.ReplaceAll(s, "\n", " | ")
+}

@@ -1,0 +1,121 @@
+// Package isolate executes supervised trials in crash-isolated child
+// processes. The parent side (Executor) implements runner.TrialExecutor:
+// each attempt spawns a hidden child mode of the same binary
+// (`quicbench _trial`), ships it a serialized trial spec, and reads the
+// result back over length-prefixed JSON frames on the child's
+// stdin/stdout. The child emits periodic heartbeat frames while it works;
+// a parent-side wall-clock reaper SIGKILLs children whose heartbeats
+// stall or that exceed a wall-clock deadline, and every way a child can
+// die — reaped, signalled, OOM-killed, nonzero exit, corrupt output — is
+// classified back into the runner's typed TrialError kinds, where the
+// existing bounded retry with deterministic seeded backoff handles the
+// respawn. Isolation degrades gracefully: a trial that cannot be isolated
+// (no serializable spec, spawn failure) falls back to the in-process
+// executor instead of failing.
+package isolate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds a single protocol frame (64 MiB). A length prefix past
+// it means the stream is not speaking the protocol — garbage on stdout is
+// classified as corrupt output, not trusted as a length.
+const maxFrame = 64 << 20
+
+// Frame types on the parent/child pipe.
+const (
+	// frameSpec (parent -> child): the trial to execute.
+	frameSpec = "spec"
+	// frameBeat (child -> parent): liveness heartbeat.
+	frameBeat = "beat"
+	// frameResult (child -> parent): the trial outcome; the child exits
+	// right after writing it.
+	frameResult = "result"
+)
+
+// ErrCorruptOutput marks a child that exited without producing a valid
+// result frame: a torn or oversized frame, non-protocol bytes on stdout,
+// or a clean exit with no result at all.
+var ErrCorruptOutput = errors.New("isolate: corrupt child output")
+
+// TrialSpec is the parent->child unit of work.
+type TrialSpec struct {
+	// Key and Seed identify the trial (runner.Trial identity).
+	Key  string `json:"key"`
+	Seed uint64 `json:"seed"`
+	// Attempt is the supervisor's attempt number, for diagnostics.
+	Attempt int `json:"attempt"`
+	// Payload is the domain spec — opaque to this package. For sweeps it
+	// is a marshalled core.CellTrialSpec.
+	Payload json.RawMessage `json:"payload"`
+	// MemLimitBytes, when positive, is the child's soft heap ceiling
+	// (debug.SetMemoryLimit) with a hard self-check at twice the ceiling.
+	MemLimitBytes int64 `json:"mem_limit_bytes,omitempty"`
+	// HeartbeatMs is the child's heartbeat period in milliseconds.
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+}
+
+// TrialOutcome is the child->parent result. Exactly one of Result or Err
+// is set; Kind carries the child-side failure classification
+// (runner.FailKind) so a panic recovered in the child is journaled the
+// same way as a panic recovered in-process.
+type TrialOutcome struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Kind   string          `json:"kind,omitempty"`
+}
+
+// frame is one length-prefixed protocol message.
+type frame struct {
+	Type    string        `json:"type"`
+	Spec    *TrialSpec    `json:"spec,omitempty"`
+	Outcome *TrialOutcome `json:"outcome,omitempty"`
+}
+
+// writeFrame writes one frame as a 4-byte big-endian length prefix plus
+// JSON body, in a single Write so pipe readers never see a torn prefix.
+func writeFrame(w io.Writer, fr frame) error {
+	body, err := json.Marshal(fr)
+	if err != nil {
+		return fmt.Errorf("isolate: marshal %s frame: %w", fr.Type, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("isolate: %s frame of %d bytes exceeds limit", fr.Type, len(body))
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame. io.EOF at a frame boundary is
+// returned verbatim (the normal end of stream); everything else that is
+// not a well-formed frame matches ErrCorruptOutput.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return frame{}, io.EOF
+		}
+		return frame{}, fmt.Errorf("%w: torn frame prefix: %v", ErrCorruptOutput, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return frame{}, fmt.Errorf("%w: implausible frame length %d", ErrCorruptOutput, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, fmt.Errorf("%w: torn frame body: %v", ErrCorruptOutput, err)
+	}
+	var fr frame
+	if err := json.Unmarshal(body, &fr); err != nil {
+		return frame{}, fmt.Errorf("%w: %v", ErrCorruptOutput, err)
+	}
+	return fr, nil
+}

@@ -19,6 +19,11 @@ func FuzzParseJournal(f *testing.F) {
 	// Corruption: malformed interior line, keyless interior record.
 	f.Add([]byte("garbage\n" + `{"key":"a"}` + "\n"))
 	f.Add([]byte(`{"seed":7}` + "\n" + `{"key":"a"}` + "\n"))
+	// Version headers: current (accepted), mismatched (typed corruption),
+	// and torn (crash artifact on the final line).
+	f.Add([]byte(`{"journal":"quicbench-sweep","version":2}` + "\n" + `{"key":"a","outcome":"ok"}` + "\n"))
+	f.Add([]byte(`{"journal":"quicbench-sweep","version":99}` + "\n" + `{"key":"a","outcome":"ok"}` + "\n"))
+	f.Add([]byte(`{"journal":"quicbench-sw`))
 	// Valid JSON of the wrong shape.
 	f.Add([]byte("[1,2,3]\n{\"key\":\"a\"}\n"))
 	f.Add([]byte("null\n"))

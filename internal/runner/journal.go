@@ -10,10 +10,29 @@ import (
 )
 
 // ErrJournalCorrupt is the typed failure for a journal whose interior is
-// damaged (unparseable line, record without a key). Callers match it with
-// errors.Is to distinguish corruption — which needs operator attention —
-// from a clean-crash truncated tail, which resume handles silently.
+// damaged (unparseable line, record without a key) or whose version header
+// does not match this binary's format. Callers match it with errors.Is to
+// distinguish corruption — which needs operator attention — from a
+// clean-crash truncated tail, which resume handles silently.
 var ErrJournalCorrupt = errors.New("journal corrupt")
+
+// journalName and journalVersion identify the checkpoint-journal format.
+// The first line of every journal written by this package is a header
+// (`{"journal":"quicbench-sweep","version":2}`); ParseJournal rejects a
+// mismatched header instead of silently misreading a future format.
+// Headerless journals are accepted as the legacy version-1 format.
+const (
+	journalName    = "quicbench-sweep"
+	journalVersion = 2
+)
+
+// journalHeader is the first line of a version-2 (or later) journal. The
+// "journal" field doubles as the header discriminator: records never carry
+// it, so a first line with a non-empty Journal is unambiguously a header.
+type journalHeader struct {
+	Journal string `json:"journal"`
+	Version int    `json:"version"`
+}
 
 // Journal is an append-only JSONL checkpoint file: one Record per line,
 // synced to disk per append so a crash loses at most the line being
@@ -35,6 +54,25 @@ func OpenJournal(path string, appendMode bool) (*Journal, error) {
 	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	// A fresh (or truncated) journal starts with the version header; an
+	// append to an existing non-empty journal keeps whatever header it has
+	// (ParseJournal already validated it on the resume read).
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: stat journal: %w", err)
+	}
+	if st.Size() == 0 {
+		hdr, _ := json.Marshal(journalHeader{Journal: journalName, Version: journalVersion})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: sync journal header: %w", err)
+		}
 	}
 	return &Journal{f: f}, nil
 }
@@ -93,6 +131,11 @@ func ReadJournal(path string) (map[string]Record, error) {
 // error matching ErrJournalCorrupt. A malformed or truncated *final* line
 // is the signature of a crash mid-append and is silently dropped (that
 // trial simply re-executes on resume).
+//
+// A version header on the first line is validated: a mismatched name or
+// version is ErrJournalCorrupt (a journal from a future format must never
+// be silently misread as records). A headerless journal is the legacy
+// version-1 format and parses as before.
 func ParseJournal(data []byte) (map[string]Record, error) {
 	done := make(map[string]Record)
 	lines := bytes.Split(data, []byte("\n"))
@@ -100,9 +143,21 @@ func ParseJournal(data []byte) (map[string]Record, error) {
 	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
 		lines = lines[:len(lines)-1]
 	}
+	headerChecked := false
 	for i, line := range lines {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
+		}
+		if !headerChecked {
+			headerChecked = true
+			var h journalHeader
+			if err := json.Unmarshal(line, &h); err == nil && h.Journal != "" {
+				if h.Journal != journalName || h.Version != journalVersion {
+					return nil, fmt.Errorf("line %d: journal header %q version %d (this binary reads %q version %d): %w",
+						i+1, h.Journal, h.Version, journalName, journalVersion, ErrJournalCorrupt)
+				}
+				continue // valid header line, not a record
+			}
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {

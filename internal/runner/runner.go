@@ -95,6 +95,30 @@ type Trial struct {
 	// sweep is cancelled (core wires it into the engine watchdog). The
 	// returned value is JSON-marshalled into the journal record.
 	Run func(ctx context.Context) (any, error)
+	// Spec, when non-nil, is a JSON-marshallable description of the trial
+	// that out-of-process executors (internal/isolate) can ship across a
+	// process boundary. The in-process executor ignores it; a trial
+	// without a Spec always runs in-process.
+	Spec any
+}
+
+// TrialExecutor runs a single attempt of a trial. The default executor
+// (InProcess) calls Trial.Run on the worker goroutine under panic
+// isolation; alternative executors may run the attempt elsewhere — e.g.
+// internal/isolate spawns a crash-isolated child process. Every failure
+// must come back as a classified *TrialError so the supervisor's retry
+// and journaling logic applies uniformly.
+type TrialExecutor interface {
+	ExecuteTrial(ctx context.Context, tr Trial, attempt int) (json.RawMessage, *TrialError)
+}
+
+// InProcess is the default TrialExecutor: Trial.Run on the calling
+// goroutine with panic recovery.
+type InProcess struct{}
+
+// ExecuteTrial implements TrialExecutor.
+func (InProcess) ExecuteTrial(ctx context.Context, tr Trial, attempt int) (json.RawMessage, *TrialError) {
+	return attemptOnce(ctx, tr, attempt)
 }
 
 // Record is one journaled trial outcome — one JSONL line. Field order is
@@ -135,6 +159,8 @@ type Config struct {
 	// OnRecord, when non-nil, observes every record (replayed or fresh) as
 	// it completes. Calls are serialized.
 	OnRecord func(Record)
+	// Executor runs individual trial attempts; nil selects InProcess.
+	Executor TrialExecutor
 
 	// sleep is the backoff clock, replaceable by tests.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -155,6 +181,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.sleep == nil {
 		cfg.sleep = sleepCtx
+	}
+	if cfg.Executor == nil {
+		cfg.Executor = InProcess{}
 	}
 	return cfg
 }
@@ -316,7 +345,7 @@ func supervise(ctx context.Context, cfg Config, tr Trial) Record {
 			rec.Err = fmt.Sprintf("interrupted before attempt %d: %v", attempt, ctx.Err())
 			return rec
 		}
-		raw, terr := attemptOnce(ctx, tr, attempt)
+		raw, terr := cfg.Executor.ExecuteTrial(ctx, tr, attempt)
 		rec.Attempts = attempt
 		if terr == nil {
 			rec.Result = raw
@@ -365,7 +394,7 @@ func attemptOnce(ctx context.Context, tr Trial, attempt int) (raw json.RawMessag
 	}()
 	res, err := tr.Run(ctx)
 	if err != nil {
-		return nil, &TrialError{Key: tr.Key, Attempt: attempt, Kind: classify(err), Err: err}
+		return nil, &TrialError{Key: tr.Key, Attempt: attempt, Kind: Classify(err), Err: err}
 	}
 	raw, err = json.Marshal(res)
 	if err != nil {
@@ -375,9 +404,11 @@ func attemptOnce(ctx context.Context, tr Trial, attempt int) (raw json.RawMessag
 	return raw, nil
 }
 
-// classify maps a trial error to its failure kind: the watchdog's typed
+// Classify maps a trial error to its failure kind: the watchdog's typed
 // aborts become timeout/interrupted, everything else is a plain error.
-func classify(err error) FailKind {
+// Out-of-process executors use it so a child killed over a deadline and a
+// trial that timed out in-process land in the same FailKind.
+func Classify(err error) FailKind {
 	switch {
 	case errors.Is(err, faults.ErrDeadline):
 		return FailTimeout

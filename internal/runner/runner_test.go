@@ -109,16 +109,16 @@ func TestRetryAfterPanicAndTimeout(t *testing.T) {
 }
 
 func TestTrialErrorClassification(t *testing.T) {
-	if k := classify(fmt.Errorf("x: %w", faults.ErrDeadline)); k != FailTimeout {
+	if k := Classify(fmt.Errorf("x: %w", faults.ErrDeadline)); k != FailTimeout {
 		t.Errorf("deadline classified %s, want timeout", k)
 	}
-	if k := classify(fmt.Errorf("x: %w", faults.ErrInterrupted)); k != FailInterrupted {
+	if k := Classify(fmt.Errorf("x: %w", faults.ErrInterrupted)); k != FailInterrupted {
 		t.Errorf("interrupt classified %s, want interrupted", k)
 	}
-	if k := classify(context.Canceled); k != FailInterrupted {
+	if k := Classify(context.Canceled); k != FailInterrupted {
 		t.Errorf("context.Canceled classified %s, want interrupted", k)
 	}
-	if k := classify(errors.New("boom")); k != FailError {
+	if k := Classify(errors.New("boom")); k != FailError {
 		t.Errorf("plain error classified %s, want error", k)
 	}
 	// TrialError wraps: errors.Is must reach the cause.
@@ -390,5 +390,111 @@ func TestJournalGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("journal drifted from golden:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestJournalHeader: a fresh journal starts with the version header, and
+// ParseJournal both accepts it and refuses to misread other versions.
+func TestJournalHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(result("a", 1))
+	rec := Record{Key: "a", Seed: 1, Outcome: OutcomeOK, Attempts: 1, Hash: hashBytes(raw), Result: raw}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := string(bytes.SplitN(data, []byte("\n"), 2)[0])
+	if !strings.Contains(first, `"journal":"quicbench-sweep"`) || !strings.Contains(first, `"version":2`) {
+		t.Errorf("first line is not the v2 header: %s", first)
+	}
+	done, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal rejected its own header: %v", err)
+	}
+	if _, ok := done["a"]; !ok || len(done) != 1 {
+		t.Errorf("parsed records = %v, want just %q", done, "a")
+	}
+
+	// Reopening in append mode must not write a second header.
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	data2, _ := os.ReadFile(path)
+	if !bytes.Equal(data, data2) {
+		t.Error("append-mode reopen altered the journal")
+	}
+}
+
+// TestJournalVersionMismatch: a journal from a different format version is
+// typed corruption, never silently (mis)parsed.
+func TestJournalVersionMismatch(t *testing.T) {
+	for _, hdr := range []string{
+		`{"journal":"quicbench-sweep","version":99}`,
+		`{"journal":"quicbench-sweep","version":1}`,
+		`{"journal":"somebody-else","version":2}`,
+	} {
+		data := []byte(hdr + "\n" + `{"key":"a","outcome":"ok","attempts":1}` + "\n")
+		if _, err := ParseJournal(data); err == nil {
+			t.Errorf("header %s accepted", hdr)
+		} else if !errors.Is(err, ErrJournalCorrupt) {
+			t.Errorf("header %s: untyped error %v", hdr, err)
+		}
+	}
+}
+
+// TestJournalHeaderlessLegacy: journals written before the header existed
+// keep parsing (the legacy version-1 format).
+func TestJournalHeaderlessLegacy(t *testing.T) {
+	data := []byte(`{"key":"a","outcome":"ok","attempts":1}` + "\n")
+	done, err := ParseJournal(data)
+	if err != nil {
+		t.Fatalf("headerless journal rejected: %v", err)
+	}
+	if _, ok := done["a"]; !ok {
+		t.Error("headerless record lost")
+	}
+}
+
+// countingExecutor proves the supervisor routes attempts through the
+// configured TrialExecutor seam.
+type countingExecutor struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingExecutor) ExecuteTrial(ctx context.Context, tr Trial, attempt int) (json.RawMessage, *TrialError) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return InProcess{}.ExecuteTrial(ctx, tr, attempt)
+}
+
+func TestExecutorSeam(t *testing.T) {
+	ex := &countingExecutor{}
+	res, err := Run(context.Background(),
+		Config{Executor: ex, sleep: noSleep},
+		[]Trial{okTrial("a", 1), okTrial("b", 2)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ex.calls != 2 {
+		t.Errorf("executor saw %d attempts, want 2", ex.calls)
+	}
+	for _, rec := range res.Records {
+		if rec.Outcome != OutcomeOK {
+			t.Errorf("trial %s outcome = %s, want ok", rec.Key, rec.Outcome)
+		}
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/isolate"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -42,6 +44,24 @@ type SweepOptions struct {
 	// Progress, when non-nil, observes each cell result as it completes
 	// (calls are serialized).
 	Progress func(SweepCellResult)
+	// Isolate executes each cell attempt in a crash-isolated child
+	// process (the hidden `quicbench _trial` mode): a hard crash, wedge,
+	// or memory blowout kills only that cell's child, which the parent
+	// reaps, classifies, and retries. When spawning fails the cell falls
+	// back to in-process execution — isolation degrades, never errors.
+	Isolate bool
+	// IsolateMemLimitMB, when positive, is each child's soft heap
+	// ceiling in MiB (debug.SetMemoryLimit, hard self-check at 2x).
+	IsolateMemLimitMB int
+	// IsolateStallTimeout is how long a child may go without a heartbeat
+	// before the reaper SIGKILLs it (0 selects 10 s).
+	IsolateStallTimeout time.Duration
+	// IsolateWallTimeout, when positive, is a wall-clock deadline per
+	// child attempt, enforced by SIGKILL and classified as a timeout.
+	IsolateWallTimeout time.Duration
+	// OnFallback, when non-nil, observes each cell that degraded from
+	// isolated to in-process execution (must be concurrency-safe).
+	OnFallback func(cell string, err error)
 }
 
 // SweepCellResult is one cell of a supervised sweep: its identity, the
@@ -162,6 +182,16 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		Checkpoint:    opts.Checkpoint,
 		Resume:        opts.Resume,
 	}
+	if opts.Isolate {
+		ex := &isolate.Executor{
+			StallTimeout:  opts.IsolateStallTimeout,
+			WallDeadline:  opts.IsolateWallTimeout,
+			MemLimitBytes: int64(opts.IsolateMemLimitMB) << 20,
+			OnFallback:    opts.OnFallback,
+		}
+		defer ex.Close()
+		cfg.Executor = ex
+	}
 	if opts.Progress != nil {
 		cfg.OnRecord = func(rec runner.Record) { opts.Progress(cellResult(rec)) }
 	}
@@ -174,6 +204,20 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		sum.Cells = append(sum.Cells, cellResult(rec))
 	}
 	return sum, nil
+}
+
+// TrialChildMain is the body of the hidden `quicbench _trial` mode — the
+// child half of sweep isolation. It speaks the internal/isolate protocol
+// on stdin/stdout (spec in, heartbeats and result out) and executes one
+// sweep cell through the exact code path the in-process executor uses, so
+// isolated and in-process results are bit-identical. It returns the
+// process exit code. Test binaries reach it through TestMain when the
+// isolate.ChildEnvMarker environment variable is set.
+func TrialChildMain() int {
+	return isolate.ChildMain(os.Stdin, os.Stdout,
+		func(ctx context.Context, spec isolate.TrialSpec) (json.RawMessage, error) {
+			return core.ExecuteCellSpec(ctx, spec.Payload)
+		})
 }
 
 // RenderSweep writes the outcome-annotated sweep table and summary line.
