@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke soak bench bench-check
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke trace-smoke soak bench bench-check
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -68,6 +68,24 @@ sweep-smoke:
 	@rm -f /tmp/quicbench-sweep-smoke /tmp/quicbench-sweep-smoke.jsonl
 	@echo "sweep-smoke: ok"
 
+## trace-smoke: the observability loop end to end — a traced one-cell
+## sweep with the live progress line and JSONL status snapshots, then
+## schema-validation of every trace file and a per-file event histogram.
+## CI uploads the trace directory (TRACE_SMOKE_DIR overrides where it
+## lands) as an artifact for eyeballing cwnd trajectories.
+TRACE_SMOKE_DIR ?= /tmp/quicbench-trace-smoke
+trace-smoke:
+	$(GO) build -o /tmp/quicbench-trace ./cmd/quicbench
+	@rm -rf $(TRACE_SMOKE_DIR)
+	/tmp/quicbench-trace sweep -stacks quicgo -ccas cubic -duration 3s -trials 1 \
+		-trace $(TRACE_SMOKE_DIR)/traces -trace-packets -progress \
+		-status $(TRACE_SMOKE_DIR)/status.jsonl
+	/tmp/quicbench-trace trace -check $(TRACE_SMOKE_DIR)/traces
+	/tmp/quicbench-trace trace $(TRACE_SMOKE_DIR)/traces
+	@test -s $(TRACE_SMOKE_DIR)/status.jsonl || { echo "trace-smoke: empty status file"; exit 1; }
+	@rm -f /tmp/quicbench-trace
+	@echo "trace-smoke: ok"
+
 ## soak: a short seeded chaos sweep under the race detector with crash
 ## isolation on — one cell wedges (reaped by heartbeat stall, classified
 ## timeout), one panics (recovered in the child, classified panic), one
@@ -80,7 +98,7 @@ soak:
 	QUICBENCH_TEST_WEDGE=lsquic QUICBENCH_TEST_PANIC=xquic QUICBENCH_TEST_MEMHOG=mvfst \
 	/tmp/quicbench-soak sweep -isolate -stacks quicgo,lsquic,xquic,mvfst -ccas cubic \
 		-duration 2s -trials 2 -seed 7 -retries 2 -stall-timeout 2s -mem-limit 64 \
-		-checkpoint /tmp/quicbench-soak.jsonl; \
+		-pprof localhost:0 -checkpoint /tmp/quicbench-soak.jsonl; \
 	status=$$?; if [ $$status -ne 1 ]; then \
 		echo "soak: chaos sweep exited $$status, want 1 (classified failures)"; exit 1; fi
 	@grep -q '"outcome":"ok"' /tmp/quicbench-soak.jsonl || { echo "soak: no healthy cell completed"; exit 1; }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ handlers
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime/pprof"
+	"syscall"
+)
+
+// startPprof serves the net/http/pprof handlers on addr (e.g.
+// "localhost:6060") for live profiling of long sweeps and soaks. The bound
+// address is echoed to stderr because addr may use port 0.
+func startPprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, nil) }()
+	return nil
+}
+
+// installSIGQUIT repurposes SIGQUIT (^\) as a diagnostics trigger: instead
+// of the Go runtime's kill-with-stacks default, each SIGQUIT writes
+// goroutine and heap profiles next to the temp dir and a goroutine summary
+// to stderr, and the process keeps running. The returned function restores
+// the default disposition.
+func installSIGQUIT() func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			dumpProfiles()
+		}
+	}()
+	return func() { signal.Stop(ch) }
+}
+
+// dumpProfiles writes goroutine and heap .pprof files plus a condensed
+// goroutine listing to stderr.
+func dumpProfiles() {
+	for _, name := range []string{"goroutine", "heap"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		path := filepath.Join(os.TempDir(), fmt.Sprintf("quicbench-%d-%s.pprof", os.Getpid(), name))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %s: %v\n", name, err)
+			continue
+		}
+		if werr := p.WriteTo(f, 0); werr != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %s: %v\n", name, werr)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "pprof: wrote %s\n", path)
+	}
+	if p := pprof.Lookup("goroutine"); p != nil {
+		_ = p.WriteTo(os.Stderr, 1)
+	}
+}

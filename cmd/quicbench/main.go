@@ -10,6 +10,9 @@
 //	quicbench chaos -stack quicgo -cca cubic -loss 0,0.001,0.01
 //	quicbench sweep -stacks quicgo,lsquic -ccas cubic -checkpoint run.jsonl
 //	quicbench sweep -checkpoint run.jsonl -resume   # continue after ^C
+//	quicbench sweep -trace traces/ -progress -status status.jsonl
+//	quicbench trace -check traces/               # validate qlog JSONL files
+//	quicbench trace -cwnd 1 traces/<cell>/test0.qlog.jsonl  # cwnd-over-time CSV
 //
 // Quick scale (30 s flows, 2 trials) gives the qualitative shapes in
 // minutes; full scale (120 s, 5 trials) mirrors the paper's methodology
@@ -33,6 +36,14 @@
 // memory ceiling (-mem-limit) contains allocation blowouts, and every
 // child death is classified (timeout, OOM, signal, crash) and retried —
 // a hard crash costs one attempt of one cell, never the sweep.
+//
+// Observability: -trace writes one qlog-style JSONL trace per trial
+// (cwnd/ssthresh/pacing updates, CC state transitions, loss and PTO
+// events; seed-stable and byte-identical between in-process and isolated
+// runs), -progress renders a live status line to stderr, -status appends
+// machine-readable JSONL snapshots, -pprof serves net/http/pprof, and
+// SIGQUIT dumps goroutine/heap profiles without stopping the sweep. The
+// trace subcommand validates (-check) and summarizes trace files.
 package main
 
 import (
@@ -60,6 +71,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(benchMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceMain(os.Args[2:]))
 	}
 	var (
 		list     = flag.Bool("list", false, "list available experiments")

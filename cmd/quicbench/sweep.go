@@ -42,6 +42,13 @@ func sweepMain(args []string) int {
 		wallTO     = fs.Duration("wall-timeout", 0, "wall-clock deadline per isolated child attempt (0 = none)")
 		abortAfter = fs.Int("abort-after", 0, "testing aid: cancel the sweep after N completed cells")
 		quiet      = fs.Bool("q", false, "suppress per-cell progress lines")
+		traceDir   = fs.String("trace", "", "write per-trial qlog JSONL traces under this directory")
+		tracePkts  = fs.Bool("trace-packets", false, "with -trace, also stream per-packet bottleneck CSVs")
+		progress   = fs.Bool("progress", false, "live progress line on stderr (cells done/total, ETA, workers, children)")
+		statusPath = fs.String("status", "", "append machine-readable JSONL status snapshots to this file")
+		statusIntv = fs.Duration("status-interval", time.Second, "progress/status snapshot period")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		verbose    = fs.Bool("v", false, "log retries and backoff decisions to stderr")
 	)
 	fs.Parse(args)
 
@@ -49,6 +56,19 @@ func sweepMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "sweep: -resume requires -checkpoint")
 		return 2
 	}
+	if *tracePkts && *traceDir == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -trace-packets requires -trace")
+		return 2
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			return 2
+		}
+	}
+	// SIGQUIT (^\) dumps goroutine/heap profiles instead of killing the
+	// sweep — the standing diagnostic for wedged soaks.
+	defer installSIGQUIT()()
 
 	opts := quicbench.SweepOptions{
 		Workers:             *workers,
@@ -61,6 +81,10 @@ func sweepMain(args []string) int {
 		IsolateMemLimitMB:   *memLimit,
 		IsolateStallTimeout: *stallTO,
 		IsolateWallTimeout:  *wallTO,
+		TraceDir:            *traceDir,
+		TracePackets:        *tracePkts,
+		StatusPath:          *statusPath,
+		StatusInterval:      *statusIntv,
 		Networks: []quicbench.Network{{
 			BandwidthMbps: *bw,
 			RTT:           *rtt,
@@ -79,9 +103,18 @@ func sweepMain(args []string) int {
 		}
 	}
 
+	if *progress {
+		opts.ProgressOut = os.Stderr
+	}
 	if *isolated {
 		opts.OnFallback = func(cell string, err error) {
 			fmt.Fprintf(os.Stderr, "sweep: isolation fallback (in-process) for %s: %v\n", cell, err)
+		}
+	}
+	if *verbose {
+		opts.OnRetry = func(cell string, attempt int, err error, backoff time.Duration) {
+			fmt.Fprintf(os.Stderr, "sweep: attempt %d for %s failed (%v); retrying in %v\n",
+				attempt, cell, err, backoff.Round(time.Millisecond))
 		}
 	}
 
@@ -103,10 +136,13 @@ func sweepMain(args []string) int {
 		}
 	}()
 
+	// The live -progress line owns stderr (it rewrites itself with \r), so
+	// per-cell lines are suppressed alongside it unless -q was overridden.
+	showCells := !*quiet && !*progress
 	var done atomic.Int64
 	opts.Progress = func(r quicbench.SweepCellResult) {
 		n := done.Add(1)
-		if !*quiet {
+		if showCells {
 			fmt.Fprintf(os.Stderr, "[%3d] %-4s %s\n", n, r.Outcome, r.Cell)
 		}
 		if *abortAfter > 0 && n >= int64(*abortAfter) {

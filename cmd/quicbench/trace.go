@@ -1,0 +1,125 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// traceMain implements the `quicbench trace` subcommand: inspect or
+// validate qlog JSONL trace files produced by `sweep -trace`. It returns
+// the process exit code.
+//
+//	quicbench trace run-traces/                 # per-file event histogram
+//	quicbench trace -check run-traces/          # schema-validate, exit 1 on corrupt
+//	quicbench trace -cwnd 1 cell/test0.qlog.jsonl  # time,cwnd CSV for flow 1
+func traceMain(args []string) int {
+	fs2 := flag.NewFlagSet("trace", flag.ExitOnError)
+	var (
+		check = fs2.Bool("check", false, "validate every trace file and exit nonzero on corruption")
+		cwnd  = fs2.Int("cwnd", 0, "emit time_s,cwnd_bytes CSV for this flow (1 or 2) to stdout")
+	)
+	fs2.Parse(args)
+	if fs2.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "trace: need trace files or directories (of *.qlog.jsonl)")
+		return 2
+	}
+	files, err := expandTracePaths(fs2.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		return 2
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "trace: no *.qlog.jsonl files found")
+		return 1
+	}
+
+	if *cwnd > 0 {
+		fmt.Println("time_s,cwnd_bytes")
+	}
+	bad := 0
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			bad++
+			continue
+		}
+		hdr, events, err := telemetry.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		switch {
+		case *check:
+			fmt.Printf("%s: ok (%d events, cell %q role %q trial %d seed %d)\n",
+				path, len(events), hdr.Cell, hdr.Role, hdr.Trial, hdr.Seed)
+		case *cwnd > 0:
+			for _, ev := range events {
+				if ev.Name != telemetry.EvMetrics || ev.Flow != *cwnd {
+					continue
+				}
+				if v, ok := ev.Data["cwnd"].(float64); ok {
+					fmt.Printf("%.9f,%d\n", ev.T, int64(v))
+				}
+			}
+		default:
+			hist := map[string]int{}
+			for _, ev := range events {
+				hist[ev.Name]++
+			}
+			names := make([]string, 0, len(hist))
+			for n := range hist {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Printf("%s: %d events\n", path, len(events))
+			for _, n := range names {
+				fmt.Printf("  %-40s %d\n", n, hist[n])
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d of %d files failed\n", bad, len(files))
+		return 1
+	}
+	return 0
+}
+
+// expandTracePaths resolves the argument list: files pass through,
+// directories are walked for *.qlog.jsonl.
+func expandTracePaths(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, werr error) error {
+			if werr != nil {
+				return werr
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".qlog.jsonl") {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

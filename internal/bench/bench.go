@@ -25,6 +25,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/stacks"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -91,6 +93,14 @@ func benchNet(seed uint64) core.Network {
 // engine, link queueing, transport bookkeeping, and one congestion
 // controller, with nothing from the measurement pipeline on top.
 func singleFlow(newCtrl func() cc.Controller) uint64 {
+	return singleFlowTraced(newCtrl, nil)
+}
+
+// singleFlowTraced is singleFlow with an optional event tracer attached to
+// the sender — the workload behind both the traced benchmark variant and
+// the disabled-tracer overhead guard (tr == nil exercises exactly the
+// nil-check fast path every production trial without -trace takes).
+func singleFlowTraced(newCtrl func() cc.Controller, tr telemetry.Tracer) uint64 {
 	eng := sim.New()
 	db := netem.NewDumbbell(eng, netem.DumbbellConfig{
 		BottleneckBps: 20e6,
@@ -106,6 +116,9 @@ func singleFlow(newCtrl func() cc.Controller) uint64 {
 		tx.HandlePacket(p)
 	}))
 	tx = transport.NewSender(eng, cfg, newCtrl(), db.Bottleneck, 1)
+	if tr != nil {
+		tx.SetTracer(tr)
+	}
 	tx.Start()
 	eng.RunUntil(5 * sim.Second)
 	return eng.Fired()
@@ -122,6 +135,13 @@ func Suite() []Benchmark {
 		}},
 		{Name: "single_flow_bbr", Run: func() uint64 {
 			return singleFlow(func() cc.Controller { return cc.NewBBR(cc.Config{MSS: 1200}) })
+		}},
+		{Name: "single_flow_cubic_traced", Run: func() uint64 {
+			// The full tracing cost: every hook live, JSONL-encoded, and
+			// discarded. Sets the price of -trace next to its untraced twin.
+			return singleFlowTraced(func() cc.Controller {
+				return cc.NewCubic(cc.Config{MSS: 1200, HyStart: true})
+			}, telemetry.NewJSONL(io.Discard))
 		}},
 		{Name: "two_flow_trial_cubic", Run: func() uint64 {
 			res, err := core.RunTrialE(core.Spec("quicgo", stacks.CUBIC), core.Spec("kernel", stacks.CUBIC), benchNet(1), 0)

@@ -93,6 +93,66 @@ func TestReadFileRejectsWrongSchema(t *testing.T) {
 	}
 }
 
+// TestDisabledTracerOverhead: the telemetry hooks in transport/cc are
+// nil-guarded; with no tracer attached they must add under 1% allocs/op to
+// the single-flow trials relative to the committed baseline. A fresh
+// measurement against BENCH_sim.json is the guard — if a future hook
+// allocates on the disabled path (a closure, an interface box, a fmt call),
+// this fails before the 10% bench gate would notice.
+func TestDisabledTracerOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real 5s-virtual-time trials; skipped in -short")
+	}
+	base, err := ReadFile(filepath.Join("..", "..", "BENCH_sim.json"))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	want := make(map[string]Metric)
+	for _, m := range base.Benchmarks {
+		want[m.Name] = m
+	}
+	for _, bm := range Suite() {
+		if !strings.HasPrefix(bm.Name, "single_flow_") || strings.HasSuffix(bm.Name, "_traced") {
+			continue
+		}
+		b, ok := want[bm.Name]
+		if !ok || b.AllocsPerOp <= 0 {
+			t.Fatalf("baseline has no allocs_per_op for %s", bm.Name)
+		}
+		m := Measure(bm, 1, 3)
+		if limit := float64(b.AllocsPerOp) * 1.01; float64(m.AllocsPerOp) > limit {
+			t.Errorf("%s: disabled-tracer allocs/op = %d, want <= %.0f (baseline %d +1%%)",
+				bm.Name, m.AllocsPerOp, limit, b.AllocsPerOp)
+		} else {
+			t.Logf("%s: allocs/op %d vs baseline %d", bm.Name, m.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+}
+
+// TestTracedBenchmarkRuns: the traced suite entry must execute (hooks line
+// up with the JSONL encoder) and fire the same event count as its untraced
+// twin — tracing observes, never schedules.
+func TestTracedBenchmarkRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real 5s-virtual-time trials; skipped in -short")
+	}
+	var traced, untraced Benchmark
+	for _, bm := range Suite() {
+		switch bm.Name {
+		case "single_flow_cubic_traced":
+			traced = bm
+		case "single_flow_cubic":
+			untraced = bm
+		}
+	}
+	if traced.Run == nil || untraced.Run == nil {
+		t.Fatal("suite is missing the cubic pair")
+	}
+	if te, ue := traced.Run(), untraced.Run(); te != ue {
+		t.Errorf("traced trial fired %d events, untraced %d — tracing must not perturb the schedule", te, ue)
+	}
+}
+
 // TestMeasureCountsWork sanity-checks the manual accounting against a
 // workload with a known floor: one single-flow trial must fire events and
 // report a positive duration.

@@ -2,6 +2,7 @@ package cc
 
 import (
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // BBR state machine states.
@@ -90,6 +91,9 @@ type BBR struct {
 
 	idleRestart bool
 	hasRTT      bool
+
+	tracer telemetry.Tracer
+	flow   int
 }
 
 // NewBBR returns a BBRv1 controller.
@@ -126,6 +130,23 @@ func (b *BBR) InSlowStart() bool { return b.state == bbrStartup }
 
 // State exposes the current state name for tracing and tests.
 func (b *BBR) State() string { return b.state.String() }
+
+// SetTracer implements TraceSetter.
+func (b *BBR) SetTracer(t telemetry.Tracer, flow int) {
+	b.tracer, b.flow = t, flow
+	if t != nil {
+		t.StateChanged(0, flow, "bbr", "", b.stateName())
+	}
+}
+
+// stateName renders the qlog congestion state: the BBR machine state,
+// with packet-conservation recovery surfaced like the loss-based CCs.
+func (b *BBR) stateName() string {
+	if b.inRecovery {
+		return "recovery"
+	}
+	return b.state.String()
+}
 
 // OnPacketSent implements Controller.
 func (b *BBR) OnPacketSent(now sim.Time, bytes, bytesInFlight int) {
@@ -173,6 +194,18 @@ func (b *BBR) cwndGain() float64 {
 
 // OnAck implements Controller: the heart of BBR's model update.
 func (b *BBR) OnAck(ev AckEvent) {
+	if b.tracer == nil {
+		b.onAck(ev)
+		return
+	}
+	prev := b.stateName()
+	b.onAck(ev)
+	if s := b.stateName(); s != prev {
+		b.tracer.StateChanged(ev.Now, b.flow, "bbr", prev, s)
+	}
+}
+
+func (b *BBR) onAck(ev AckEvent) {
 	now := ev.Now
 	b.roundTrips = ev.RoundTrips
 	if b.inRecovery && ev.LargestAckedSent > b.recoveryStart {
@@ -372,6 +405,26 @@ func (b *BBR) updateControlParameters(ev AckEvent) {
 // OnLoss implements Controller. BBRv1 is loss-agnostic except for packet
 // conservation during recovery and collapse on persistent congestion.
 func (b *BBR) OnLoss(ev LossEvent) {
+	if b.tracer == nil {
+		b.onLoss(ev)
+		return
+	}
+	prev, prevEpoch := b.stateName(), b.recoveryStart
+	b.onLoss(ev)
+	if ev.Persistent || b.recoveryStart != prevEpoch {
+		b.tracer.CongestionEvent(ev.Now, b.flow, "bbr", telemetry.Congestion{
+			LostBytes:  ev.LostBytes,
+			CWND:       b.CWND(),
+			SSThresh:   -1, // BBR has no ssthresh
+			Persistent: ev.Persistent,
+		})
+	}
+	if s := b.stateName(); s != prev {
+		b.tracer.StateChanged(ev.Now, b.flow, "bbr", prev, s)
+	}
+}
+
+func (b *BBR) onLoss(ev LossEvent) {
 	if ev.Persistent {
 		b.cwnd = b.cfg.MinCWNDPackets * b.cfg.MSS
 		return

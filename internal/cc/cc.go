@@ -12,6 +12,7 @@ package cc
 
 import (
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Controller is the interface every congestion control algorithm
@@ -37,6 +38,21 @@ type Controller interface {
 	// later acknowledged, i.e. a congestion event may have been spurious.
 	// ev identifies the congestion epoch via LargestLostSent.
 	OnSpuriousLoss(now sim.Time, sentAt sim.Time)
+}
+
+// TraceSetter is implemented by controllers that can emit structured
+// telemetry. SetTracer attaches a tracer (nil disables tracing) and the
+// flow id used in emitted events; implementations announce their initial
+// state so every trace starts with a known state machine position.
+type TraceSetter interface {
+	SetTracer(t telemetry.Tracer, flow int)
+}
+
+// SSThresher is implemented by loss-based controllers that expose a
+// slow-start threshold. SSThresh reports it in bytes, or -1 while unset
+// (still at the initial "infinite" value).
+type SSThresher interface {
+	SSThresh() int
 }
 
 // AckEvent carries everything a controller may need from an ACK.

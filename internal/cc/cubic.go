@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // CUBIC constants per RFC 8312 and the Linux kernel implementation.
@@ -51,6 +52,9 @@ type Cubic struct {
 		epochStart sim.Time
 		wEstAcked  int
 	}
+
+	tracer telemetry.Tracer
+	flow   int
 }
 
 // NewCubic returns a CUBIC controller.
@@ -79,6 +83,39 @@ func (c *Cubic) PacingRate() float64 {
 // InSlowStart implements Controller.
 func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
 
+// SSThresh implements SSThresher: the slow-start threshold in bytes, or
+// -1 while still at the initial infinite value.
+func (c *Cubic) SSThresh() int {
+	if c.ssthresh >= infinity {
+		return -1
+	}
+	return c.ssthresh
+}
+
+// SetTracer implements TraceSetter.
+func (c *Cubic) SetTracer(t telemetry.Tracer, flow int) {
+	c.tracer, c.flow = t, flow
+	if t != nil {
+		t.StateChanged(0, flow, "cubic", "", c.stateName())
+	}
+}
+
+// stateName renders the qlog congestion state; HyStart's conservative
+// slow start is surfaced as its own "css" state.
+func (c *Cubic) stateName() string {
+	switch {
+	case c.inRecovery:
+		return "recovery"
+	case c.InSlowStart():
+		if c.hystart.inCSS {
+			return "css"
+		}
+		return "slow_start"
+	default:
+		return "congestion_avoidance"
+	}
+}
+
 // OnPacketSent implements Controller.
 func (c *Cubic) OnPacketSent(now sim.Time, bytes, bytesInFlight int) {}
 
@@ -100,6 +137,18 @@ func (c *Cubic) alpha() float64 {
 
 // OnAck implements Controller.
 func (c *Cubic) OnAck(ev AckEvent) {
+	if c.tracer == nil {
+		c.onAck(ev)
+		return
+	}
+	prev := c.stateName()
+	c.onAck(ev)
+	if s := c.stateName(); s != prev {
+		c.tracer.StateChanged(ev.Now, c.flow, "cubic", prev, s)
+	}
+}
+
+func (c *Cubic) onAck(ev AckEvent) {
 	c.srtt = ev.SRTT
 	if c.inRecovery && ev.LargestAckedSent > c.recoveryStart {
 		c.inRecovery = false
@@ -175,6 +224,26 @@ func (c *Cubic) congestionAvoidance(ev AckEvent) {
 
 // OnLoss implements Controller.
 func (c *Cubic) OnLoss(ev LossEvent) {
+	if c.tracer == nil {
+		c.onLoss(ev)
+		return
+	}
+	prev, prevEpoch := c.stateName(), c.recoveryStart
+	c.onLoss(ev)
+	if ev.Persistent || c.recoveryStart != prevEpoch {
+		c.tracer.CongestionEvent(ev.Now, c.flow, "cubic", telemetry.Congestion{
+			LostBytes:  ev.LostBytes,
+			CWND:       c.CWND(),
+			SSThresh:   c.SSThresh(),
+			Persistent: ev.Persistent,
+		})
+	}
+	if s := c.stateName(); s != prev {
+		c.tracer.StateChanged(ev.Now, c.flow, "cubic", prev, s)
+	}
+}
+
+func (c *Cubic) onLoss(ev LossEvent) {
 	if ev.Persistent {
 		c.cwnd = c.cfg.MinCWNDPackets * c.cfg.MSS
 		c.ssthresh = infinity
@@ -228,6 +297,21 @@ func (c *Cubic) OnLoss(ev LossEvent) {
 // OnSpuriousLoss implements Controller: RFC 8312bis §4.9 rolls back the
 // most recent congestion response when its triggering loss was spurious.
 func (c *Cubic) OnSpuriousLoss(now sim.Time, sentAt sim.Time) {
+	if c.tracer == nil {
+		c.onSpuriousLoss(now, sentAt)
+		return
+	}
+	prev, hadUndo := c.stateName(), c.undo.valid
+	c.onSpuriousLoss(now, sentAt)
+	if hadUndo && !c.undo.valid {
+		c.tracer.Rollback(now, c.flow, c.CWND(), c.SSThresh())
+	}
+	if s := c.stateName(); s != prev {
+		c.tracer.StateChanged(now, c.flow, "cubic", prev, s)
+	}
+}
+
+func (c *Cubic) onSpuriousLoss(now sim.Time, sentAt sim.Time) {
 	if !c.cfg.SpuriousLossRollback || !c.undo.valid {
 		return
 	}

@@ -1,6 +1,9 @@
 package cc
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
 
 // Reno implements NewReno congestion control with byte counting, following
 // RFC 9002 §7 (which is itself NewReno adapted to QUIC) and matching the
@@ -25,6 +28,9 @@ type Reno struct {
 	// stack we model, but kept symmetric with CUBIC).
 	priorCWND     int
 	priorSSThresh int
+
+	tracer telemetry.Tracer
+	flow   int
 }
 
 // NewReno returns a Reno controller.
@@ -51,11 +57,52 @@ func (r *Reno) PacingRate() float64 {
 // InSlowStart implements Controller.
 func (r *Reno) InSlowStart() bool { return r.cwnd < r.ssthresh }
 
+// SSThresh implements SSThresher: the slow-start threshold in bytes, or
+// -1 while still at the initial infinite value.
+func (r *Reno) SSThresh() int {
+	if r.ssthresh >= infinity {
+		return -1
+	}
+	return r.ssthresh
+}
+
+// SetTracer implements TraceSetter.
+func (r *Reno) SetTracer(t telemetry.Tracer, flow int) {
+	r.tracer, r.flow = t, flow
+	if t != nil {
+		t.StateChanged(0, flow, "reno", "", r.stateName())
+	}
+}
+
+// stateName renders the qlog congestion state.
+func (r *Reno) stateName() string {
+	switch {
+	case r.inRecovery:
+		return "recovery"
+	case r.InSlowStart():
+		return "slow_start"
+	default:
+		return "congestion_avoidance"
+	}
+}
+
 // OnPacketSent implements Controller.
 func (r *Reno) OnPacketSent(now sim.Time, bytes, bytesInFlight int) {}
 
 // OnAck implements Controller.
 func (r *Reno) OnAck(ev AckEvent) {
+	if r.tracer == nil {
+		r.onAck(ev)
+		return
+	}
+	prev := r.stateName()
+	r.onAck(ev)
+	if s := r.stateName(); s != prev {
+		r.tracer.StateChanged(ev.Now, r.flow, "reno", prev, s)
+	}
+}
+
+func (r *Reno) onAck(ev AckEvent) {
 	r.srtt = ev.SRTT
 	if r.inRecovery && ev.LargestAckedSent > r.recoveryStart {
 		r.inRecovery = false
@@ -80,6 +127,26 @@ func (r *Reno) OnAck(ev AckEvent) {
 
 // OnLoss implements Controller.
 func (r *Reno) OnLoss(ev LossEvent) {
+	if r.tracer == nil {
+		r.onLoss(ev)
+		return
+	}
+	prev, prevEpoch := r.stateName(), r.recoveryStart
+	r.onLoss(ev)
+	if ev.Persistent || r.recoveryStart != prevEpoch {
+		r.tracer.CongestionEvent(ev.Now, r.flow, "reno", telemetry.Congestion{
+			LostBytes:  ev.LostBytes,
+			CWND:       r.CWND(),
+			SSThresh:   r.SSThresh(),
+			Persistent: ev.Persistent,
+		})
+	}
+	if s := r.stateName(); s != prev {
+		r.tracer.StateChanged(ev.Now, r.flow, "reno", prev, s)
+	}
+}
+
+func (r *Reno) onLoss(ev LossEvent) {
 	if ev.Persistent {
 		r.cwnd = r.cfg.MinCWNDPackets * r.cfg.MSS
 		r.ssthresh = infinity
@@ -105,6 +172,21 @@ func (r *Reno) OnLoss(ev LossEvent) {
 // OnSpuriousLoss implements Controller. Standard Reno takes no undo
 // action unless SpuriousLossRollback is configured.
 func (r *Reno) OnSpuriousLoss(now sim.Time, sentAt sim.Time) {
+	if r.tracer == nil {
+		r.onSpuriousLoss(now, sentAt)
+		return
+	}
+	prev, hadUndo := r.stateName(), r.priorCWND != 0
+	r.onSpuriousLoss(now, sentAt)
+	if hadUndo && r.priorCWND == 0 {
+		r.tracer.Rollback(now, r.flow, r.CWND(), r.SSThresh())
+	}
+	if s := r.stateName(); s != prev {
+		r.tracer.StateChanged(now, r.flow, "reno", prev, s)
+	}
+}
+
+func (r *Reno) onSpuriousLoss(now sim.Time, sentAt sim.Time) {
 	if !r.cfg.SpuriousLossRollback || r.priorCWND == 0 {
 		return
 	}

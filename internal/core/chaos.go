@@ -172,7 +172,7 @@ func ChaosConformance(test Flow, n Network, levels []ChaosLevel) []ChaosPoint {
 	n = n.withDefaults()
 	out := make([]ChaosPoint, 0, len(levels))
 	for _, lv := range levels {
-		r, err := conformanceImpaired(test, n, &lv.Impair, Bounds{})
+		r, err := conformanceImpaired(test, n, &lv.Impair, Bounds{}, nil)
 		pt := ChaosPoint{Level: lv.Name, Err: err}
 		if err == nil {
 			pt.Report = ChaosReport{Conformance: r.Conformance, ConformanceT: r.ConformanceT, K: r.K}

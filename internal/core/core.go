@@ -25,6 +25,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stacks"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -187,7 +188,7 @@ type Bounds struct {
 // the configured duration. The trial index individualizes randomness.
 // Degenerate outcomes are silently returned as-is; RunTrialE reports them.
 func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
-	res, _ := runTrial(a, b, n, trial, nil, Bounds{})
+	res, _ := runTrial(a, b, n, trial, nil, Bounds{}, nil)
 	return res
 }
 
@@ -196,28 +197,32 @@ func RunTrial(a, b Flow, n Network, trial int) *TrialResult {
 // moved no data (ErrZeroThroughput). The partial result is returned
 // alongside the error for diagnostics.
 func RunTrialE(a, b Flow, n Network, trial int) (*TrialResult, error) {
-	return runTrial(a, b, n, trial, nil, Bounds{})
+	return runTrial(a, b, n, trial, nil, Bounds{}, nil)
 }
 
 // RunTrialBounded is RunTrialE under supervision bounds: cancellation via
 // bounds.Ctx surfaces as faults.ErrInterrupted, a virtual-clock deadline as
 // faults.ErrDeadline.
 func RunTrialBounded(a, b Flow, n Network, trial int, bounds Bounds) (*TrialResult, error) {
-	return runTrial(a, b, n, trial, nil, bounds)
+	return runTrial(a, b, n, trial, nil, bounds, nil)
 }
 
 // RunTrialImpaired is RunTrialE with a fault-injection specification
 // applied to the forward (data) path.
 func RunTrialImpaired(a, b Flow, n Network, trial int, imp Impairment) (*TrialResult, error) {
-	return runTrial(a, b, n, trial, &imp, Bounds{})
+	return runTrial(a, b, n, trial, &imp, Bounds{}, nil)
 }
 
 // runTrial is the shared trial engine. A nil imp (or an empty one) runs
 // the pristine testbed with an RNG draw sequence identical to the
 // pre-fault-layer code, so clean-run results are bit-for-bit unchanged.
 // bounds only adds watchdog checks, which observe the engine without
-// scheduling events, so supervision never perturbs results either.
-func runTrial(a, b Flow, n Network, trial int, imp *Impairment, bounds Bounds) (*TrialResult, error) {
+// scheduling events, so supervision never perturbs results either. tt, when
+// non-nil, attaches the structured event tracer to both senders and streams
+// the bottleneck's packet events; tracing observes the trial without
+// scheduling events or consuming RNG draws, so traced results are
+// bit-identical to untraced ones.
+func runTrial(a, b Flow, n Network, trial int, imp *Impairment, bounds Bounds, tt *trialTrace) (*TrialResult, error) {
 	n = n.withDefaults()
 	// Mix the pairing into the seed so different stacks never share the
 	// exact same randomness, even when their configurations coincide.
@@ -316,6 +321,9 @@ func runTrial(a, b Flow, n Network, trial int, imp *Impairment, bounds Bounds) (
 		}
 		res.Traces[i].AddRTT(ev.Time, ev.Sojourn+baseRTT/2)
 	})
+	if tt != nil && tt.packets != nil {
+		db.Bottleneck.Tap(tt.packets.Recorder())
+	}
 	senders := [2]*transport.Sender{}
 	for i, fl := range [2]Flow{a, b} {
 		flowID := i + 1
@@ -334,6 +342,11 @@ func runTrial(a, b Flow, n Network, trial int, imp *Impairment, bounds Bounds) (
 			senders[i].HandlePacket(p)
 		}))
 		tx := transport.NewSender(eng, fl.Stack.Profile, ctrl, dataPath, flowID)
+		if tt != nil {
+			// Attaching cascades to the controller (initial state event) —
+			// flow 1 then flow 2, a deterministic order.
+			tx.SetTracer(tt.tracer)
+		}
 		senders[i] = tx
 
 		// Randomized start within the first 2 RTTs decorrelates trials
@@ -344,6 +357,34 @@ func runTrial(a, b Flow, n Network, trial int, imp *Impairment, bounds Bounds) (
 
 	eng.RunUntil(n.Duration)
 	res.Events = eng.Fired()
+	if tt != nil {
+		// End-of-trial summaries: per-flow transport counters, then the
+		// trial-wide engine/bottleneck line. Emitted even for aborted runs —
+		// a partial trace plus its final counters is exactly what post-mortem
+		// debugging wants.
+		now := eng.Now()
+		for i := range senders {
+			st := senders[i].Stats
+			tt.tracer.TransportSummary(now, i+1, telemetry.TransportStats{
+				PacketsSent:     uint64(st.PacketsSent),
+				BytesSent:       uint64(st.BytesSent),
+				PacketsAcked:    uint64(st.PacketsAcked),
+				BytesAcked:      uint64(st.BytesAcked),
+				PacketsLost:     uint64(st.PacketsLost),
+				BytesLost:       uint64(st.BytesLost),
+				SpuriousLosses:  uint64(st.SpuriousLosses),
+				PTOCount:        uint64(st.PTOCount),
+				PersistentCount: uint64(st.PersistentCount),
+				RTTSamples:      uint64(st.RTTSamples),
+			})
+		}
+		tt.tracer.TrialSummary(now, telemetry.TrialSummary{
+			Events:           eng.Fired(),
+			PendingHighwater: eng.PendingHighwater(),
+			Drops:            db.Bottleneck.Dropped,
+			QueueHighwaterB:  db.Bottleneck.QueueHighwater(),
+		})
+	}
 	if werr := eng.Err(); werr != nil {
 		return res, fmt.Errorf("core: trial %d (%s %s vs %s %s, %s) aborted at %v: %w",
 			trial, a.Stack.Name, a.CCA, b.Stack.Name, b.CCA, n, eng.Now(), werr)
@@ -431,29 +472,29 @@ func Conformance(test Flow, n Network) pe.Report {
 // envelope-level degeneracies (pe.ErrNoSamples, pe.ErrInsufficientSamples,
 // pe.ErrDegenerateEnvelope).
 func ConformanceE(test Flow, n Network) (pe.Report, error) {
-	return conformanceImpaired(test, n, nil, Bounds{})
+	return conformanceImpaired(test, n, nil, Bounds{}, nil)
 }
 
 // ConformanceBounded is ConformanceE under supervision bounds, the entry
 // point of the supervised sweep runner: every underlying trial observes the
 // cancellation context and the per-trial virtual-clock deadline.
 func ConformanceBounded(test Flow, n Network, bounds Bounds) (pe.Report, error) {
-	return conformanceImpaired(test, n, nil, bounds)
+	return conformanceImpaired(test, n, nil, bounds, nil)
 }
 
 // ConformanceImpaired runs the conformance pipeline with the given fault
 // specification applied to every trial — test and reference alike, so both
 // envelopes are measured under the same impaired path.
 func ConformanceImpaired(test Flow, n Network, imp Impairment) (pe.Report, error) {
-	return conformanceImpaired(test, n, &imp, Bounds{})
+	return conformanceImpaired(test, n, &imp, Bounds{}, nil)
 }
 
-func conformanceImpaired(test Flow, n Network, imp *Impairment, bounds Bounds) (pe.Report, error) {
-	testTrials, err := testTrialsImpaired(test, n, imp, bounds)
+func conformanceImpaired(test Flow, n Network, imp *Impairment, bounds Bounds, ct *cellTracer) (pe.Report, error) {
+	testTrials, err := testTrialsImpaired(test, n, imp, bounds, ct)
 	if err != nil {
 		return pe.Report{}, err
 	}
-	refTrials, err := referenceTrialsImpaired(test.CCA, n, imp, bounds)
+	refTrials, err := referenceTrialsImpaired(test.CCA, n, imp, bounds, ct)
 	if err != nil {
 		return pe.Report{}, err
 	}
@@ -462,15 +503,22 @@ func conformanceImpaired(test Flow, n Network, imp *Impairment, bounds Bounds) (
 
 // TestTrialsE is TestTrials with trial-level failures reported.
 func TestTrialsE(test Flow, n Network) ([][]geom.Point, error) {
-	return testTrialsImpaired(test, n, nil, Bounds{})
+	return testTrialsImpaired(test, n, nil, Bounds{}, nil)
 }
 
-func testTrialsImpaired(test Flow, n Network, imp *Impairment, bounds Bounds) ([][]geom.Point, error) {
+func testTrialsImpaired(test Flow, n Network, imp *Impairment, bounds Bounds, ct *cellTracer) ([][]geom.Point, error) {
 	n = n.withDefaults()
 	ref := Flow{Stack: stacks.Reference(), CCA: test.CCA}
 	trials := make([][]geom.Point, n.Trials)
 	for t := 0; t < n.Trials; t++ {
-		res, err := runTrial(test, ref, n, t, imp, bounds)
+		tt, terr := ct.open("test", t, t, n.Seed)
+		if terr != nil {
+			return nil, fmt.Errorf("test trial %d: %w", t, terr)
+		}
+		res, err := runTrial(test, ref, n, t, imp, bounds, tt)
+		if cerr := tt.close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("test trial %d: %w", t, err)
 		}
@@ -481,15 +529,22 @@ func testTrialsImpaired(test Flow, n Network, imp *Impairment, bounds Bounds) ([
 
 // ReferenceTrialsE is ReferenceTrials with trial-level failures reported.
 func ReferenceTrialsE(cca stacks.CCA, n Network) ([][]geom.Point, error) {
-	return referenceTrialsImpaired(cca, n, nil, Bounds{})
+	return referenceTrialsImpaired(cca, n, nil, Bounds{}, nil)
 }
 
-func referenceTrialsImpaired(cca stacks.CCA, n Network, imp *Impairment, bounds Bounds) ([][]geom.Point, error) {
+func referenceTrialsImpaired(cca stacks.CCA, n Network, imp *Impairment, bounds Bounds, ct *cellTracer) ([][]geom.Point, error) {
 	n = n.withDefaults()
 	ref := Flow{Stack: stacks.Reference(), CCA: cca}
 	trials := make([][]geom.Point, n.Trials)
 	for t := 0; t < n.Trials; t++ {
-		res, err := runTrial(ref, ref, n, t+1000, imp, bounds)
+		tt, terr := ct.open("ref", t, t+1000, n.Seed)
+		if terr != nil {
+			return nil, fmt.Errorf("reference trial %d: %w", t, terr)
+		}
+		res, err := runTrial(ref, ref, n, t+1000, imp, bounds, tt)
+		if cerr := tt.close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("reference trial %d: %w", t, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -73,17 +74,25 @@ func GridCells(stackNames []string, ccas []stacks.CCA, nets []Network) ([]SweepC
 type CellTrialSpec struct {
 	Cell     SweepCell `json:"cell"`
 	Deadline sim.Time  `json:"deadline,omitempty"`
+	// Trace, when non-nil, enables structured qlog tracing for every trial
+	// of the cell. The child writes to the same (shared) filesystem paths
+	// the in-process executor would, so trace bytes are executor-agnostic.
+	Trace *TraceOptions `json:"trace,omitempty"`
 }
 
 // runCell executes the full conformance pipeline for one cell — the single
 // code path behind both the in-process trial closure and the isolated
 // child (ExecuteCellSpec), which is what makes their results bit-identical.
-func runCell(ctx context.Context, c SweepCell, deadline sim.Time) (CellReport, error) {
+func runCell(ctx context.Context, c SweepCell, deadline sim.Time, topts *TraceOptions) (CellReport, error) {
 	fl, err := SpecE(c.Stack, c.CCA)
 	if err != nil {
 		return CellReport{}, err
 	}
-	r, err := ConformanceBounded(fl, c.Net, Bounds{Ctx: ctx, Deadline: deadline})
+	ct, err := newCellTracer(topts, c.Key())
+	if err != nil {
+		return CellReport{}, err
+	}
+	r, err := conformanceImpaired(fl, c.Net, nil, Bounds{Ctx: ctx, Deadline: deadline}, ct)
 	if err != nil {
 		return CellReport{}, err
 	}
@@ -106,7 +115,7 @@ func ExecuteCellSpec(ctx context.Context, payload []byte) (json.RawMessage, erro
 	if err := json.Unmarshal(payload, &spec); err != nil {
 		return nil, fmt.Errorf("core: bad cell trial spec: %w", err)
 	}
-	rep, err := runCell(ctx, spec.Cell, spec.Deadline)
+	rep, err := runCell(ctx, spec.Cell, spec.Deadline, spec.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -119,16 +128,16 @@ func ExecuteCellSpec(ctx context.Context, payload []byte) (json.RawMessage, erro
 // and a positive deadline caps each underlying trial's virtual clock. The
 // trial's Spec carries the same cell serializably, so an isolating executor
 // can ship it to a child process instead.
-func SweepTrials(cells []SweepCell, deadline sim.Time) []runner.Trial {
+func SweepTrials(cells []SweepCell, deadline sim.Time, topts *TraceOptions) []runner.Trial {
 	out := make([]runner.Trial, len(cells))
 	for i, c := range cells {
 		c := c
 		out[i] = runner.Trial{
 			Key:  c.Key(),
 			Seed: c.Net.withDefaults().Seed,
-			Spec: CellTrialSpec{Cell: c, Deadline: deadline},
+			Spec: CellTrialSpec{Cell: c, Deadline: deadline, Trace: topts},
 			Run: func(ctx context.Context) (any, error) {
-				return runCell(ctx, c, deadline)
+				return runCell(ctx, c, deadline, topts)
 			},
 		}
 	}
@@ -153,10 +162,19 @@ type SweepConfig struct {
 	Resume bool
 	// OnRecord observes every cell record as it completes (serialized).
 	OnRecord func(runner.Record)
+	// OnTrialStart observes each attempt just before it executes (never for
+	// journal replays); worker is the pool index (see runner.Config).
+	OnTrialStart func(key string, worker, attempt int)
+	// OnRetry observes each failed attempt about to be retried, with the
+	// backoff delay about to be slept (see runner.Config).
+	OnRetry func(key string, attempt int, err error, backoff time.Duration)
 	// Executor, when non-nil, runs each trial attempt (e.g. the
 	// crash-isolating subprocess executor from internal/isolate); nil
 	// selects the in-process executor.
 	Executor runner.TrialExecutor
+	// Trace enables per-trial qlog tracing (see TraceOptions); the zero
+	// value disables it.
+	Trace TraceOptions
 }
 
 // RunSweep executes a conformance sweep over cells under full supervision:
@@ -164,13 +182,19 @@ type SweepConfig struct {
 // graceful cancellation. Records merge in cell order; an interrupted sweep
 // resumed from its journal is bit-identical to an uninterrupted one.
 func RunSweep(ctx context.Context, cfg SweepConfig, cells []SweepCell) (*runner.SweepResult, error) {
-	trials := SweepTrials(cells, cfg.TrialDeadline)
+	var topts *TraceOptions
+	if cfg.Trace.enabled() {
+		topts = &cfg.Trace
+	}
+	trials := SweepTrials(cells, cfg.TrialDeadline, topts)
 	rcfg := runner.Config{
-		Workers:     cfg.Workers,
-		MaxAttempts: cfg.MaxAttempts,
-		Seed:        cfg.Seed,
-		OnRecord:    cfg.OnRecord,
-		Executor:    cfg.Executor,
+		Workers:      cfg.Workers,
+		MaxAttempts:  cfg.MaxAttempts,
+		Seed:         cfg.Seed,
+		OnRecord:     cfg.OnRecord,
+		OnTrialStart: cfg.OnTrialStart,
+		OnRetry:      cfg.OnRetry,
+		Executor:     cfg.Executor,
 	}
 	if cfg.Checkpoint == "" {
 		return runner.Run(ctx, rcfg, trials)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -122,6 +123,35 @@ func (e *Executor) fallback(ctx context.Context, tr runner.Trial, attempt int, c
 	return fb.ExecuteTrial(ctx, tr, attempt)
 }
 
+// ChildStat is one live child's supervision snapshot, for progress
+// displays: how stale its heartbeat is and how long it has run.
+type ChildStat struct {
+	Key          string
+	Attempt      int
+	HeartbeatAge time.Duration
+	Runtime      time.Duration
+}
+
+// LiveChildren snapshots the currently supervised child processes, sorted
+// by trial key. Safe for concurrent use; intended for progress reporting.
+func (e *Executor) LiveChildren() []ChildStat {
+	r := e.reaper()
+	now := time.Now()
+	r.mu.Lock()
+	out := make([]ChildStat, 0, len(r.kids))
+	for c := range r.kids {
+		out = append(out, ChildStat{
+			Key:          c.key,
+			Attempt:      c.attempt,
+			HeartbeatAge: now.Sub(time.Unix(0, c.lastBeat.Load())),
+			Runtime:      now.Sub(c.start),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Close stops the reaper. Children in flight are unaffected (each
 // ExecuteTrial owns its child's lifetime); call it once the sweep is done.
 func (e *Executor) Close() {
@@ -185,6 +215,8 @@ func (e *Executor) runChild(ctx context.Context, tr runner.Trial, attempt int, p
 	// Register with the wall-clock reaper before the child does any work,
 	// so a child that wedges instantly is still supervised.
 	c := &child{
+		key:      tr.Key,
+		attempt:  attempt,
 		proc:     cmd.Process,
 		start:    time.Now(),
 		stall:    e.stallTimeout(),
@@ -289,6 +321,8 @@ func (e *Executor) reaper() *reaper {
 
 // child is one live supervised process, as the reaper sees it.
 type child struct {
+	key      string
+	attempt  int
 	proc     *os.Process
 	start    time.Time
 	stall    time.Duration

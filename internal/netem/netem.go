@@ -11,6 +11,7 @@ package netem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -48,12 +49,28 @@ type Packet struct {
 // pktPool recycles Packet objects across the hot send/ACK path. A two-flow
 // trial moves tens of thousands of packets; without recycling every one is
 // a fresh allocation (plus an ACK-range slice) that the GC must chase.
-var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+var pktPool = sync.Pool{New: func() any {
+	poolNews.Add(1)
+	return new(Packet)
+}}
+
+// Pool telemetry: gets/puts/news since process start. A persistent gap
+// between gets and puts is a packet leak — some consumer is dropping
+// pool-managed packets without releasing them.
+var poolGets, poolPuts, poolNews atomic.Int64
+
+// PoolStats reports packet-pool traffic: packets taken from the pool,
+// packets returned, and fresh allocations (pool misses). gets-puts is the
+// current number of live pool-managed packets.
+func PoolStats() (gets, puts, news int64) {
+	return poolGets.Load(), poolPuts.Load(), poolNews.Load()
+}
 
 // GetPacket returns a zeroed pool-managed packet. Its Ranges slice keeps
 // the capacity from previous use, so per-ACK range storage is amortised.
 // The packet must be handed back with ReleasePacket at its terminal point.
 func GetPacket() *Packet {
+	poolGets.Add(1)
 	p := pktPool.Get().(*Packet)
 	p.pooled = true
 	return p
@@ -68,6 +85,7 @@ func ReleasePacket(p *Packet) {
 	if p == nil || !p.pooled {
 		return
 	}
+	poolPuts.Add(1)
 	r := p.Ranges[:0]
 	*p = Packet{Ranges: r}
 	pktPool.Put(p)
@@ -146,6 +164,7 @@ type Link struct {
 	dst      Handler
 
 	queuedBytes int // bytes accepted but not yet fully serialized
+	queueHighB  int // peak queue occupancy over the link's lifetime
 	busyUntil   sim.Time
 	lastDeliver sim.Time
 
@@ -234,6 +253,10 @@ func (l *Link) Tap(fn func(LinkEvent)) { l.taps = append(l.taps, fn) }
 // packet in service).
 func (l *Link) QueueBytes() int { return l.queuedBytes }
 
+// QueueHighwater returns the peak queue occupancy in bytes observed over
+// the link's lifetime.
+func (l *Link) QueueHighwater() int { return l.queueHighB }
+
 // Capacity returns the configured droptail capacity (0 = unlimited).
 func (l *Link) Capacity() int { return l.queueCap }
 
@@ -291,6 +314,9 @@ func (l *Link) HandlePacket(pkt *Packet) {
 		return
 	}
 	l.queuedBytes += pkt.Size
+	if l.queuedBytes > l.queueHighB {
+		l.queueHighB = l.queuedBytes
+	}
 	l.emit(LinkEvent{Time: now, Packet: pkt, Kind: Enqueue, QueueB: l.queuedBytes})
 
 	start := now

@@ -159,6 +159,15 @@ type Config struct {
 	// OnRecord, when non-nil, observes every record (replayed or fresh) as
 	// it completes. Calls are serialized.
 	OnRecord func(Record)
+	// OnTrialStart, when non-nil, observes each attempt just before it
+	// executes (never for journal replays). worker is the pool index running
+	// the attempt; attempt counts from 1. May be called concurrently from
+	// different workers.
+	OnTrialStart func(key string, worker, attempt int)
+	// OnRetry, when non-nil, observes each failed attempt that will be
+	// retried, with the computed backoff delay about to be slept. May be
+	// called concurrently from different workers.
+	OnRetry func(key string, attempt int, err error, backoff time.Duration)
 	// Executor runs individual trial attempts; nil selects InProcess.
 	Executor TrialExecutor
 
@@ -254,7 +263,7 @@ func Run(ctx context.Context, cfg Config, trials []Trial) (*SweepResult, error) 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for idx := range work {
 				tr := trials[idx]
@@ -262,9 +271,9 @@ func Run(ctx context.Context, cfg Config, trials []Trial) (*SweepResult, error) 
 					finish(idx, done, true)
 					continue
 				}
-				finish(idx, supervise(ctx, cfg, tr), false)
+				finish(idx, supervise(ctx, cfg, tr, worker), false)
 			}
-		}()
+		}(w)
 	}
 	for idx := range trials {
 		work <- idx
@@ -331,8 +340,9 @@ func replayable(rec Record, tr Trial) bool {
 
 // supervise runs one trial to a final record: panic isolation, typed
 // failure classification, bounded retry with deterministic backoff, and
-// interruption handling.
-func supervise(ctx context.Context, cfg Config, tr Trial) Record {
+// interruption handling. worker identifies the pool goroutine, for the
+// OnTrialStart observer only — it never influences execution.
+func supervise(ctx context.Context, cfg Config, tr Trial, worker int) Record {
 	rec := Record{Key: tr.Key, Seed: tr.Seed}
 	// The jitter stream mixes the sweep seed with the trial identity so
 	// every trial owns an independent, reproducible backoff schedule.
@@ -344,6 +354,9 @@ func supervise(ctx context.Context, cfg Config, tr Trial) Record {
 			rec.Attempts = attempt - 1
 			rec.Err = fmt.Sprintf("interrupted before attempt %d: %v", attempt, ctx.Err())
 			return rec
+		}
+		if cfg.OnTrialStart != nil {
+			cfg.OnTrialStart(tr.Key, worker, attempt)
 		}
 		raw, terr := cfg.Executor.ExecuteTrial(ctx, tr, attempt)
 		rec.Attempts = attempt
@@ -366,7 +379,11 @@ func supervise(ctx context.Context, cfg Config, tr Trial) Record {
 		}
 		last = terr
 		if attempt < cfg.MaxAttempts {
-			if err := cfg.sleep(ctx, backoff(cfg, attempt, rng)); err != nil {
+			d := backoff(cfg, attempt, rng)
+			if cfg.OnRetry != nil {
+				cfg.OnRetry(tr.Key, attempt, terr, d)
+			}
+			if err := cfg.sleep(ctx, d); err != nil {
 				rec.Outcome = OutcomeSkipped
 				rec.Err = fmt.Sprintf("interrupted during backoff after %v", terr)
 				return rec

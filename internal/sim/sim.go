@@ -87,6 +87,9 @@ type Engine struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	// pendingHigh tracks the peak event-queue length (including tombstoned
+	// cancellations) for telemetry.
+	pendingHigh int
 
 	guard      Guard
 	guardEvery uint64
@@ -96,6 +99,9 @@ type Engine struct {
 // heapPush inserts ev, sifting it up with inlined comparisons.
 func (e *Engine) heapPush(ev *event) {
 	q := append(e.queue, ev)
+	if len(q) > e.pendingHigh {
+		e.pendingHigh = len(q)
+	}
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -178,6 +184,10 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have been executed, useful for
 // instrumentation and benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// PendingHighwater returns the peak event-queue length observed since the
+// engine was created (cancelled tombstones included while queued).
+func (e *Engine) PendingHighwater() int { return e.pendingHigh }
 
 // SetGuard installs g, invoked after every `every` fired events (every ==
 // 0 selects a default of 65536). When the guard returns an error the engine

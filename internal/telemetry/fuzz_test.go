@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadTrace: the trace decoder must never panic, whatever the input;
+// corrupt streams yield ErrBadTrace, valid ones round-trip.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`{"schema":"quicbench-qlog/v1","trial":0,"seed":1}` + "\n"))
+	f.Add([]byte(`{"schema":"quicbench-qlog/v1","trial":0,"seed":1}` + "\n" +
+		`{"t":0.001,"flow":1,"name":"recovery:pto_expired","data":{"count":1}}` + "\n"))
+	f.Add([]byte(`{"schema":"quicbench-qlog/v1","trial":0,"seed":1}` + "\n" +
+		`{"t":0.5,"flow":2,"name":"recovery:metrics_updated","data":{"cwnd":12000,"bytes_in_flight":0,"pacing_rate":0,"srtt_ms":0,"min_rtt_ms":0,"latest_rtt_ms":0}}` + "\n"))
+	f.Add([]byte(`{"schema":"wrong"}` + "\n"))
+	f.Add([]byte(`{"schema":"quicbench-qlog/v1"}` + "\n" + `{"t":1e309,"flow":-2,"name":"trial:summary","data":null}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, evs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("decode error is not ErrBadTrace: %v", err)
+			}
+			return
+		}
+		if hdr.Schema != TraceSchema {
+			t.Fatalf("accepted header with schema %q", hdr.Schema)
+		}
+		for _, ev := range evs {
+			if err := ValidateEvent(ev); err != nil {
+				t.Fatalf("accepted event fails re-validation: %v", err)
+			}
+		}
+	})
+}

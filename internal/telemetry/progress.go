@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// StatusSchema identifies the machine-readable sweep status format.
+const StatusSchema = "quicbench-status/v1"
+
+// ChildStat describes one live crash-isolated child for progress display.
+type ChildStat struct {
+	Key          string
+	Attempt      int
+	HeartbeatAge time.Duration
+	Runtime      time.Duration
+}
+
+// WorkerStatus is one worker's state in a status snapshot.
+type WorkerStatus struct {
+	Worker  int    `json:"worker"`
+	Cell    string `json:"cell"`
+	Attempt int    `json:"attempt"`
+	AgeMs   int64  `json:"age_ms"`
+}
+
+// ChildStatus is one isolated child's state in a status snapshot.
+type ChildStatus struct {
+	Cell        string `json:"cell"`
+	Attempt     int    `json:"attempt"`
+	HeartbeatMs int64  `json:"heartbeat_ms"`
+	RuntimeMs   int64  `json:"runtime_ms"`
+}
+
+// StatusSnapshot is one line of the JSONL status file.
+type StatusSnapshot struct {
+	Schema     string           `json:"schema"`
+	WallMs     int64            `json:"wall_ms"`
+	Done       int              `json:"done"`
+	Total      int              `json:"total"`
+	Failed     int              `json:"failed"`
+	Reused     int              `json:"reused"`
+	Retries    int              `json:"retries"`
+	ETASeconds float64          `json:"eta_s"`
+	Goroutines int              `json:"goroutines"`
+	HeapMB     float64          `json:"heap_mb"`
+	Workers    []WorkerStatus   `json:"workers,omitempty"`
+	Children   []ChildStatus    `json:"children,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+type workerState struct {
+	cell    string
+	attempt int
+	since   time.Time
+}
+
+// Progress renders live sweep status: a human line to Out (typically
+// stderr, rewritten each tick) and a machine-readable JSONL snapshot to
+// Status. Unlike trace files, progress output is operational — it reads
+// wall clocks and runtime metrics and is not expected to be
+// deterministic.
+type Progress struct {
+	Total    int           // total cells in the sweep
+	Out      io.Writer     // human-readable render target; nil = none
+	Status   io.Writer     // JSONL snapshot target; nil = none
+	Interval time.Duration // snapshot period; default 1s
+	// Children, when non-nil, reports live isolated children each tick.
+	Children func() []ChildStat
+	// Registry, when non-nil, contributes its snapshot to status lines.
+	Registry *Registry
+
+	mu      sync.Mutex
+	start   time.Time
+	done    int
+	failed  int
+	reused  int
+	retries int
+	workers map[int]workerState
+	durSum  time.Duration
+	durN    int
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// Start begins the periodic snapshot loop and returns a function that
+// stops it after emitting one final snapshot.
+func (p *Progress) Start() func() {
+	p.mu.Lock()
+	p.start = time.Now()
+	p.workers = make(map[int]workerState)
+	p.stop = make(chan struct{})
+	p.stopped = make(chan struct{})
+	p.mu.Unlock()
+
+	interval := p.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(p.stopped)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				p.emit()
+			case <-p.stop:
+				p.emit()
+				if p.Out != nil {
+					fmt.Fprintln(p.Out)
+				}
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(p.stop)
+			<-p.stopped
+		})
+	}
+}
+
+// TrialStarted records that a worker began (or retried) a cell.
+func (p *Progress) TrialStarted(cell string, worker, attempt int) {
+	p.mu.Lock()
+	if p.workers != nil {
+		p.workers[worker] = workerState{cell: cell, attempt: attempt, since: time.Now()}
+	}
+	if attempt > 1 {
+		p.retries++
+	}
+	p.mu.Unlock()
+}
+
+// TrialFinished records a completed cell (any outcome). reused marks
+// journal replays, which never occupied a worker and do not inform the
+// ETA; failed marks terminally failed cells.
+func (p *Progress) TrialFinished(cell string, failed, reused bool) {
+	p.mu.Lock()
+	p.done++
+	if failed {
+		p.failed++
+	}
+	if reused {
+		p.reused++
+	} else {
+		for w, st := range p.workers {
+			if st.cell == cell {
+				p.durSum += time.Since(st.since)
+				p.durN++
+				delete(p.workers, w)
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// snapshot assembles the current status under the lock.
+func (p *Progress) snapshot() StatusSnapshot {
+	p.mu.Lock()
+	s := StatusSnapshot{
+		Schema:  StatusSchema,
+		WallMs:  time.Since(p.start).Milliseconds(),
+		Done:    p.done,
+		Total:   p.Total,
+		Failed:  p.failed,
+		Reused:  p.reused,
+		Retries: p.retries,
+	}
+	now := time.Now()
+	for w, st := range p.workers {
+		s.Workers = append(s.Workers, WorkerStatus{
+			Worker: w, Cell: st.cell, Attempt: st.attempt,
+			AgeMs: now.Sub(st.since).Milliseconds(),
+		})
+	}
+	remaining := p.Total - p.done
+	if p.durN > 0 && remaining > 0 {
+		avg := p.durSum / time.Duration(p.durN)
+		parallel := len(p.workers)
+		if parallel < 1 {
+			parallel = 1
+		}
+		s.ETASeconds = (avg * time.Duration(remaining) / time.Duration(parallel)).Seconds()
+	}
+	p.mu.Unlock()
+
+	for i := 0; i < len(s.Workers); i++ { // stable order for readers
+		for j := i + 1; j < len(s.Workers); j++ {
+			if s.Workers[j].Worker < s.Workers[i].Worker {
+				s.Workers[i], s.Workers[j] = s.Workers[j], s.Workers[i]
+			}
+		}
+	}
+	if p.Children != nil {
+		for _, c := range p.Children() {
+			s.Children = append(s.Children, ChildStatus{
+				Cell: c.Key, Attempt: c.Attempt,
+				HeartbeatMs: c.HeartbeatAge.Milliseconds(),
+				RuntimeMs:   c.Runtime.Milliseconds(),
+			})
+		}
+	}
+	s.Goroutines = runtime.NumGoroutine()
+	s.HeapMB = heapMB()
+	if p.Registry != nil {
+		s.Counters = make(map[string]int64)
+		for _, smp := range p.Registry.Snapshot() {
+			s.Counters[smp.Name] = smp.Value
+		}
+	}
+	return s
+}
+
+// emit writes one render + status line.
+func (p *Progress) emit() {
+	s := p.snapshot()
+	if p.Out != nil {
+		fmt.Fprintf(p.Out, "\rsweep: %d/%d cells", s.Done, s.Total)
+		if s.Failed > 0 {
+			fmt.Fprintf(p.Out, " (%d failed)", s.Failed)
+		}
+		if s.Retries > 0 {
+			fmt.Fprintf(p.Out, " (%d retries)", s.Retries)
+		}
+		fmt.Fprintf(p.Out, " | %d workers busy", len(s.Workers))
+		if s.ETASeconds > 0 {
+			fmt.Fprintf(p.Out, " | eta %s", (time.Duration(s.ETASeconds * float64(time.Second))).Round(time.Second))
+		}
+		if len(s.Children) > 0 {
+			var maxHB int64
+			for _, c := range s.Children {
+				if c.HeartbeatMs > maxHB {
+					maxHB = c.HeartbeatMs
+				}
+			}
+			fmt.Fprintf(p.Out, " | %d children (hb max %dms)", len(s.Children), maxHB)
+		}
+		fmt.Fprintf(p.Out, " | %dg %.0fMB", s.Goroutines, s.HeapMB)
+	}
+	if p.Status != nil {
+		if b, err := json.Marshal(s); err == nil {
+			p.Status.Write(append(b, '\n'))
+		}
+	}
+}
+
+var heapSample = []rtmetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+
+// heapMB reads live heap object bytes via runtime/metrics (cheaper than a
+// full runtime.ReadMemStats stop-the-world).
+func heapMB() float64 {
+	s := make([]rtmetrics.Sample, len(heapSample))
+	copy(s, heapSample)
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() != rtmetrics.KindUint64 {
+		return 0
+	}
+	return float64(s[0].Value.Uint64()) / (1 << 20)
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer: the progress goroutine writes while
+// the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestProgressStatusAndRender(t *testing.T) {
+	var out, status syncBuffer
+	reg := NewRegistry()
+	reg.Counter("isolate.fallbacks").Inc()
+	p := &Progress{
+		Total:    4,
+		Out:      &out,
+		Status:   &status,
+		Interval: 10 * time.Millisecond,
+		Registry: reg,
+		Children: func() []ChildStat {
+			return []ChildStat{{Key: "cell-a", Attempt: 1, HeartbeatAge: 50 * time.Millisecond, Runtime: time.Second}}
+		},
+	}
+	stop := p.Start()
+	p.TrialStarted("cell-a", 0, 1)
+	p.TrialStarted("cell-b", 1, 2) // attempt 2 => counted as a retry
+	p.TrialFinished("cell-a", false, false)
+	p.TrialFinished("cell-b", true, false)
+	p.TrialFinished("cell-c", false, true) // journal replay
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	stop() // idempotent
+
+	var last StatusSnapshot
+	n := 0
+	sc := bufio.NewScanner(strings.NewReader(status.String()))
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("status line %d not JSON: %v", n, err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no status lines emitted")
+	}
+	if last.Schema != StatusSchema {
+		t.Errorf("schema = %q, want %q", last.Schema, StatusSchema)
+	}
+	if last.Done != 3 || last.Total != 4 || last.Failed != 1 || last.Reused != 1 || last.Retries != 1 {
+		t.Errorf("counts = done %d total %d failed %d reused %d retries %d, want 3/4/1/1/1",
+			last.Done, last.Total, last.Failed, last.Reused, last.Retries)
+	}
+	if len(last.Children) != 1 || last.Children[0].Cell != "cell-a" || last.Children[0].HeartbeatMs != 50 {
+		t.Errorf("children = %+v", last.Children)
+	}
+	if last.Counters["isolate.fallbacks"] != 1 {
+		t.Errorf("counters = %v, want isolate.fallbacks 1", last.Counters)
+	}
+	if last.Goroutines <= 0 || last.HeapMB <= 0 {
+		t.Errorf("runtime metrics missing: goroutines %d heap %.1fMB", last.Goroutines, last.HeapMB)
+	}
+	if !strings.Contains(out.String(), "3/4 cells") {
+		t.Errorf("render missing done/total: %q", out.String())
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	p := &Progress{Total: 10}
+	stop := p.Start()
+	defer stop()
+	p.TrialStarted("a", 0, 1)
+	p.mu.Lock() // backdate the start so the completed cell has a duration
+	p.workers[0] = workerState{cell: "a", attempt: 1, since: time.Now().Add(-2 * time.Second)}
+	p.mu.Unlock()
+	p.TrialStarted("b", 1, 1)
+	p.TrialFinished("a", false, false)
+	s := p.snapshot()
+	if s.ETASeconds <= 0 {
+		t.Errorf("ETA = %v, want > 0 after a completed cell with work remaining", s.ETASeconds)
+	}
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that also tracks its highwater
+// mark (queue occupancy, heartbeat age, and similar saw-tooth signals).
+type Gauge struct{ v, high atomic.Int64 }
+
+// Set records the current value and updates the highwater mark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Value reads the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// High reads the highwater mark.
+func (g *Gauge) High() int64 { return g.high.Load() }
+
+// Sample is one named value in a registry snapshot.
+type Sample struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Registry is a concurrency-safe collection of named counters, gauges,
+// and read-on-demand gauge functions. Snapshots are sorted by name so
+// rendered output is stable.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Safe for concurrent callers; the same name always yields the same
+// counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterFunc registers (or replaces) a gauge function sampled at
+// snapshot time — for values owned elsewhere, like pool statistics.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns every metric as name/value samples, sorted by name.
+// Gauges contribute two samples: "<name>" and "<name>.high".
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	out := make([]Sample, 0, len(r.counters)+2*len(r.gauges)+len(r.funcs))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Value: g.Value()})
+		out = append(out, Sample{Name: name + ".high", Value: g.High()})
+	}
+	fns := make([]struct {
+		name string
+		fn   func() int64
+	}, 0, len(r.funcs))
+	for name, fn := range r.funcs {
+		fns = append(fns, struct {
+			name string
+			fn   func() int64
+		}{name, fn})
+	}
+	r.mu.Unlock()
+	// Sample registered functions outside the lock: they may take other
+	// locks of their own.
+	for _, f := range fns {
+		out = append(out, Sample{Name: f.name, Value: f.fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText renders the snapshot one "name value" pair per line.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"slices"
+
 	"repro/internal/cc"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // sentPacket tracks an in-flight (or recently lost) data packet.
@@ -95,6 +98,17 @@ type Sender struct {
 	onRTT      []func(RTTSample)
 	onCwnd     []func(t sim.Time, cwnd int, inFlight int)
 	appLimited bool
+
+	// Structured telemetry. tracer is nil when tracing is disabled — every
+	// hook below is guarded by that single nil check, so the disabled path
+	// costs nothing. ssth caches the optional SSThresher assertion (done
+	// once in SetTracer, never on the hot path); lastMetKey dedups
+	// metrics_updated events; rangeScratch is reused by the wide-ACK-range
+	// walk so its determinism sort never allocates in steady state.
+	tracer       telemetry.Tracer
+	ssth         cc.SSThresher
+	lastMetKey   telemetry.Metrics
+	rangeScratch []int64
 }
 
 // NewSender constructs a sender for the given flow that emits packets into
@@ -148,12 +162,55 @@ func (s *Sender) OnCwndSample(fn func(t sim.Time, cwnd, inFlight int)) {
 	s.onCwnd = append(s.onCwnd, fn)
 }
 
+// SetTracer attaches a structured telemetry tracer (nil disables) under
+// the sender's flow id, and forwards it to the congestion controller when
+// it supports tracing. Call before Start so the trace opens with the
+// initial controller state and metrics.
+func (s *Sender) SetTracer(t telemetry.Tracer) {
+	s.tracer = t
+	s.ssth = nil
+	if t == nil {
+		return
+	}
+	s.ssth, _ = s.ctrl.(cc.SSThresher)
+	if ts, ok := s.ctrl.(cc.TraceSetter); ok {
+		ts.SetTracer(t, s.flow)
+	}
+}
+
+// emitMetrics reports the current congestion metrics, deduplicating on
+// everything except bytes-in-flight (which changes with every packet and
+// would defeat the dedup without adding information loss events lack).
+// Callers guarantee s.tracer != nil.
+func (s *Sender) emitMetrics(now sim.Time) {
+	m := telemetry.Metrics{
+		CWND:       s.ctrl.CWND(),
+		SSThresh:   -1,
+		PacingRate: s.ctrl.PacingRate(),
+		SRTT:       s.rtt.srtt,
+		MinRTT:     s.rtt.minRTT,
+		LatestRTT:  s.rtt.latest,
+	}
+	if s.ssth != nil {
+		m.SSThresh = s.ssth.SSThresh()
+	}
+	if m == s.lastMetKey {
+		return
+	}
+	s.lastMetKey = m
+	m.BytesInFlight = s.bytesInFlight
+	s.tracer.MetricsUpdated(now, s.flow, m)
+}
+
 // Start begins transmission.
 func (s *Sender) Start() {
 	if s.started {
 		return
 	}
 	s.started = true
+	if s.tracer != nil {
+		s.emitMetrics(s.clk.Now())
+	}
 	s.trySend()
 }
 
@@ -311,6 +368,9 @@ func (s *Sender) HandlePacket(pkt *netem.Packet) {
 			s.accountDelivered(now, sp)
 			spuriousSentAt := sp.sentAt
 			s.forgetSent(seq, sp)
+			if s.tracer != nil {
+				s.tracer.SpuriousLoss(now, s.flow, spuriousSentAt)
+			}
 			s.ctrl.OnSpuriousLoss(now, spuriousSentAt)
 			return
 		}
@@ -333,11 +393,23 @@ func (s *Sender) HandlePacket(pkt *netem.Packet) {
 	for _, rg := range pkt.Ranges {
 		span := rg.Largest - rg.Smallest + 1
 		if span > int64(len(s.packets)) {
-			for seq, sp := range s.packets {
+			// Go map iteration order is random: collect the matching seqs
+			// and sort so per-packet processing (and any telemetry it
+			// emits) happens in the same descending order as the
+			// narrow-range walk below, keeping traces seed-stable.
+			match := s.rangeScratch[:0]
+			for seq := range s.packets {
 				if seq >= rg.Smallest && seq <= rg.Largest {
-					process(seq, sp)
+					match = append(match, seq)
 				}
 			}
+			slices.Sort(match)
+			for i := len(match) - 1; i >= 0; i-- {
+				if sp, ok := s.packets[match[i]]; ok {
+					process(match[i], sp)
+				}
+			}
+			s.rangeScratch = match[:0]
 			continue
 		}
 		for seq := rg.Largest; seq >= rg.Smallest; seq-- {
@@ -353,6 +425,9 @@ func (s *Sender) HandlePacket(pkt *netem.Packet) {
 		// Pure duplicate or stale ACK: still run loss detection in case the
 		// higher largestAcked exposes losses.
 		s.detectLosses(now)
+		if s.tracer != nil {
+			s.emitMetrics(now)
+		}
 		s.trySend()
 		return
 	}
@@ -419,6 +494,9 @@ func (s *Sender) HandlePacket(pkt *netem.Packet) {
 	for _, fn := range s.onCwnd {
 		fn(now, s.ctrl.CWND(), s.bytesInFlight)
 	}
+	if s.tracer != nil {
+		s.emitMetrics(now)
+	}
 	s.trySend()
 }
 
@@ -453,6 +531,8 @@ func (s *Sender) detectLosses(now sim.Time) {
 		newestLostSent  sim.Time
 		earliestLossAt  sim.Time = -1
 		largestLostSeq  int64    = -1
+		// Per-trigger counts for telemetry; only maintained when tracing.
+		nPkt, nTime, nEager, nFlight int
 	)
 	for seq, sp := range s.packets {
 		if sp.acked || sp.lost {
@@ -473,6 +553,16 @@ func (s *Sender) detectLosses(now sim.Time) {
 			s.bytesInFlight -= sp.bytes
 			s.Stats.PacketsLost++
 			s.Stats.BytesLost += int64(sp.bytes)
+			if s.tracer != nil {
+				switch {
+				case packetLost:
+					nPkt++
+				case seq > s.largestAcked:
+					nEager++
+				default:
+					nTime++
+				}
+			}
 			if seq > largestLostSeq {
 				largestLostSeq = seq
 			}
@@ -506,6 +596,7 @@ func (s *Sender) detectLosses(now sim.Time) {
 			s.bytesInFlight -= sp.bytes
 			s.Stats.PacketsLost++
 			s.Stats.BytesLost += int64(sp.bytes)
+			nFlight++
 			if sp.sentAt > largestLostSent {
 				largestLostSent = sp.sentAt
 			}
@@ -523,6 +614,18 @@ func (s *Sender) detectLosses(now sim.Time) {
 				persistent = true
 				s.Stats.PersistentCount++
 			}
+		}
+		if s.tracer != nil {
+			s.tracer.PacketsLost(now, s.flow, telemetry.LossSample{
+				LostBytes:       lostBytes,
+				Packets:         nPkt + nTime + nEager + nFlight,
+				PktThreshold:    nPkt,
+				TimeThreshold:   nTime,
+				EagerTail:       nEager,
+				FlightReset:     nFlight,
+				LargestLostSent: largestLostSent,
+				Persistent:      persistent,
+			})
 		}
 		s.ctrl.OnLoss(cc.LossEvent{
 			Now:             now,
@@ -600,11 +703,17 @@ func (s *Sender) onLossTimer() {
 	before := s.Stats.PacketsLost
 	s.detectLosses(now)
 	if s.Stats.PacketsLost != before {
+		if s.tracer != nil {
+			s.emitMetrics(now)
+		}
 		s.trySend()
 		return
 	}
 	// PTO: probe with one packet regardless of cwnd (RFC 9002 §6.2.4).
 	s.ptoCount++
 	s.Stats.PTOCount++
+	if s.tracer != nil {
+		s.tracer.PTOExpired(now, s.flow, s.ptoCount)
+	}
 	s.sendPacket(now, s.cfg.MSS)
 }

@@ -6,14 +6,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/isolate"
+	"repro/internal/netem"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stacks"
+	"repro/internal/telemetry"
 )
 
 // SweepOptions configures a supervised conformance sweep: the grid to
@@ -62,6 +66,33 @@ type SweepOptions struct {
 	// OnFallback, when non-nil, observes each cell that degraded from
 	// isolated to in-process execution (must be concurrency-safe).
 	OnFallback func(cell string, err error)
+	// OnRetry, when non-nil, observes each failed cell attempt about to be
+	// retried, with the backoff about to be slept (must be
+	// concurrency-safe).
+	OnRetry func(cell string, attempt int, err error, backoff time.Duration)
+	// TraceDir, when non-empty, enables qlog-style structured tracing: each
+	// cell gets a subdirectory holding one .qlog.jsonl trace per trial
+	// (cwnd/ssthresh updates, CC state transitions, loss and PTO events,
+	// end-of-trial summaries). Traces are seed-stable: in-process and
+	// isolated runs of the same sweep produce byte-identical files.
+	TraceDir string
+	// TracePackets additionally streams each trial's bottleneck link events
+	// to a .packets.csv next to its qlog (O(1) memory, any trial length).
+	TracePackets bool
+	// ProgressOut, when non-nil, receives a live one-line progress render
+	// (cells done/total, retries, ETA, worker and child state), rewritten
+	// each tick — typically os.Stderr.
+	ProgressOut io.Writer
+	// StatusPath, when non-empty, appends a machine-readable JSONL status
+	// snapshot per tick (telemetry.StatusSnapshot lines).
+	StatusPath string
+	// StatusInterval is the progress/status tick period (default 1s).
+	StatusInterval time.Duration
+	// Metrics, when non-nil, is the counters/gauges registry the sweep
+	// reports into (cells done/failed, retries, isolation fallbacks, packet
+	// pool traffic); status snapshots embed its contents. Nil with progress
+	// enabled creates a private registry.
+	Metrics *telemetry.Registry
 }
 
 // SweepCellResult is one cell of a supervised sweep: its identity, the
@@ -181,20 +212,121 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		Seed:          opts.Seed,
 		Checkpoint:    opts.Checkpoint,
 		Resume:        opts.Resume,
+		Trace:         core.TraceOptions{Dir: opts.TraceDir, Packets: opts.TracePackets},
 	}
+
+	// Telemetry: counters always feed the registry when one is configured;
+	// the live progress renderer additionally needs one for its status
+	// snapshots, so a private registry is created on demand.
+	reg := opts.Metrics
+	wantProgress := opts.ProgressOut != nil || opts.StatusPath != ""
+	if reg == nil && wantProgress {
+		reg = telemetry.NewRegistry()
+	}
+	var cDone, cFailed, cRetries, cFallbacks *telemetry.Counter
+	if reg != nil {
+		cDone = reg.Counter("sweep.cells_done")
+		cFailed = reg.Counter("sweep.cells_failed")
+		cRetries = reg.Counter("runner.retries")
+		cFallbacks = reg.Counter("isolate.fallbacks")
+		reg.RegisterFunc("netem.pool_gets", func() int64 { g, _, _ := netem.PoolStats(); return g })
+		reg.RegisterFunc("netem.pool_outstanding", func() int64 { g, p, _ := netem.PoolStats(); return g - p })
+		reg.RegisterFunc("netem.pool_news", func() int64 { _, _, n := netem.PoolStats(); return n })
+	}
+
+	var ex *isolate.Executor
 	if opts.Isolate {
-		ex := &isolate.Executor{
+		ex = &isolate.Executor{
 			StallTimeout:  opts.IsolateStallTimeout,
 			WallDeadline:  opts.IsolateWallTimeout,
 			MemLimitBytes: int64(opts.IsolateMemLimitMB) << 20,
-			OnFallback:    opts.OnFallback,
+			OnFallback: func(cell string, ferr error) {
+				if cFallbacks != nil {
+					cFallbacks.Inc()
+				}
+				if opts.OnFallback != nil {
+					opts.OnFallback(cell, ferr)
+				}
+			},
 		}
 		defer ex.Close()
 		cfg.Executor = ex
 	}
-	if opts.Progress != nil {
-		cfg.OnRecord = func(rec runner.Record) { opts.Progress(cellResult(rec)) }
+
+	var prog *telemetry.Progress
+	if wantProgress {
+		prog = &telemetry.Progress{
+			Total:    len(cells),
+			Out:      opts.ProgressOut,
+			Interval: opts.StatusInterval,
+			Registry: reg,
+		}
+		if opts.StatusPath != "" {
+			if dir := filepath.Dir(opts.StatusPath); dir != "." {
+				if serr := os.MkdirAll(dir, 0o755); serr != nil {
+					return nil, fmt.Errorf("quicbench: status file: %w", serr)
+				}
+			}
+			f, serr := os.Create(opts.StatusPath)
+			if serr != nil {
+				return nil, fmt.Errorf("quicbench: status file: %w", serr)
+			}
+			defer f.Close()
+			prog.Status = f
+		}
+		if ex != nil {
+			prog.Children = func() []telemetry.ChildStat {
+				kids := ex.LiveChildren()
+				out := make([]telemetry.ChildStat, len(kids))
+				for i, k := range kids {
+					out[i] = telemetry.ChildStat(k)
+				}
+				return out
+			}
+		}
+		defer prog.Start()()
 	}
+
+	// started tracks which cells actually executed this run, so OnRecord can
+	// tell fresh results from journal replays (replays never start a trial).
+	var startedMu sync.Mutex
+	started := make(map[string]bool)
+	cfg.OnTrialStart = func(key string, worker, attempt int) {
+		startedMu.Lock()
+		started[key] = true
+		startedMu.Unlock()
+		if prog != nil {
+			prog.TrialStarted(key, worker, attempt)
+		}
+	}
+	cfg.OnRetry = func(key string, attempt int, rerr error, backoff time.Duration) {
+		if cRetries != nil {
+			cRetries.Inc()
+		}
+		if opts.OnRetry != nil {
+			opts.OnRetry(key, attempt, rerr, backoff)
+		}
+	}
+	cfg.OnRecord = func(rec runner.Record) {
+		startedMu.Lock()
+		fresh := started[rec.Key]
+		startedMu.Unlock()
+		failed := rec.Outcome == runner.OutcomeFailed
+		reused := !fresh && (rec.Outcome == runner.OutcomeOK || rec.Outcome == runner.OutcomeRetried)
+		if cDone != nil {
+			cDone.Inc()
+		}
+		if failed && cFailed != nil {
+			cFailed.Inc()
+		}
+		if prog != nil {
+			prog.TrialFinished(rec.Key, failed, reused)
+		}
+		if opts.Progress != nil {
+			opts.Progress(cellResult(rec))
+		}
+	}
+
 	res, err := core.RunSweep(ctx, cfg, cells)
 	if err != nil {
 		return nil, err

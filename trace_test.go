@@ -1,0 +1,163 @@
+package quicbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// traceTree reads every regular file under dir into a rel-path → bytes map.
+func traceTree(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil || d.IsDir() {
+			return werr
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", dir, err)
+	}
+	return out
+}
+
+// TestSweepTraceBitIdenticalAcrossExecutors is the golden qlog guarantee:
+// the same seeded sweep traced in-process and under crash-isolated child
+// processes must write byte-identical trace trees — the executor is an
+// operational detail that never leaks into the telemetry.
+func TestSweepTraceBitIdenticalAcrossExecutors(t *testing.T) {
+	dir := t.TempDir()
+	inprocD := filepath.Join(dir, "inproc")
+	isoD := filepath.Join(dir, "iso")
+
+	opts := sweepTestOpts()
+	opts.TraceDir = inprocD
+	opts.TracePackets = true
+	if _, err := RunSweep(context.Background(), opts); err != nil {
+		t.Fatalf("in-process traced sweep: %v", err)
+	}
+
+	iopts := isolatedTestOpts()
+	iopts.TraceDir = isoD
+	iopts.TracePackets = true
+	iopts.OnFallback = func(cell string, err error) {
+		t.Errorf("cell %s silently degraded to in-process: %v", cell, err)
+	}
+	sum, err := RunSweep(context.Background(), iopts)
+	if err != nil {
+		t.Fatalf("isolated traced sweep: %v", err)
+	}
+	for _, c := range sum.Cells {
+		if !c.Completed() {
+			t.Fatalf("isolated cell %s: outcome %s (%s)", c.Cell, c.Outcome, c.Err)
+		}
+	}
+
+	inproc, iso := traceTree(t, inprocD), traceTree(t, isoD)
+	if len(inproc) == 0 {
+		t.Fatal("in-process sweep wrote no trace files")
+	}
+	if len(inproc) != len(iso) {
+		t.Fatalf("trace trees differ in size: in-process %d files, isolated %d", len(inproc), len(iso))
+	}
+	var qlogs int
+	for rel, want := range inproc {
+		got, ok := iso[rel]
+		if !ok {
+			t.Errorf("%s missing from the isolated trace tree", rel)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: trace bytes differ between executors (%d vs %d bytes)", rel, len(want), len(got))
+		}
+		if strings.HasSuffix(rel, ".qlog.jsonl") {
+			qlogs++
+			f, err := os.Open(filepath.Join(inprocD, rel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, events, rerr := telemetry.ReadTrace(f)
+			f.Close()
+			if rerr != nil {
+				t.Errorf("%s: invalid trace: %v", rel, rerr)
+			} else if len(events) == 0 {
+				t.Errorf("%s: no events", rel)
+			}
+		}
+	}
+	// 2 cells × 2 trials × {test,ref} = 8 qlog files, plus packet CSVs.
+	if qlogs != 8 {
+		t.Errorf("qlog file count = %d, want 8", qlogs)
+	}
+}
+
+// TestSweepStatusFile: -status wiring end to end — the sweep appends
+// schema-tagged JSONL snapshots whose final line reflects completion and
+// carries the telemetry counters.
+func TestSweepStatusFile(t *testing.T) {
+	dir := t.TempDir()
+	statusPath := filepath.Join(dir, "status.jsonl")
+
+	opts := sweepTestOpts()
+	opts.StatusPath = statusPath
+	opts.StatusInterval = 50 * time.Millisecond
+	reg := telemetry.NewRegistry()
+	opts.Metrics = reg
+	if _, err := RunSweep(context.Background(), opts); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	raw, err := os.ReadFile(statusPath)
+	if err != nil {
+		t.Fatalf("status file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("status file is empty")
+	}
+	var last telemetry.StatusSnapshot
+	for _, ln := range lines {
+		var s telemetry.StatusSnapshot
+		if err := json.Unmarshal([]byte(ln), &s); err != nil {
+			t.Fatalf("bad status line %q: %v", ln, err)
+		}
+		if s.Schema != telemetry.StatusSchema {
+			t.Fatalf("status schema = %q, want %q", s.Schema, telemetry.StatusSchema)
+		}
+		last = s
+	}
+	if last.Done != 2 || last.Total != 2 || last.Failed != 0 {
+		t.Errorf("final snapshot = %d/%d done, %d failed; want 2/2, 0", last.Done, last.Total, last.Failed)
+	}
+	if last.Counters["sweep.cells_done"] != 2 {
+		t.Errorf("counters[sweep.cells_done] = %d, want 2", last.Counters["sweep.cells_done"])
+	}
+	// The caller-supplied registry observed the same counters.
+	var sawDone bool
+	for _, smp := range reg.Snapshot() {
+		if smp.Name == "sweep.cells_done" && smp.Value == 2 {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Error("caller registry missing sweep.cells_done=2")
+	}
+}
