@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke trace-smoke soak bench bench-check
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke trace-smoke dist-smoke soak bench bench-check
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -85,6 +85,15 @@ trace-smoke:
 	@test -s $(TRACE_SMOKE_DIR)/status.jsonl || { echo "trace-smoke: empty status file"; exit 1; }
 	@rm -f /tmp/quicbench-trace
 	@echo "trace-smoke: ok"
+
+## dist-smoke: the distributed sweep fabric end to end on loopback — a
+## coordinator shards a seeded campaign across three workers, one worker
+## is SIGKILLed mid-campaign (its cells re-dispatch), then the coordinator
+## is SIGKILLed mid-journal and restarted with -resume against the
+## surviving, reconnecting fleet. The final journal must be byte-identical
+## to an uninterrupted single-process run.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 ## soak: a short seeded chaos sweep under the race detector with crash
 ## isolation on — one cell wedges (reaped by heartbeat stall, classified

@@ -11,6 +11,8 @@
 //	quicbench sweep -stacks quicgo,lsquic -ccas cubic -checkpoint run.jsonl
 //	quicbench sweep -checkpoint run.jsonl -resume   # continue after ^C
 //	quicbench sweep -trace traces/ -progress -status status.jsonl
+//	quicbench sweep -listen 127.0.0.1:9777 -min-workers 3 -checkpoint run.jsonl
+//	quicbench worker -connect 127.0.0.1:9777     # one fleet member (run several)
 //	quicbench trace -check traces/               # validate qlog JSONL files
 //	quicbench trace -cwnd 1 traces/<cell>/test0.qlog.jsonl  # cwnd-over-time CSV
 //
@@ -36,6 +38,14 @@
 // memory ceiling (-mem-limit) contains allocation blowouts, and every
 // child death is classified (timeout, OOM, signal, crash) and retried —
 // a hard crash costs one attempt of one cell, never the sweep.
+//
+// With -listen the sweep becomes a distributed campaign: the coordinator
+// shards cells across `quicbench worker` processes over TCP, workers
+// heartbeat, a stalled or crashed worker's cells re-dispatch to healthy
+// ones (-worker-timeout), and an empty fleet degrades to local execution.
+// Checkpoint records flush in cell order, so the distributed journal —
+// even across a coordinator kill plus -resume — is byte-identical to a
+// single-process run's.
 //
 // Observability: -trace writes one qlog-style JSONL trace per trial
 // (cwnd/ssthresh/pacing updates, CC state transitions, loss and PTO
@@ -68,6 +78,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		os.Exit(sweepMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		os.Exit(workerMain(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(benchMain(os.Args[2:]))

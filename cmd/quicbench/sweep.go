@@ -49,11 +49,19 @@ func sweepMain(args []string) int {
 		statusIntv = fs.Duration("status-interval", time.Second, "progress/status snapshot period")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		verbose    = fs.Bool("v", false, "log retries and backoff decisions to stderr")
+		listenAddr = fs.String("listen", "", "coordinate a distributed sweep: shard cells across `quicbench worker` processes connected to this TCP address (e.g. 127.0.0.1:0)")
+		minWorkers = fs.Int("min-workers", 0, "with -listen, wait for this many workers before dispatching")
+		minWait    = fs.Duration("min-workers-timeout", 30*time.Second, "bound the -min-workers wait (proceed with fewer on timeout)")
+		workerTO   = fs.Duration("worker-timeout", 10*time.Second, "with -listen, reap a worker silent for this long and re-dispatch its cells")
 	)
 	fs.Parse(args)
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -resume requires -checkpoint")
+		return 2
+	}
+	if *listenAddr == "" && *minWorkers > 0 {
+		fmt.Fprintln(os.Stderr, "sweep: -min-workers requires -listen")
 		return 2
 	}
 	if *tracePkts && *traceDir == "" {
@@ -105,6 +113,20 @@ func sweepMain(args []string) int {
 
 	if *progress {
 		opts.ProgressOut = os.Stderr
+	}
+	if *listenAddr != "" {
+		opts.Listen = *listenAddr
+		opts.MinWorkers = *minWorkers
+		opts.MinWorkersTimeout = *minWait
+		opts.WorkerHeartbeatTimeout = *workerTO
+		// The bound address line is load-bearing: with -listen 127.0.0.1:0
+		// it is how workers (and the dist-smoke harness) learn the port.
+		opts.OnListen = func(addr string) {
+			fmt.Fprintf(os.Stderr, "sweep: coordinator listening on %s\n", addr)
+		}
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		}
 	}
 	if *isolated {
 		opts.OnFallback = func(cell string, err error) {

@@ -1,0 +1,67 @@
+package quicbench
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// WorkerOptions configures one distributed-sweep worker process (the
+// `quicbench worker` subcommand) — the execution half of the fabric
+// behind SweepOptions.Listen.
+type WorkerOptions struct {
+	// Connect is the coordinator's TCP address.
+	Connect string
+	// Name identifies the worker in the coordinator's fleet telemetry
+	// (default "worker-<pid>").
+	Name string
+	// Parallel is how many cell attempts run concurrently (default 1).
+	Parallel int
+	// HeartbeatInterval is the liveness beat period (default 1 s); keep it
+	// well under the coordinator's worker heartbeat timeout.
+	HeartbeatInterval time.Duration
+	// Logf, when non-nil, observes connection lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+// SweepWorker executes sweep cells for a fabric coordinator. Create it
+// with NewSweepWorker, run it with Run, and stop it cleanly with Drain.
+type SweepWorker struct {
+	w *dist.Worker
+}
+
+// NewSweepWorker builds a worker that executes each assignment through
+// core.ExecuteCellSpec — the exact code path the in-process and
+// crash-isolated executors run, which is what makes fabric results
+// bit-identical to local ones.
+func NewSweepWorker(opts WorkerOptions) *SweepWorker {
+	return &SweepWorker{w: &dist.Worker{
+		Addr:              opts.Connect,
+		Name:              opts.Name,
+		Slots:             opts.Parallel,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		Logf:              opts.Logf,
+		Exec: func(ctx context.Context, key string, seed uint64, payload json.RawMessage) (json.RawMessage, error) {
+			return core.ExecuteCellSpec(ctx, payload)
+		},
+	}}
+}
+
+// Run connects to the coordinator and executes assignments until the
+// campaign completes (nil), Drain finishes (nil), or ctx ends
+// (ctx.Err()). Connection loss is not an exit: the worker reconnects
+// with exponential backoff, so a coordinator restarted with --resume
+// finds its fleet waiting.
+func (sw *SweepWorker) Run(ctx context.Context) error {
+	return sw.w.Run(ctx)
+}
+
+// Drain asks the worker to shut down cleanly: finish and flush in-flight
+// cells, hand unstarted assignments back to the coordinator, then return
+// from Run. Safe to call from a signal-handler goroutine; idempotent.
+func (sw *SweepWorker) Drain() {
+	sw.w.Drain()
+}

@@ -1,0 +1,93 @@
+package quicbench
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestDistributedSweepBitIdentical: the same seeded sweep run
+// single-process and sharded across a loopback worker fleet must journal
+// byte-identical results — distribution is an execution detail, never a
+// measurement change.
+func TestDistributedSweepBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	refJ := filepath.Join(dir, "ref.jsonl")
+	distJ := filepath.Join(dir, "dist.jsonl")
+
+	opts := sweepTestOpts()
+	opts.Checkpoint = refJ
+	if _, err := RunSweep(context.Background(), opts); err != nil {
+		t.Fatalf("single-process sweep: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	dopts := sweepTestOpts()
+	dopts.Checkpoint = distJ
+	dopts.Listen = "127.0.0.1:0"
+	dopts.MinWorkers = 3
+	dopts.MinWorkersTimeout = 10 * time.Second
+	dopts.Workers = 3
+	dopts.Metrics = reg
+	dopts.Logf = t.Logf
+
+	// Workers join as soon as the coordinator announces its bound address.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fleet sync.WaitGroup
+	dopts.OnListen = func(addr string) {
+		for i := 0; i < 3; i++ {
+			w := NewSweepWorker(WorkerOptions{
+				Connect:           addr,
+				Name:              []string{"wa", "wb", "wc"}[i],
+				HeartbeatInterval: 100 * time.Millisecond,
+				Logf:              t.Logf,
+			})
+			fleet.Add(1)
+			go func() {
+				defer fleet.Done()
+				if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}
+	}
+
+	sum, err := RunSweep(ctx, dopts)
+	if err != nil {
+		t.Fatalf("distributed sweep: %v", err)
+	}
+	cancel() // RunSweep already sent bye via coordinator Close; unblock stragglers
+	fleet.Wait()
+
+	if sum.Failed() != 0 || sum.Interrupted {
+		t.Fatalf("distributed sweep did not complete cleanly: %+v", sum)
+	}
+	var remote int64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "dist.remote_trials" {
+			remote = s.Value
+		}
+	}
+	if remote == 0 {
+		t.Error("no trials executed on the fleet; the sweep silently ran local")
+	}
+
+	want, err := os.ReadFile(refJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(distJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("distributed journal differs from single-process run:\nwant %s\ngot  %s", want, got)
+	}
+}

@@ -160,6 +160,14 @@ type SweepConfig struct {
 	// Resume replays the journal at Checkpoint and re-executes only
 	// missing, failed, or skipped cells.
 	Resume bool
+	// OrderedJournal flushes checkpoint records in cell input order
+	// regardless of worker count (see runner.Config.OrderedJournal) — the
+	// distributed fabric sets it so a multi-worker journal stays
+	// byte-identical to a single-process one.
+	OrderedJournal bool
+	// Warnf observes non-fatal supervision warnings, e.g. a torn journal
+	// tail truncated on resume (see runner.Config.Warnf).
+	Warnf func(format string, args ...any)
 	// OnRecord observes every cell record as it completes (serialized).
 	OnRecord func(runner.Record)
 	// OnTrialStart observes each attempt just before it executes (never for
@@ -188,13 +196,15 @@ func RunSweep(ctx context.Context, cfg SweepConfig, cells []SweepCell) (*runner.
 	}
 	trials := SweepTrials(cells, cfg.TrialDeadline, topts)
 	rcfg := runner.Config{
-		Workers:      cfg.Workers,
-		MaxAttempts:  cfg.MaxAttempts,
-		Seed:         cfg.Seed,
-		OnRecord:     cfg.OnRecord,
-		OnTrialStart: cfg.OnTrialStart,
-		OnRetry:      cfg.OnRetry,
-		Executor:     cfg.Executor,
+		Workers:        cfg.Workers,
+		MaxAttempts:    cfg.MaxAttempts,
+		Seed:           cfg.Seed,
+		OrderedJournal: cfg.OrderedJournal,
+		Warnf:          cfg.Warnf,
+		OnRecord:       cfg.OnRecord,
+		OnTrialStart:   cfg.OnTrialStart,
+		OnRetry:        cfg.OnRetry,
+		Executor:       cfg.Executor,
 	}
 	if cfg.Checkpoint == "" {
 		return runner.Run(ctx, rcfg, trials)

@@ -1,0 +1,92 @@
+// Package frame is the shared wire layer under both process-isolation
+// (internal/isolate, over a child's stdin/stdout pipes) and the
+// distributed sweep fabric (internal/dist, over TCP): length-prefixed
+// JSON messages. Each frame is a 4-byte big-endian length followed by
+// exactly that many bytes of JSON, written in a single Write so readers
+// never observe a torn prefix.
+//
+// The decoder is hardened against hostile or damaged streams: a length
+// prefix past MaxFrame is rejected before any allocation, a truncated
+// body allocates no more than the bytes actually present, and every
+// malformed input comes back as a typed error matching ErrFrame — never
+// a panic.
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single frame body (64 MiB). A length prefix past it
+// means the stream is not speaking the protocol; the bytes are garbage,
+// not a length to be trusted.
+const MaxFrame = 64 << 20
+
+// preAlloc caps how much the decoder allocates up front for a frame
+// body. Larger bodies grow as bytes actually arrive, so a forged
+// multi-megabyte length on a truncated stream cannot balloon memory.
+const preAlloc = 64 << 10
+
+// Typed decode failures, all matching ErrFrame via errors.Is.
+var (
+	// ErrFrame is the base class of every malformed-frame error.
+	ErrFrame = errors.New("frame: malformed frame")
+	// ErrOversize marks a length prefix of zero or beyond MaxFrame.
+	ErrOversize = fmt.Errorf("%w: implausible length", ErrFrame)
+	// ErrTruncated marks a stream that ended inside a frame — a torn
+	// prefix or a body shorter than its declared length.
+	ErrTruncated = fmt.Errorf("%w: truncated", ErrFrame)
+	// ErrBadJSON marks a complete body that is not valid JSON for the
+	// destination value.
+	ErrBadJSON = fmt.Errorf("%w: bad JSON body", ErrFrame)
+)
+
+// Write marshals v and writes it as one length-prefixed frame in a
+// single Write call.
+func Write(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("frame: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("frame: %d-byte frame exceeds the %d-byte limit", len(body), MaxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// Read reads one frame and unmarshals its body into v. io.EOF at a
+// frame boundary is returned verbatim (the normal end of stream); every
+// other failure is a typed error matching ErrFrame.
+func Read(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w prefix: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return fmt.Errorf("%w %d", ErrOversize, n)
+	}
+	// Grow as the body arrives instead of trusting the prefix: CopyN
+	// stops at the truncation point, so a forged length allocates at
+	// most preAlloc plus what the stream really delivered.
+	var body bytes.Buffer
+	body.Grow(int(min(n, preAlloc)))
+	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
+		return fmt.Errorf("%w body: %v", ErrTruncated, err)
+	}
+	if err := json.Unmarshal(body.Bytes(), v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadJSON, err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+)
+
+type payload struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []payload{{"alpha", 1}, {"bravo", 2}, {"charlie", 3}}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		var got payload
+		if err := Read(&buf, &got); err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	var extra payload
+	if err := Read(&buf, &extra); err != io.EOF {
+		t.Errorf("end of stream: got %v, want io.EOF verbatim", err)
+	}
+}
+
+func TestSingleWritePerFrame(t *testing.T) {
+	w := &countingWriter{}
+	if err := Write(w, payload{"x", 1}); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Errorf("frame took %d Write calls, want 1 (readers must never see a torn prefix)", w.calls)
+	}
+}
+
+type countingWriter struct {
+	calls int
+	buf   bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return w.buf.Write(p)
+}
+
+func TestTypedDecodeErrors(t *testing.T) {
+	hdr := func(n uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], n)
+		return b[:]
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"torn prefix", []byte{0, 0}, ErrTruncated},
+		{"zero length", hdr(0), ErrOversize},
+		{"oversize length", hdr(MaxFrame + 1), ErrOversize},
+		{"forged max length", hdr(0xffffffff), ErrOversize},
+		{"truncated body", append(hdr(100), []byte("short")...), ErrTruncated},
+		{"bad JSON body", append(hdr(4), []byte("!!!!")...), ErrBadJSON},
+		{"wrong JSON shape", append(hdr(7), []byte(`[1,2,3]`)...), ErrBadJSON},
+	}
+	for _, tc := range cases {
+		var v payload
+		err := Read(bytes.NewReader(tc.in), &v)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: %v does not match the ErrFrame base class", tc.name, err)
+		}
+	}
+}
+
+// A forged length on a truncated stream must not balloon memory: the
+// decoder allocates from the bytes that actually arrive, not the prefix.
+func TestForgedLengthDoesNotOverAllocate(t *testing.T) {
+	var in bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame) // claims 64 MiB
+	in.Write(hdr[:])
+	in.WriteString(`{"name":"tiny"}`) // delivers 15 bytes
+
+	var v payload
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := Read(bytes.NewReader(in.Bytes()), &v); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Errorf("decoding a truncated forged-length frame allocated %d bytes", grew)
+	}
+}
+
+func TestOversizeWriteRejected(t *testing.T) {
+	huge := struct {
+		Blob string `json:"blob"`
+	}{Blob: string(bytes.Repeat([]byte("a"), MaxFrame))}
+	if err := Write(io.Discard, huge); err == nil {
+		t.Error("oversize frame written without error")
+	}
+}

@@ -1,0 +1,64 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary byte streams to the frame decoder. Invariants:
+// it never panics, never over-allocates on a forged length (enforced
+// structurally by the CopyN decode; here we bound what a malicious prefix
+// can make it do with at most len(data) real bytes), and every failure is
+// either io.EOF verbatim at a frame boundary or a typed error matching
+// ErrFrame.
+func FuzzRead(f *testing.F) {
+	valid := func(v any) []byte {
+		var b bytes.Buffer
+		if err := Write(&b, v); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	hdr := func(n uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], n)
+		return b[:]
+	}
+
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add(hdr(0))
+	f.Add(hdr(1))
+	f.Add(hdr(MaxFrame))
+	f.Add(hdr(MaxFrame + 1))
+	f.Add(hdr(0xffffffff))
+	f.Add(append(hdr(4), []byte("null")...))
+	f.Add(append(hdr(4), []byte("!!!!")...))
+	f.Add(append(hdr(100), []byte(`{"type":"beat"}`)...)) // truncated body
+	f.Add(valid(map[string]any{"type": "hello", "hello": map[string]any{"proto": "quicbench-dist", "version": 1}}))
+	f.Add(valid(map[string]any{"type": "assign", "assign": map[string]any{"key": "a/b", "seed": 7}}))
+	f.Add(append(valid(map[string]any{"type": "beat"}), valid(map[string]any{"type": "bye"})...))
+	// A valid frame followed by a torn prefix.
+	f.Add(append(valid(map[string]any{"type": "result"}), 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			var v map[string]any
+			err := Read(r, &v)
+			if err == nil {
+				continue // decoded one frame; keep going
+			}
+			if err == io.EOF {
+				return // clean end of stream
+			}
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("Read returned an untyped error: %v", err)
+			}
+			return
+		}
+	})
+}

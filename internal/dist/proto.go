@@ -1,0 +1,149 @@
+// Package dist is the distributed sweep fabric: a coordinator that
+// shards supervised trials across TCP-connected workers, speaking the
+// same length-prefixed JSON frame protocol the crash-isolation layer
+// uses on its child pipes (internal/dist/frame).
+//
+// The coordinator sits behind the runner.TrialExecutor seam, so the
+// existing supervisor owns retries, journaling, and interruption exactly
+// as it does for in-process and child-process execution; the fabric only
+// decides *where* an attempt runs. Workers heartbeat over their
+// connection; a wall-clock reaper declares silent workers dead and their
+// in-flight trials are re-dispatched to healthy workers without charging
+// the trial's retry budget. When the fleet is empty the coordinator
+// degrades gracefully to local execution, and workers reconnect with
+// exponential backoff when the coordinator goes away — a coordinator
+// crash plus --resume replays the journal and finishes the campaign
+// bit-identically to an uninterrupted single-process run.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/dist/frame"
+)
+
+// Protocol identity, validated in the hello handshake so a worker from a
+// different build generation never silently exchanges trials.
+const (
+	protoName    = "quicbench-dist"
+	protoVersion = 1
+)
+
+// Message types on the coordinator/worker connection.
+const (
+	// msgHello (worker -> coordinator): identity and capacity; the first
+	// frame on every connection.
+	msgHello = "hello"
+	// msgAssign (coordinator -> worker): one trial attempt to execute.
+	msgAssign = "assign"
+	// msgResult (worker -> coordinator): the outcome of an assignment.
+	msgResult = "result"
+	// msgBeat (worker -> coordinator): liveness heartbeat.
+	msgBeat = "beat"
+	// msgDrain (worker -> coordinator): the worker is shutting down
+	// cleanly; listed assignments are returned unexecuted, in-flight
+	// ones will still produce results before the connection closes.
+	msgDrain = "drain"
+	// msgBye (coordinator -> worker): the campaign is over; the worker
+	// exits instead of reconnecting.
+	msgBye = "bye"
+)
+
+// ErrProtocol marks a connection that is not speaking this fabric's
+// protocol (bad hello, wrong version, malformed frame).
+var ErrProtocol = errors.New("dist: protocol error")
+
+// helloMsg introduces a worker: protocol identity, a display name for
+// fleet telemetry, and how many trials it runs in parallel.
+type helloMsg struct {
+	Proto   string `json:"proto"`
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Slots   int    `json:"slots"`
+}
+
+// assignMsg is one trial attempt. Payload is the domain spec (for sweeps
+// a marshalled core.CellTrialSpec), opaque to the fabric.
+type assignMsg struct {
+	Key     string          `json:"key"`
+	Seed    uint64          `json:"seed"`
+	Attempt int             `json:"attempt"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// resultMsg reports an assignment's outcome. Exactly one of Result or
+// Err is set; Kind carries the worker-side failure classification
+// (runner.FailKind) so a panic recovered on a worker journals the same
+// way as one recovered in-process.
+type resultMsg struct {
+	Key     string          `json:"key"`
+	Attempt int             `json:"attempt"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Err     string          `json:"err,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+}
+
+// drainMsg announces a clean worker shutdown; Keys lists assignments the
+// worker is handing back unexecuted.
+type drainMsg struct {
+	Keys []string `json:"keys,omitempty"`
+}
+
+// byeMsg ends a worker's campaign, with an optional reason (handshake
+// rejection, campaign complete).
+type byeMsg struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// wireMsg is one frame on the coordinator/worker connection.
+type wireMsg struct {
+	Type   string     `json:"type"`
+	Hello  *helloMsg  `json:"hello,omitempty"`
+	Assign *assignMsg `json:"assign,omitempty"`
+	Result *resultMsg `json:"result,omitempty"`
+	Drain  *drainMsg  `json:"drain,omitempty"`
+	Bye    *byeMsg    `json:"bye,omitempty"`
+}
+
+// readMsg reads one fabric message. io.EOF at a frame boundary is
+// returned verbatim; malformed frames match ErrProtocol (wrapping the
+// frame layer's typed error).
+func readMsg(r io.Reader) (wireMsg, error) {
+	var m wireMsg
+	if err := frame.Read(r, &m); err != nil {
+		if err == io.EOF {
+			return wireMsg{}, io.EOF
+		}
+		return wireMsg{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return m, nil
+}
+
+// msgWriter serializes frame writes on a shared connection (heartbeats
+// vs. results on the worker, assigns vs. bye on the coordinator).
+type msgWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	// drop silences the writer — the connection-black-hole chaos hook:
+	// frames are accepted and discarded, the peer hears nothing.
+	drop bool
+}
+
+func (mw *msgWriter) write(m wireMsg) error {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	if mw.drop {
+		return nil
+	}
+	return frame.Write(mw.w, m)
+}
+
+func (mw *msgWriter) blackhole() {
+	mw.mu.Lock()
+	mw.drop = true
+	mw.mu.Unlock()
+}

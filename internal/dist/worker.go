@@ -1,0 +1,327 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Chaos-injection hooks, matched as substrings against assignment keys.
+// They only fire on a worker, where dying is safe — the coordinator must
+// classify the loss, re-dispatch the trial, and keep the campaign
+// bit-identical.
+const (
+	// EnvDistCrash: the worker severs its connection without a drain the
+	// moment a matching assignment arrives and stops for good — the
+	// in-process stand-in for kill -9.
+	EnvDistCrash = "QUICBENCH_TEST_DIST_CRASH"
+	// EnvDistBlackhole: on a matching assignment the worker keeps the
+	// connection open but stops sending anything (beats and results are
+	// silently dropped) — a one-way network partition the coordinator's
+	// reaper must detect.
+	EnvDistBlackhole = "QUICBENCH_TEST_DIST_BLACKHOLE"
+)
+
+// errChaosKilled reports a worker stopped by the crash chaos hook.
+var errChaosKilled = errors.New("dist: worker killed by chaos hook")
+
+// ExecFunc executes the domain trial behind an assignment's payload and
+// returns the marshalled result. It is the only domain knowledge a
+// worker needs; the quicbench facade wires it to core.ExecuteCellSpec,
+// the same code path the in-process and child-process executors run —
+// which is what makes fabric results bit-identical.
+type ExecFunc func(ctx context.Context, key string, seed uint64, payload json.RawMessage) (json.RawMessage, error)
+
+// Worker executes trial assignments for a coordinator. Create one, set
+// Addr and Exec, and call Run; it connects (and reconnects, with
+// exponential backoff) until the coordinator says bye, the context ends,
+// or Drain is called.
+type Worker struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Name identifies the worker in fleet telemetry (default
+	// "worker-<pid>").
+	Name string
+	// Slots is how many assignments run in parallel (default 1).
+	Slots int
+	// Exec runs one assignment's payload.
+	Exec ExecFunc
+	// HeartbeatInterval is the liveness beat period (default 1 s). Keep
+	// it well under the coordinator's HeartbeatTimeout.
+	HeartbeatInterval time.Duration
+	// ReconnectBase and ReconnectMax bound the exponential dial backoff
+	// (defaults 250 ms and 5 s).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// Logf, when non-nil, observes connection lifecycle events.
+	Logf func(format string, args ...any)
+	// ChaosCrash and ChaosBlackhole are key substrings arming the chaos
+	// hooks; empty values fall back to the QUICBENCH_TEST_DIST_* env.
+	ChaosCrash     string
+	ChaosBlackhole string
+
+	drainOnce sync.Once
+	drainInit sync.Once
+	drainCh   chan struct{}
+}
+
+// Drain asks the worker to shut down cleanly: finish the assignments in
+// flight, flush their results, hand anything unstarted back to the
+// coordinator, and return from Run. Safe to call from a signal handler
+// goroutine; idempotent.
+func (w *Worker) Drain() {
+	w.drainOnce.Do(func() { close(w.drain()) })
+}
+
+func (w *Worker) drain() chan struct{} {
+	w.drainInit.Do(func() { w.drainCh = make(chan struct{}) })
+	return w.drainCh
+}
+
+func (w *Worker) name() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	return fmt.Sprintf("worker-%d", os.Getpid())
+}
+
+func (w *Worker) slots() int {
+	if w.Slots > 0 {
+		return w.Slots
+	}
+	return 1
+}
+
+func (w *Worker) heartbeatInterval() time.Duration {
+	if w.HeartbeatInterval > 0 {
+		return w.HeartbeatInterval
+	}
+	return time.Second
+}
+
+func (w *Worker) reconnectBase() time.Duration {
+	if w.ReconnectBase > 0 {
+		return w.ReconnectBase
+	}
+	return 250 * time.Millisecond
+}
+
+func (w *Worker) reconnectMax() time.Duration {
+	if w.ReconnectMax > 0 {
+		return w.ReconnectMax
+	}
+	return 5 * time.Second
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) chaos(field, env string) string {
+	if field != "" {
+		return field
+	}
+	return os.Getenv(env)
+}
+
+// Run connects to the coordinator and executes assignments until the
+// campaign ends (bye → nil), Drain completes (nil), the context ends
+// (ctx.Err()), or a chaos hook kills the worker. Connection loss is not
+// an exit: the worker re-dials with exponential backoff, so a restarted
+// coordinator (--resume) finds its fleet waiting.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Exec == nil {
+		return errors.New("dist: worker has no Exec")
+	}
+	delay := w.reconnectBase()
+	for {
+		select {
+		case <-w.drain():
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", w.Addr)
+		if err != nil {
+			w.logf("dist: dial %s: %v (retrying in %v)", w.Addr, err, delay)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-w.drain():
+				return nil
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > w.reconnectMax() {
+				delay = w.reconnectMax()
+			}
+			continue
+		}
+		delay = w.reconnectBase()
+		done, err := w.session(ctx, conn)
+		conn.Close()
+		if done {
+			return err
+		}
+		w.logf("dist: connection to %s lost (%v); reconnecting", w.Addr, err)
+	}
+}
+
+// session runs one connection's lifetime. done reports that the worker
+// is finished for good (bye, drain, chaos kill, cancellation); !done
+// means the connection was lost and Run should re-dial.
+func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := &msgWriter{w: conn}
+	if err := out.write(wireMsg{Type: msgHello, Hello: &helloMsg{
+		Proto: protoName, Version: protoVersion, Name: w.name(), Slots: w.slots(),
+	}}); err != nil {
+		return false, fmt.Errorf("dist: hello: %w", err)
+	}
+
+	var (
+		trials   sync.WaitGroup
+		draining atomic.Bool
+	)
+	// Heartbeats keep the coordinator's reaper away while trials run.
+	beatStop := make(chan struct{})
+	var beats sync.WaitGroup
+	beats.Add(1)
+	go func() {
+		defer beats.Done()
+		t := time.NewTicker(w.heartbeatInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-beatStop:
+				return
+			case <-t.C:
+				if err := out.write(wireMsg{Type: msgBeat}); err != nil {
+					return // connection gone; the read loop will notice
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(beatStop)
+		beats.Wait()
+	}()
+
+	// The drain watcher: announce the drain, let in-flight trials finish
+	// and flush their results, then sever the connection — the read loop
+	// unblocks and the session ends cleanly.
+	drainDone := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		select {
+		case <-drainDone:
+		case <-sctx.Done():
+		case <-w.drain():
+			draining.Store(true)
+			_ = out.write(wireMsg{Type: msgDrain, Drain: &drainMsg{}})
+			trials.Wait()
+			conn.Close()
+		}
+	}()
+	defer func() {
+		close(drainDone)
+		watcher.Wait()
+	}()
+
+	chaosCrash := w.chaos(w.ChaosCrash, EnvDistCrash)
+	chaosBlackhole := w.chaos(w.ChaosBlackhole, EnvDistBlackhole)
+	for {
+		m, rerr := readMsg(conn)
+		if rerr != nil {
+			if ctx.Err() != nil {
+				return true, ctx.Err()
+			}
+			select {
+			case <-w.drain():
+				trials.Wait()
+				return true, nil // clean drain completed
+			default:
+			}
+			return false, rerr // lost connection: reconnect
+		}
+		switch m.Type {
+		case msgBye:
+			trials.Wait()
+			w.logf("dist: campaign complete (%s)", byeReason(m.Bye))
+			return true, nil
+		case msgAssign:
+			if m.Assign == nil {
+				continue
+			}
+			a := *m.Assign
+			if chaosCrash != "" && strings.Contains(a.Key, chaosCrash) {
+				// kill -9 stand-in: sever the connection, abandon the
+				// fleet, discard everything in flight.
+				w.logf("dist: chaos crash on %s", a.Key)
+				conn.Close()
+				cancel()
+				return true, errChaosKilled
+			}
+			if chaosBlackhole != "" && strings.Contains(a.Key, chaosBlackhole) {
+				w.logf("dist: chaos blackhole on %s", a.Key)
+				out.blackhole()
+			}
+			if draining.Load() {
+				// Raced with our own drain announcement: hand it back.
+				_ = out.write(wireMsg{Type: msgDrain, Drain: &drainMsg{Keys: []string{a.Key}}})
+				continue
+			}
+			trials.Add(1)
+			go func() {
+				defer trials.Done()
+				res := w.runAssignment(sctx, a)
+				_ = out.write(wireMsg{Type: msgResult, Result: &res})
+			}()
+		}
+	}
+}
+
+// runAssignment executes one trial with panic recovery, mirroring the
+// in-process executor's classification so a panic on a worker journals
+// exactly like a panic at home.
+func (w *Worker) runAssignment(ctx context.Context, a assignMsg) (out resultMsg) {
+	out = resultMsg{Key: a.Key, Attempt: a.Attempt}
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "dist worker: trial %s panicked: %v\n%s", a.Key, r, debug.Stack())
+			out.Result = nil
+			out.Err = fmt.Sprintf("%v", r)
+			out.Kind = string(runner.FailPanic)
+		}
+	}()
+	raw, err := w.Exec(ctx, a.Key, a.Seed, a.Payload)
+	if err != nil {
+		out.Err = err.Error()
+		out.Kind = string(runner.Classify(err))
+		return out
+	}
+	out.Result = raw
+	return out
+}
+
+func byeReason(b *byeMsg) string {
+	if b == nil || b.Reason == "" {
+		return "no reason given"
+	}
+	return b.Reason
+}

@@ -92,7 +92,7 @@ func ChildMain(stdin io.Reader, stdout io.Writer, run RunFunc) int {
 	stopBeats := startHeartbeats(w, hb)
 	out := runSpec(context.Background(), run, spec)
 	stopBeats()
-	if err := w.write(frame{Type: frameResult, Outcome: &out}); err != nil {
+	if err := w.write(protoFrame{Type: frameResult, Outcome: &out}); err != nil {
 		fmt.Fprintf(os.Stderr, "isolate child: write result: %v\n", err)
 		return ExitProtocol
 	}
@@ -168,7 +168,7 @@ type lockedWriter struct {
 	w  io.Writer
 }
 
-func (lw *lockedWriter) write(fr frame) error {
+func (lw *lockedWriter) write(fr protoFrame) error {
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
 	return writeFrame(lw.w, fr)
@@ -190,7 +190,7 @@ func startHeartbeats(w *lockedWriter, every time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				if err := w.write(frame{Type: frameBeat}); err != nil {
+				if err := w.write(protoFrame{Type: frameBeat}); err != nil {
 					return // parent gone; the trial result write will report it
 				}
 			}

@@ -248,7 +248,7 @@ func (e *Executor) runChild(ctx context.Context, tr runner.Trial, attempt int, p
 	}
 	// A write error here means the child is already gone; Wait's status
 	// classifies that better than the EPIPE would.
-	_ = writeFrame(stdin, frame{Type: frameSpec, Spec: &spec})
+	_ = writeFrame(stdin, protoFrame{Type: frameSpec, Spec: &spec})
 	_ = stdin.Close()
 
 	// Read frames until the result, EOF (child died), or garbage. A

@@ -324,7 +324,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	want := frame{Type: frameSpec, Spec: &TrialSpec{Key: "k", Seed: 5, Payload: json.RawMessage(`{"a":1}`), HeartbeatMs: 50}}
+	want := protoFrame{Type: frameSpec, Spec: &TrialSpec{Key: "k", Seed: 5, Payload: json.RawMessage(`{"a":1}`), HeartbeatMs: 50}}
 	if err := writeFrame(w, want); err != nil {
 		t.Fatalf("writeFrame: %v", err)
 	}

@@ -15,17 +15,13 @@
 package isolate
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-)
 
-// maxFrame bounds a single protocol frame (64 MiB). A length prefix past
-// it means the stream is not speaking the protocol — garbage on stdout is
-// classified as corrupt output, not trusted as a length.
-const maxFrame = 64 << 20
+	"repro/internal/dist/frame"
+)
 
 // Frame types on the parent/child pipe.
 const (
@@ -70,52 +66,32 @@ type TrialOutcome struct {
 	Kind   string          `json:"kind,omitempty"`
 }
 
-// frame is one length-prefixed protocol message.
-type frame struct {
+// protoFrame is one protocol message, carried over the shared
+// length-prefixed JSON wire layer (internal/dist/frame).
+type protoFrame struct {
 	Type    string        `json:"type"`
 	Spec    *TrialSpec    `json:"spec,omitempty"`
 	Outcome *TrialOutcome `json:"outcome,omitempty"`
 }
 
-// writeFrame writes one frame as a 4-byte big-endian length prefix plus
-// JSON body, in a single Write so pipe readers never see a torn prefix.
-func writeFrame(w io.Writer, fr frame) error {
-	body, err := json.Marshal(fr)
-	if err != nil {
-		return fmt.Errorf("isolate: marshal %s frame: %w", fr.Type, err)
+// writeFrame writes one frame through the shared wire layer.
+func writeFrame(w io.Writer, fr protoFrame) error {
+	if err := frame.Write(w, fr); err != nil {
+		return fmt.Errorf("isolate: write %s frame: %w", fr.Type, err)
 	}
-	if len(body) > maxFrame {
-		return fmt.Errorf("isolate: %s frame of %d bytes exceeds limit", fr.Type, len(body))
-	}
-	buf := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
-	copy(buf[4:], body)
-	_, err = w.Write(buf)
-	return err
+	return nil
 }
 
 // readFrame reads one length-prefixed frame. io.EOF at a frame boundary is
 // returned verbatim (the normal end of stream); everything else that is
 // not a well-formed frame matches ErrCorruptOutput.
-func readFrame(r io.Reader) (frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+func readFrame(r io.Reader) (protoFrame, error) {
+	var fr protoFrame
+	if err := frame.Read(r, &fr); err != nil {
 		if err == io.EOF {
-			return frame{}, io.EOF
+			return protoFrame{}, io.EOF
 		}
-		return frame{}, fmt.Errorf("%w: torn frame prefix: %v", ErrCorruptOutput, err)
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrame {
-		return frame{}, fmt.Errorf("%w: implausible frame length %d", ErrCorruptOutput, n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return frame{}, fmt.Errorf("%w: torn frame body: %v", ErrCorruptOutput, err)
-	}
-	var fr frame
-	if err := json.Unmarshal(body, &fr); err != nil {
-		return frame{}, fmt.Errorf("%w: %v", ErrCorruptOutput, err)
+		return protoFrame{}, fmt.Errorf("%w: %v", ErrCorruptOutput, err)
 	}
 	return fr, nil
 }

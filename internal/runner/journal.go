@@ -44,12 +44,16 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if needed) the journal at path. With
-// appendMode the existing contents are kept — the resume path — otherwise
-// the file is truncated for a fresh sweep.
+// appendMode the existing contents are kept — the resume path — except
+// for a torn final line (the signature of a crash mid-append), which is
+// truncated away so fresh records append at a clean line boundary and
+// the resumed journal stays byte-identical to an uninterrupted run's.
 func OpenJournal(path string, appendMode bool) (*Journal, error) {
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if !appendMode {
 		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	} else if err := truncateTornTail(path); err != nil {
+		return nil, err
 	}
 	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
@@ -105,39 +109,83 @@ func (j *Journal) Close() error {
 	return j.f.Close()
 }
 
-// ReadJournal replays the journal at path into a map of the last record per
-// trial key. A missing file is an empty journal (a resume of a sweep that
-// never started). A malformed *final* line — the signature of a crash mid-
-// append — is tolerated and dropped; a malformed interior line is corruption
-// and reported as an error.
-func ReadJournal(path string) (map[string]Record, error) {
+// truncateTornTail cuts an unterminated final line off the journal at
+// path — the leftover of a crash mid-append. Complete (newline-ended)
+// lines are never touched; a missing file is fine.
+func truncateTornTail(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]Record{}, nil
+			return nil
 		}
-		return nil, fmt.Errorf("runner: read journal: %w", err)
+		return fmt.Errorf("runner: read journal: %w", err)
 	}
-	done, err := ParseJournal(data)
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil
+	}
+	keep := bytes.LastIndexByte(data, '\n') + 1 // 0 when no newline at all
+	if err := os.Truncate(path, int64(keep)); err != nil {
+		return fmt.Errorf("runner: truncate torn journal tail: %w", err)
+	}
+	return nil
+}
+
+// ReadJournal replays the journal at path into a map of the last record per
+// trial key. A missing file is an empty journal (a resume of a sweep that
+// never started). An unterminated final line — the signature of a crash
+// mid-append — is tolerated and dropped; malformed interior content is
+// corruption and reported as an error.
+func ReadJournal(path string) (map[string]Record, error) {
+	done, _, err := ReadJournalTail(path)
+	return done, err
+}
+
+// ReadJournalTail is ReadJournal plus a truncated-tail report: truncated
+// is true when the journal ends in an unterminated line that was dropped,
+// so callers can surface a crash-recovery warning.
+func ReadJournalTail(path string) (map[string]Record, bool, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("runner: journal %s: %w", path, err)
+		if os.IsNotExist(err) {
+			return map[string]Record{}, false, nil
+		}
+		return nil, false, fmt.Errorf("runner: read journal: %w", err)
 	}
-	return done, nil
+	done, truncated, err := ParseJournalTail(data)
+	if err != nil {
+		return nil, truncated, fmt.Errorf("runner: journal %s: %w", path, err)
+	}
+	return done, truncated, nil
 }
 
 // ParseJournal replays raw JSONL journal bytes into a map of the last
-// record per trial key. It never panics: any malformed interior input —
-// bad JSON, a non-object line, a record without a key — is reported as an
-// error matching ErrJournalCorrupt. A malformed or truncated *final* line
-// is the signature of a crash mid-append and is silently dropped (that
-// trial simply re-executes on resume).
+// record per trial key. It never panics: any malformed input — bad JSON,
+// a non-object line, a record without a key — is reported as an error
+// matching ErrJournalCorrupt, with one exception: an *unterminated* final
+// line is the signature of a crash mid-write and is silently dropped
+// (that trial simply re-executes on resume). A malformed line that ends
+// in a newline was a completed write and is treated as corruption like
+// any interior damage — a clean crash never produces one.
 //
 // A version header on the first line is validated: a mismatched name or
 // version is ErrJournalCorrupt (a journal from a future format must never
 // be silently misread as records). A headerless journal is the legacy
 // version-1 format and parses as before.
 func ParseJournal(data []byte) (map[string]Record, error) {
+	done, _, err := ParseJournalTail(data)
+	return done, err
+}
+
+// ParseJournalTail is ParseJournal plus a truncated-tail report (see
+// ReadJournalTail).
+func ParseJournalTail(data []byte) (map[string]Record, bool, error) {
 	done := make(map[string]Record)
+	// The final line is a tolerable crash artifact only when it was never
+	// finished: no terminating newline (trailing spaces/tabs aside).
+	unterminated := false
+	if t := bytes.TrimRight(data, " \t"); len(t) > 0 && t[len(t)-1] != '\n' {
+		unterminated = true
+	}
 	lines := bytes.Split(data, []byte("\n"))
 	// Trim trailing blank lines so "last line" means the last record.
 	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
@@ -148,12 +196,13 @@ func ParseJournal(data []byte) (map[string]Record, error) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
+		tornTail := unterminated && i == len(lines)-1
 		if !headerChecked {
 			headerChecked = true
 			var h journalHeader
 			if err := json.Unmarshal(line, &h); err == nil && h.Journal != "" {
 				if h.Journal != journalName || h.Version != journalVersion {
-					return nil, fmt.Errorf("line %d: journal header %q version %d (this binary reads %q version %d): %w",
+					return nil, false, fmt.Errorf("line %d: journal header %q version %d (this binary reads %q version %d): %w",
 						i+1, h.Journal, h.Version, journalName, journalVersion, ErrJournalCorrupt)
 				}
 				continue // valid header line, not a record
@@ -161,18 +210,18 @@ func ParseJournal(data []byte) (map[string]Record, error) {
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			if i == len(lines)-1 {
-				break // truncated final append from a crash: re-execute it
+			if tornTail {
+				return done, true, nil // crash mid-write: re-execute it
 			}
-			return nil, fmt.Errorf("line %d: %v: %w", i+1, err, ErrJournalCorrupt)
+			return nil, false, fmt.Errorf("line %d: %v: %w", i+1, err, ErrJournalCorrupt)
 		}
 		if rec.Key == "" {
-			if i == len(lines)-1 {
-				break // a keyless tail is indistinguishable from a torn write
+			if tornTail {
+				return done, true, nil // a keyless torn tail, same story
 			}
-			return nil, fmt.Errorf("line %d: record without key: %w", i+1, ErrJournalCorrupt)
+			return nil, false, fmt.Errorf("line %d: record without key: %w", i+1, ErrJournalCorrupt)
 		}
 		done[rec.Key] = rec
 	}
-	return done, nil
+	return done, false, nil
 }

@@ -152,6 +152,17 @@ type Config struct {
 	Seed uint64
 	// Journal, when non-nil, receives one Record per executed trial.
 	Journal *Journal
+	// OrderedJournal buffers journal appends and flushes them in trial
+	// input order, regardless of worker count or completion order: any
+	// crash leaves the journal a byte-exact prefix of the single-worker
+	// journal, which is what makes a resumed multi-worker (or
+	// distributed) sweep's journal bit-identical to an uninterrupted
+	// single-process one. The cost is that a slow early trial delays the
+	// persistence (never the execution) of later ones.
+	OrderedJournal bool
+	// Warnf, when non-nil, receives non-fatal supervision warnings (e.g.
+	// a checkpoint journal with a torn final line from a crash).
+	Warnf func(format string, args ...any)
 	// Done maps trial keys to previously journaled records (see
 	// ReadJournal). Trials whose record is complete (ok/retried, matching
 	// seed, intact hash) are replayed, not re-executed.
@@ -244,15 +255,47 @@ func Run(ctx context.Context, cfg Config, trials []Trial) (*SweepResult, error) 
 	var (
 		mu   sync.Mutex // serializes journal appends + OnRecord + Reused
 		jerr error      // first journal append failure
+		// Ordered-journal state: completed-but-unflushed records by trial
+		// index (nil marks a replayed record that must advance the cursor
+		// without re-appending), and the next index to flush.
+		pending map[int]*Record
+		nextJ   int
 	)
+	if cfg.OrderedJournal && cfg.Journal != nil {
+		pending = make(map[int]*Record)
+	}
 	finish := func(idx int, rec Record, reused bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		res.Records[idx] = rec
 		if reused {
 			res.Reused++
-		} else if cfg.Journal != nil && jerr == nil {
-			jerr = cfg.Journal.Append(rec)
+		}
+		if cfg.Journal != nil && jerr == nil {
+			switch {
+			case pending != nil:
+				if reused {
+					pending[idx] = nil
+				} else {
+					r := rec
+					pending[idx] = &r
+				}
+				for {
+					r, ok := pending[nextJ]
+					if !ok {
+						break
+					}
+					if r != nil {
+						if jerr = cfg.Journal.Append(*r); jerr != nil {
+							break
+						}
+					}
+					delete(pending, nextJ)
+					nextJ++
+				}
+			case !reused:
+				jerr = cfg.Journal.Append(rec)
+			}
 		}
 		if cfg.OnRecord != nil {
 			cfg.OnRecord(rec)
@@ -302,9 +345,12 @@ func Resume(ctx context.Context, cfg Config, trials []Trial, path string) (*Swee
 // resume true it behaves like Resume.
 func RunCheckpointed(ctx context.Context, cfg Config, trials []Trial, path string, resume bool) (*SweepResult, error) {
 	if resume {
-		done, err := ReadJournal(path)
+		done, truncated, err := ReadJournalTail(path)
 		if err != nil {
 			return nil, err
+		}
+		if truncated && cfg.Warnf != nil {
+			cfg.Warnf("journal %s ends in a torn line (crash mid-write); resuming from the last complete record", path)
 		}
 		cfg.Done = done
 	}

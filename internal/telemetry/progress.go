@@ -21,12 +21,32 @@ type ChildStat struct {
 	Runtime      time.Duration
 }
 
+// FleetStat describes one distributed-fabric worker for progress display.
+type FleetStat struct {
+	Name         string
+	Addr         string
+	State        string // "idle", "busy", "draining" (alive); "drained", "dead" (departed)
+	InFlight     int
+	Done         int
+	HeartbeatAge time.Duration
+}
+
 // WorkerStatus is one worker's state in a status snapshot.
 type WorkerStatus struct {
 	Worker  int    `json:"worker"`
 	Cell    string `json:"cell"`
 	Attempt int    `json:"attempt"`
 	AgeMs   int64  `json:"age_ms"`
+}
+
+// FleetStatus is one distributed worker's state in a status snapshot.
+type FleetStatus struct {
+	Name        string `json:"name"`
+	Addr        string `json:"addr,omitempty"`
+	State       string `json:"state"`
+	InFlight    int    `json:"in_flight"`
+	Done        int    `json:"done"`
+	HeartbeatMs int64  `json:"heartbeat_ms"`
 }
 
 // ChildStatus is one isolated child's state in a status snapshot.
@@ -51,6 +71,7 @@ type StatusSnapshot struct {
 	HeapMB     float64          `json:"heap_mb"`
 	Workers    []WorkerStatus   `json:"workers,omitempty"`
 	Children   []ChildStatus    `json:"children,omitempty"`
+	Fleet      []FleetStatus    `json:"fleet,omitempty"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
 }
 
@@ -72,6 +93,8 @@ type Progress struct {
 	Interval time.Duration // snapshot period; default 1s
 	// Children, when non-nil, reports live isolated children each tick.
 	Children func() []ChildStat
+	// Fleet, when non-nil, reports the distributed worker fleet each tick.
+	Fleet func() []FleetStat
 	// Registry, when non-nil, contributes its snapshot to status lines.
 	Registry *Registry
 
@@ -210,6 +233,15 @@ func (p *Progress) snapshot() StatusSnapshot {
 			})
 		}
 	}
+	if p.Fleet != nil {
+		for _, f := range p.Fleet() {
+			s.Fleet = append(s.Fleet, FleetStatus{
+				Name: f.Name, Addr: f.Addr, State: f.State,
+				InFlight: f.InFlight, Done: f.Done,
+				HeartbeatMs: f.HeartbeatAge.Milliseconds(),
+			})
+		}
+	}
 	s.Goroutines = runtime.NumGoroutine()
 	s.HeapMB = heapMB()
 	if p.Registry != nil {
@@ -244,6 +276,16 @@ func (p *Progress) emit() {
 				}
 			}
 			fmt.Fprintf(p.Out, " | %d children (hb max %dms)", len(s.Children), maxHB)
+		}
+		if len(s.Fleet) > 0 {
+			live, inflight := 0, 0
+			for _, f := range s.Fleet {
+				if f.State != "dead" && f.State != "drained" {
+					live++
+					inflight += f.InFlight
+				}
+			}
+			fmt.Fprintf(p.Out, " | fleet %d/%d live (%d in flight)", live, len(s.Fleet), inflight)
 		}
 		fmt.Fprintf(p.Out, " | %dg %.0fMB", s.Goroutines, s.HeapMB)
 	}

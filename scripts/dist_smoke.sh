@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# dist-smoke: the distributed sweep fabric end to end on loopback, under
+# fire. A coordinator shards a seeded campaign across three workers; one
+# worker is SIGKILLed mid-campaign (its cells must re-dispatch), then the
+# coordinator itself is SIGKILLed mid-journal and restarted with -resume
+# (the surviving fleet reconnects). The final journal must be
+# byte-identical to an uninterrupted single-process run — distribution,
+# worker loss, and coordinator crash are execution details, never a
+# measurement change.
+set -u
+
+GO=${GO:-go}
+BIN=$(mktemp -t quicbench-dist.XXXXXX)
+WORK=$(mktemp -d -t quicbench-dist-smoke.XXXXXX)
+SWEEP_ARGS=(-stacks quicgo,lsquic,xquic,quicly,quinn,quiche -ccas cubic
+  -duration 40s -trials 2 -seed 7)
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null; done
+  rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "dist-smoke: $*" >&2; exit 1; }
+
+# records <journal>: completed records (lines minus the version header).
+records() {
+  [ -f "$1" ] || { echo 0; return; }
+  local n
+  n=$(grep -c '"key"' "$1" 2>/dev/null) || n=0
+  echo "$n"
+}
+
+# wait_records <journal> <n> <timeout-s>: poll until >= n records.
+wait_records() {
+  local deadline=$(($(date +%s) + $3))
+  while [ "$(records "$1")" -lt "$2" ]; do
+    [ "$(date +%s)" -lt "$deadline" ] || fail "timed out waiting for $2 records in $1 (have $(records "$1"))"
+    sleep 0.2
+  done
+}
+
+$GO build -o "$BIN" ./cmd/quicbench || fail "build failed"
+
+echo "dist-smoke: reference single-process run"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/ref.jsonl" >/dev/null \
+  || fail "reference sweep failed"
+
+echo "dist-smoke: starting coordinator"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/dist.jsonl" \
+  -listen 127.0.0.1:0 -min-workers 3 -workers 3 -worker-timeout 3s \
+  >"$WORK/coord.out" 2>"$WORK/coord.log" &
+COORD=$!
+PIDS+=("$COORD")
+
+ADDR=""
+deadline=$(($(date +%s) + 30))
+while [ -z "$ADDR" ]; do
+  [ "$(date +%s)" -lt "$deadline" ] || fail "coordinator never announced its address"
+  ADDR=$(sed -n 's/^sweep: coordinator listening on //p' "$WORK/coord.log" | head -1)
+  sleep 0.1
+done
+echo "dist-smoke: coordinator on $ADDR"
+
+WPIDS=()
+for i in 1 2 3; do
+  "$BIN" worker -connect "$ADDR" -name "w$i" 2>"$WORK/w$i.log" &
+  WPIDS+=("$!")
+  PIDS+=("$!")
+done
+
+deadline=$(($(date +%s) + 30))
+while [ "$(grep -c joined "$WORK/coord.log")" -lt 3 ]; do
+  [ "$(date +%s)" -lt "$deadline" ] || fail "fleet never reached 3 joins; coord.log: $(cat "$WORK/coord.log")"
+  sleep 0.2
+done
+
+# Kill one worker the moment real work is flowing: its in-flight cell
+# must re-dispatch to a healthy worker without burning a retry attempt.
+wait_records "$WORK/dist.jsonl" 1 120
+echo "dist-smoke: SIGKILL worker w3 (pid ${WPIDS[2]})"
+kill -9 "${WPIDS[2]}" || fail "could not kill worker"
+
+# Then kill the coordinator itself mid-campaign — kill -9, not a graceful
+# drain: a drain would journal 'skipped' records and break bit-identity.
+wait_records "$WORK/dist.jsonl" 3 120
+echo "dist-smoke: SIGKILL coordinator (pid $COORD)"
+kill -9 "$COORD" || fail "could not kill coordinator"
+wait "$COORD" 2>/dev/null
+
+# The surviving workers are re-dialing with backoff; a resumed
+# coordinator on the same address finds its fleet waiting.
+echo "dist-smoke: resuming coordinator"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/dist.jsonl" -resume \
+  -listen "$ADDR" -min-workers 2 -workers 3 -worker-timeout 3s \
+  >"$WORK/coord2.out" 2>"$WORK/coord2.log" \
+  || fail "resumed sweep failed: $(tail -5 "$WORK/coord2.log")"
+
+grep -q "joined" "$WORK/coord2.log" || fail "no workers rejoined the resumed coordinator"
+
+# Campaign complete: the coordinator's bye lets surviving workers exit 0.
+for i in 0 1; do
+  wait "${WPIDS[$i]}"
+  status=$?
+  [ "$status" -eq 0 ] || fail "worker w$((i + 1)) exited $status (want 0 after bye); log: $(tail -3 "$WORK/w$((i + 1)).log")"
+done
+
+cmp "$WORK/ref.jsonl" "$WORK/dist.jsonl" || {
+  echo "--- ref.jsonl"; cat "$WORK/ref.jsonl"
+  echo "--- dist.jsonl"; cat "$WORK/dist.jsonl"
+  fail "distributed journal differs from single-process reference"
+}
+
+grep -q "ok" "$WORK/coord2.out" || fail "resumed sweep reported no ok cells"
+echo "dist-smoke: ok (journal bit-identical across worker SIGKILL + coordinator SIGKILL/resume)"

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/isolate"
 	"repro/internal/netem"
 	"repro/internal/report"
@@ -63,6 +64,31 @@ type SweepOptions struct {
 	// IsolateWallTimeout, when positive, is a wall-clock deadline per
 	// child attempt, enforced by SIGKILL and classified as a timeout.
 	IsolateWallTimeout time.Duration
+	// Listen, when non-empty, runs the sweep on the distributed fabric:
+	// the coordinator binds this TCP address (e.g. "127.0.0.1:0") and
+	// shards cell attempts across connected `quicbench worker` processes.
+	// Workers heartbeat; a stalled or crashed worker's trials re-dispatch
+	// to healthy ones, and an empty fleet degrades to local execution
+	// (through the Isolate executor when that is set). Checkpoint records
+	// flush in cell input order, so the distributed journal is
+	// byte-identical to a single-process run's.
+	Listen string
+	// OnListen, when non-nil, receives the coordinator's bound address
+	// (useful with a ":0" Listen) before any trial is dispatched.
+	OnListen func(addr string)
+	// MinWorkers, when positive, waits for that many workers to connect
+	// before dispatching trials (bounded by MinWorkersTimeout; on timeout
+	// the sweep proceeds with whatever fleet it has).
+	MinWorkers int
+	// MinWorkersTimeout bounds the MinWorkers wait (default 30 s).
+	MinWorkersTimeout time.Duration
+	// WorkerHeartbeatTimeout is how long a worker may go silent before
+	// the coordinator reaps it and re-dispatches its trials (default 10 s).
+	WorkerHeartbeatTimeout time.Duration
+	// Logf, when non-nil, observes fabric lifecycle events (worker joins,
+	// deaths, re-dispatches) and non-fatal supervision warnings (e.g. a
+	// torn journal tail truncated on resume). Must be concurrency-safe.
+	Logf func(format string, args ...any)
 	// OnFallback, when non-nil, observes each cell that degraded from
 	// isolated to in-process execution (must be concurrency-safe).
 	OnFallback func(cell string, err error)
@@ -212,6 +238,7 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		Seed:          opts.Seed,
 		Checkpoint:    opts.Checkpoint,
 		Resume:        opts.Resume,
+		Warnf:         opts.Logf,
 		Trace:         core.TraceOptions{Dir: opts.TraceDir, Packets: opts.TracePackets},
 	}
 
@@ -253,6 +280,50 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		cfg.Executor = ex
 	}
 
+	var coord *dist.Coordinator
+	if opts.Listen != "" {
+		coord = &dist.Coordinator{
+			HeartbeatTimeout: opts.WorkerHeartbeatTimeout,
+			Logf:             opts.Logf,
+		}
+		if ex != nil {
+			coord.Local = ex // empty-fleet degradation keeps crash isolation
+		}
+		addr, lerr := coord.Listen(opts.Listen)
+		if lerr != nil {
+			return nil, fmt.Errorf("quicbench: %w", lerr)
+		}
+		defer coord.Close()
+		if opts.OnListen != nil {
+			opts.OnListen(addr)
+		}
+		cfg.Executor = coord
+		// Ordered journal flushing is what keeps a multi-worker distributed
+		// checkpoint byte-identical to a single-process run — and any crash
+		// leaves it a clean prefix for --resume.
+		cfg.OrderedJournal = true
+		if reg != nil {
+			reg.RegisterFunc("dist.workers", func() int64 { return int64(coord.Stats().Workers) })
+			reg.RegisterFunc("dist.joins", func() int64 { return coord.Stats().Joins })
+			reg.RegisterFunc("dist.deaths", func() int64 { return coord.Stats().Deaths })
+			reg.RegisterFunc("dist.redispatches", func() int64 { return coord.Stats().Redispatches })
+			reg.RegisterFunc("dist.remote_trials", func() int64 { return coord.Stats().RemoteTrials })
+			reg.RegisterFunc("dist.local_trials", func() int64 { return coord.Stats().LocalTrials })
+		}
+		if opts.MinWorkers > 0 {
+			wait := opts.MinWorkersTimeout
+			if wait <= 0 {
+				wait = 30 * time.Second
+			}
+			wctx, wcancel := context.WithTimeout(ctx, wait)
+			n, ok := coord.WaitWorkers(wctx, opts.MinWorkers)
+			wcancel()
+			if !ok && opts.Logf != nil {
+				opts.Logf("quicbench: proceeding with %d/%d workers after %v", n, opts.MinWorkers, wait)
+			}
+		}
+	}
+
 	var prog *telemetry.Progress
 	if wantProgress {
 		prog = &telemetry.Progress{
@@ -280,6 +351,20 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 				out := make([]telemetry.ChildStat, len(kids))
 				for i, k := range kids {
 					out[i] = telemetry.ChildStat(k)
+				}
+				return out
+			}
+		}
+		if coord != nil {
+			prog.Fleet = func() []telemetry.FleetStat {
+				ws := coord.FleetStats()
+				out := make([]telemetry.FleetStat, len(ws))
+				for i, w := range ws {
+					out[i] = telemetry.FleetStat{
+						Name: w.Name, Addr: w.Addr, State: w.State,
+						InFlight: w.InFlight, Done: int(w.Done),
+						HeartbeatAge: w.HeartbeatAge,
+					}
 				}
 				return out
 			}
