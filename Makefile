@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke trace-smoke dist-smoke soak bench bench-check
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke trace-smoke dist-smoke fabric-chaos soak bench bench-check
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -94,6 +94,19 @@ trace-smoke:
 ## to an uninterrupted single-process run.
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+## fabric-chaos: the Byzantine-tolerance soak — full auditing, the
+## shared-secret handshake, and a worker allowlist over a fleet of one
+## honest worker, one behind an injected-chaos network (latency, byte
+## corruption, asymmetric partition), and one Byzantine worker whose
+## answers diverge with perfect wire integrity. The coordinator's journal
+## disk fills mid-campaign (injected ENOSPC) and the resumed run must
+## truncate the torn tail and finish byte-identical to a single-process
+## reference, with the Byzantine worker visibly quarantined.
+## FABRIC_CHAOS_DIFF names a file to receive the journal diff on failure
+## (CI uploads it as an artifact).
+fabric-chaos:
+	FABRIC_CHAOS_DIFF="$(FABRIC_CHAOS_DIFF)" ./scripts/fabric_chaos.sh
 
 ## soak: a short seeded chaos sweep under the race detector with crash
 ## isolation on — one cell wedges (reaped by heartbeat stall, classified

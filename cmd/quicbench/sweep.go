@@ -23,36 +23,39 @@ import (
 func sweepMain(args []string) int {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	var (
-		stackList  = fs.String("stacks", "", "comma-separated stacks (empty = all 11 QUIC stacks)")
-		ccaList    = fs.String("ccas", "", "comma-separated CCAs (empty = cubic,bbr,reno)")
-		bw         = fs.Float64("bw", 20, "bottleneck bandwidth (Mbps)")
-		rtt        = fs.Duration("rtt", 10*time.Millisecond, "base RTT")
-		buffer     = fs.Float64("buffer", 1, "droptail buffer (BDP multiples)")
-		duration   = fs.Duration("duration", 10*time.Second, "flow duration")
-		trials     = fs.Int("trials", 2, "trials per cell")
-		seed       = fs.Uint64("seed", 1, "random seed")
-		workers    = fs.Int("workers", 1, "concurrent cells")
-		retries    = fs.Int("retries", 3, "attempt budget per cell")
-		trialTO    = fs.Duration("trial-timeout", 0, "virtual-clock deadline per trial (0 = none)")
-		checkpoint = fs.String("checkpoint", "", "JSONL journal path (empty = no checkpointing)")
-		resume     = fs.Bool("resume", false, "replay the checkpoint journal and run only missing/failed cells")
-		isolated   = fs.Bool("isolate", false, "run each cell attempt in a crash-isolated child process")
-		memLimit   = fs.Int("mem-limit", 0, "soft heap ceiling per isolated child (MiB, 0 = none)")
-		stallTO    = fs.Duration("stall-timeout", 10*time.Second, "SIGKILL an isolated child silent for this long")
-		wallTO     = fs.Duration("wall-timeout", 0, "wall-clock deadline per isolated child attempt (0 = none)")
-		abortAfter = fs.Int("abort-after", 0, "testing aid: cancel the sweep after N completed cells")
-		quiet      = fs.Bool("q", false, "suppress per-cell progress lines")
-		traceDir   = fs.String("trace", "", "write per-trial qlog JSONL traces under this directory")
-		tracePkts  = fs.Bool("trace-packets", false, "with -trace, also stream per-packet bottleneck CSVs")
-		progress   = fs.Bool("progress", false, "live progress line on stderr (cells done/total, ETA, workers, children)")
-		statusPath = fs.String("status", "", "append machine-readable JSONL status snapshots to this file")
-		statusIntv = fs.Duration("status-interval", time.Second, "progress/status snapshot period")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		verbose    = fs.Bool("v", false, "log retries and backoff decisions to stderr")
-		listenAddr = fs.String("listen", "", "coordinate a distributed sweep: shard cells across `quicbench worker` processes connected to this TCP address (e.g. 127.0.0.1:0)")
-		minWorkers = fs.Int("min-workers", 0, "with -listen, wait for this many workers before dispatching")
-		minWait    = fs.Duration("min-workers-timeout", 30*time.Second, "bound the -min-workers wait (proceed with fewer on timeout)")
-		workerTO   = fs.Duration("worker-timeout", 10*time.Second, "with -listen, reap a worker silent for this long and re-dispatch its cells")
+		stackList   = fs.String("stacks", "", "comma-separated stacks (empty = all 11 QUIC stacks)")
+		ccaList     = fs.String("ccas", "", "comma-separated CCAs (empty = cubic,bbr,reno)")
+		bw          = fs.Float64("bw", 20, "bottleneck bandwidth (Mbps)")
+		rtt         = fs.Duration("rtt", 10*time.Millisecond, "base RTT")
+		buffer      = fs.Float64("buffer", 1, "droptail buffer (BDP multiples)")
+		duration    = fs.Duration("duration", 10*time.Second, "flow duration")
+		trials      = fs.Int("trials", 2, "trials per cell")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 1, "concurrent cells")
+		retries     = fs.Int("retries", 3, "attempt budget per cell")
+		trialTO     = fs.Duration("trial-timeout", 0, "virtual-clock deadline per trial (0 = none)")
+		checkpoint  = fs.String("checkpoint", "", "JSONL journal path (empty = no checkpointing)")
+		resume      = fs.Bool("resume", false, "replay the checkpoint journal and run only missing/failed cells")
+		isolated    = fs.Bool("isolate", false, "run each cell attempt in a crash-isolated child process")
+		memLimit    = fs.Int("mem-limit", 0, "soft heap ceiling per isolated child (MiB, 0 = none)")
+		stallTO     = fs.Duration("stall-timeout", 10*time.Second, "SIGKILL an isolated child silent for this long")
+		wallTO      = fs.Duration("wall-timeout", 0, "wall-clock deadline per isolated child attempt (0 = none)")
+		abortAfter  = fs.Int("abort-after", 0, "testing aid: cancel the sweep after N completed cells")
+		quiet       = fs.Bool("q", false, "suppress per-cell progress lines")
+		traceDir    = fs.String("trace", "", "write per-trial qlog JSONL traces under this directory")
+		tracePkts   = fs.Bool("trace-packets", false, "with -trace, also stream per-packet bottleneck CSVs")
+		progress    = fs.Bool("progress", false, "live progress line on stderr (cells done/total, ETA, workers, children)")
+		statusPath  = fs.String("status", "", "append machine-readable JSONL status snapshots to this file")
+		statusIntv  = fs.Duration("status-interval", time.Second, "progress/status snapshot period")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		verbose     = fs.Bool("v", false, "log retries and backoff decisions to stderr")
+		listenAddr  = fs.String("listen", "", "coordinate a distributed sweep: shard cells across `quicbench worker` processes connected to this TCP address (e.g. 127.0.0.1:0)")
+		minWorkers  = fs.Int("min-workers", 0, "with -listen, wait for this many workers before dispatching")
+		minWait     = fs.Duration("min-workers-timeout", 30*time.Second, "bound the -min-workers wait (proceed with fewer on timeout)")
+		workerTO    = fs.Duration("worker-timeout", 10*time.Second, "with -listen, reap a worker silent for this long and re-dispatch its cells")
+		workersFile = fs.String("workers-file", "", "with -listen, admit only workers named in this file (one host:port or name per line, # comments)")
+		authToken   = fs.String("auth-token", "", "with -listen, require workers to prove this shared secret in their handshake")
+		auditFrac   = fs.Float64("audit", 0, "with -listen, re-execute this fraction of remote results (0..1) to detect divergent workers")
 	)
 	fs.Parse(args)
 
@@ -62,6 +65,14 @@ func sweepMain(args []string) int {
 	}
 	if *listenAddr == "" && *minWorkers > 0 {
 		fmt.Fprintln(os.Stderr, "sweep: -min-workers requires -listen")
+		return 2
+	}
+	if *listenAddr == "" && (*workersFile != "" || *authToken != "" || *auditFrac != 0) {
+		fmt.Fprintln(os.Stderr, "sweep: -workers-file, -auth-token, and -audit require -listen")
+		return 2
+	}
+	if *auditFrac < 0 || *auditFrac > 1 {
+		fmt.Fprintln(os.Stderr, "sweep: -audit must be in [0, 1]")
 		return 2
 	}
 	if *tracePkts && *traceDir == "" {
@@ -119,6 +130,21 @@ func sweepMain(args []string) int {
 		opts.MinWorkers = *minWorkers
 		opts.MinWorkersTimeout = *minWait
 		opts.WorkerHeartbeatTimeout = *workerTO
+		opts.AuditFraction = *auditFrac
+		opts.AuthToken = *authToken
+		if *workersFile != "" {
+			allowed, ferr := readWorkersFile(*workersFile)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", ferr)
+				return 2
+			}
+			opts.WorkerAllowlist = allowed
+			// An explicit roster doubles as the default fleet size to wait
+			// for before dispatching.
+			if opts.MinWorkers == 0 {
+				opts.MinWorkers = len(allowed)
+			}
+		}
 		// The bound address line is load-bearing: with -listen 127.0.0.1:0
 		// it is how workers (and the dist-smoke harness) learn the port.
 		opts.OnListen = func(addr string) {
@@ -191,6 +217,34 @@ func sweepMain(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// readWorkersFile parses a fleet roster: one worker name or host:port per
+// line, blank lines and #-comments ignored. An entry may carry a trailing
+// comment after whitespace.
+func readWorkersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-workers-file: %w", err)
+	}
+	var out []string
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.ContainsAny(line, " \t") {
+			return nil, fmt.Errorf("-workers-file: %s:%d: one worker per line, got %q", path, i+1, line)
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers-file: %s lists no workers", path)
+	}
+	return out, nil
 }
 
 // splitList splits a comma-separated flag value, trimming blanks.

@@ -28,6 +28,7 @@ func workerMain(args []string) int {
 		name     = fs.String("name", "", "worker name in fleet telemetry (default worker-<pid>)")
 		parallel = fs.Int("parallel", 1, "concurrent cell attempts")
 		beat     = fs.Duration("heartbeat", time.Second, "liveness heartbeat period (keep well under the coordinator's -worker-timeout)")
+		token    = fs.String("auth-token", "", "shared secret proving fleet membership (must match the coordinator's -auth-token)")
 		quiet    = fs.Bool("q", false, "suppress connection lifecycle logs")
 	)
 	fs.Parse(args)
@@ -41,6 +42,7 @@ func workerMain(args []string) int {
 		Name:              *name,
 		Parallel:          *parallel,
 		HeartbeatInterval: *beat,
+		AuthToken:         *token,
 	}
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {

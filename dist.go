@@ -23,6 +23,9 @@ type WorkerOptions struct {
 	// HeartbeatInterval is the liveness beat period (default 1 s); keep it
 	// well under the coordinator's worker heartbeat timeout.
 	HeartbeatInterval time.Duration
+	// AuthToken is the fleet's shared secret; must match the
+	// coordinator's -auth-token when the campaign requires one.
+	AuthToken string
 	// Logf, when non-nil, observes connection lifecycle events.
 	Logf func(format string, args ...any)
 }
@@ -43,6 +46,7 @@ func NewSweepWorker(opts WorkerOptions) *SweepWorker {
 		Name:              opts.Name,
 		Slots:             opts.Parallel,
 		HeartbeatInterval: opts.HeartbeatInterval,
+		AuthToken:         opts.AuthToken,
 		Logf:              opts.Logf,
 		Exec: func(ctx context.Context, key string, seed uint64, payload json.RawMessage) (json.RawMessage, error) {
 			return core.ExecuteCellSpec(ctx, payload)

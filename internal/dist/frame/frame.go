@@ -1,15 +1,16 @@
 // Package frame is the shared wire layer under both process-isolation
 // (internal/isolate, over a child's stdin/stdout pipes) and the
-// distributed sweep fabric (internal/dist, over TCP): length-prefixed
-// JSON messages. Each frame is a 4-byte big-endian length followed by
-// exactly that many bytes of JSON, written in a single Write so readers
-// never observe a torn prefix.
+// distributed sweep fabric (internal/dist, over TCP): length-prefixed,
+// checksummed JSON messages. Each frame is a 4-byte big-endian length, a
+// 4-byte big-endian CRC-32C of the body, and exactly length bytes of
+// JSON, written in a single Write so readers never observe a torn prefix.
 //
 // The decoder is hardened against hostile or damaged streams: a length
 // prefix past MaxFrame is rejected before any allocation, a truncated
-// body allocates no more than the bytes actually present, and every
-// malformed input comes back as a typed error matching ErrFrame — never
-// a panic.
+// body allocates no more than the bytes actually present, a body whose
+// checksum does not match was corrupted in flight and is rejected before
+// the JSON decoder ever sees it, and every malformed input comes back as
+// a typed error matching ErrFrame — never a panic.
 package frame
 
 import (
@@ -18,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -26,10 +28,18 @@ import (
 // not a length to be trusted.
 const MaxFrame = 64 << 20
 
+// headerLen is the fixed frame header: 4 bytes of body length followed
+// by 4 bytes of CRC-32C over the body.
+const headerLen = 8
+
 // preAlloc caps how much the decoder allocates up front for a frame
 // body. Larger bodies grow as bytes actually arrive, so a forged
 // multi-megabyte length on a truncated stream cannot balloon memory.
 const preAlloc = 64 << 10
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on common CPUs); one table shared by every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Typed decode failures, all matching ErrFrame via errors.Is.
 var (
@@ -40,13 +50,18 @@ var (
 	// ErrTruncated marks a stream that ended inside a frame — a torn
 	// prefix or a body shorter than its declared length.
 	ErrTruncated = fmt.Errorf("%w: truncated", ErrFrame)
-	// ErrBadJSON marks a complete body that is not valid JSON for the
-	// destination value.
+	// ErrChecksum marks a complete body whose CRC-32C does not match its
+	// header — bytes flipped in flight (a bad NIC, a chaotic path, a
+	// hostile peer). The body is untrusted and never reaches the JSON
+	// decoder.
+	ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	// ErrBadJSON marks a complete, checksum-valid body that is not valid
+	// JSON for the destination value.
 	ErrBadJSON = fmt.Errorf("%w: bad JSON body", ErrFrame)
 )
 
-// Write marshals v and writes it as one length-prefixed frame in a
-// single Write call.
+// Write marshals v and writes it as one length-prefixed, checksummed
+// frame in a single Write call.
 func Write(w io.Writer, v any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -55,28 +70,30 @@ func Write(w io.Writer, v any) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("frame: %d-byte frame exceeds the %d-byte limit", len(body), MaxFrame)
 	}
-	buf := make([]byte, 4+len(body))
+	buf := make([]byte, headerLen+len(body))
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
-	copy(buf[4:], body)
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(body, castagnoli))
+	copy(buf[headerLen:], body)
 	_, err = w.Write(buf)
 	return err
 }
 
-// Read reads one frame and unmarshals its body into v. io.EOF at a
-// frame boundary is returned verbatim (the normal end of stream); every
-// other failure is a typed error matching ErrFrame.
+// Read reads one frame, verifies its checksum, and unmarshals its body
+// into v. io.EOF at a frame boundary is returned verbatim (the normal
+// end of stream); every other failure is a typed error matching ErrFrame.
 func Read(r io.Reader, v any) error {
-	var hdr [4]byte
+	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
 		return fmt.Errorf("%w prefix: %v", ErrTruncated, err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n == 0 || n > MaxFrame {
 		return fmt.Errorf("%w %d", ErrOversize, n)
 	}
+	sum := binary.BigEndian.Uint32(hdr[4:8])
 	// Grow as the body arrives instead of trusting the prefix: CopyN
 	// stops at the truncation point, so a forged length allocates at
 	// most preAlloc plus what the stream really delivered.
@@ -84,6 +101,9 @@ func Read(r io.Reader, v any) error {
 	body.Grow(int(min(n, preAlloc)))
 	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
 		return fmt.Errorf("%w body: %v", ErrTruncated, err)
+	}
+	if got := crc32.Checksum(body.Bytes(), castagnoli); got != sum {
+		return fmt.Errorf("%w: body crc %08x, header says %08x", ErrChecksum, got, sum)
 	}
 	if err := json.Unmarshal(body.Bytes(), v); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadJSON, err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"runtime"
 	"testing"
@@ -12,6 +13,20 @@ import (
 type payload struct {
 	Name string `json:"name"`
 	N    int    `json:"n"`
+}
+
+// rawFrame builds a frame by hand: a length/CRC header over body, with
+// the checksum optionally forged.
+func rawFrame(body []byte, forgeSum bool) []byte {
+	buf := make([]byte, headerLen+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	sum := crc32.Checksum(body, castagnoli)
+	if forgeSum {
+		sum ^= 0xdeadbeef
+	}
+	binary.BigEndian.PutUint32(buf[4:8], sum)
+	copy(buf[headerLen:], body)
+	return buf
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -59,8 +74,8 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 
 func TestTypedDecodeErrors(t *testing.T) {
 	hdr := func(n uint32) []byte {
-		var b [4]byte
-		binary.BigEndian.PutUint32(b[:], n)
+		var b [headerLen]byte
+		binary.BigEndian.PutUint32(b[:4], n)
 		return b[:]
 	}
 	cases := []struct {
@@ -73,8 +88,9 @@ func TestTypedDecodeErrors(t *testing.T) {
 		{"oversize length", hdr(MaxFrame + 1), ErrOversize},
 		{"forged max length", hdr(0xffffffff), ErrOversize},
 		{"truncated body", append(hdr(100), []byte("short")...), ErrTruncated},
-		{"bad JSON body", append(hdr(4), []byte("!!!!")...), ErrBadJSON},
-		{"wrong JSON shape", append(hdr(7), []byte(`[1,2,3]`)...), ErrBadJSON},
+		{"bad JSON body", rawFrame([]byte("!!!!"), false), ErrBadJSON},
+		{"wrong JSON shape", rawFrame([]byte(`[1,2,3]`), false), ErrBadJSON},
+		{"forged checksum", rawFrame([]byte(`{"name":"x","n":1}`), true), ErrChecksum},
 	}
 	for _, tc := range cases {
 		var v payload
@@ -88,12 +104,38 @@ func TestTypedDecodeErrors(t *testing.T) {
 	}
 }
 
+// Any single flipped bit anywhere in a frame — header or body — must be
+// detected as a typed error, never decoded as a different message. This
+// is the wire half of the fabric's integrity story: a flaky NIC between
+// coordinator and worker cannot silently alter a result.
+func TestBitFlipAlwaysDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, payload{"victim", 42}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for i := 0; i < len(clean)*8; i++ {
+		flipped := append([]byte(nil), clean...)
+		flipped[i/8] ^= 1 << (i % 8)
+		var v payload
+		err := Read(bytes.NewReader(flipped), &v)
+		if err == nil {
+			// The only acceptable silent outcome would be decoding the
+			// original message, which a bit flip can't produce.
+			t.Fatalf("bit %d flipped: frame decoded silently as %+v", i, v)
+		}
+		if err != io.EOF && !errors.Is(err, ErrFrame) {
+			t.Fatalf("bit %d flipped: untyped error %v", i, err)
+		}
+	}
+}
+
 // A forged length on a truncated stream must not balloon memory: the
 // decoder allocates from the bytes that actually arrive, not the prefix.
 func TestForgedLengthDoesNotOverAllocate(t *testing.T) {
 	var in bytes.Buffer
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], MaxFrame) // claims 64 MiB
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrame) // claims 64 MiB
 	in.Write(hdr[:])
 	in.WriteString(`{"name":"tiny"}`) // delivers 15 bytes
 

@@ -23,9 +23,16 @@ func FuzzRead(f *testing.F) {
 		return b.Bytes()
 	}
 	hdr := func(n uint32) []byte {
-		var b [4]byte
-		binary.BigEndian.PutUint32(b[:], n)
+		var b [headerLen]byte
+		binary.BigEndian.PutUint32(b[:4], n)
 		return b[:]
+	}
+	// corrupt flips one byte inside a valid frame's body, so the length
+	// still parses but the checksum does not.
+	corrupt := func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		out[len(out)-1] ^= 0x40
+		return out
 	}
 
 	f.Add([]byte(nil))
@@ -38,6 +45,7 @@ func FuzzRead(f *testing.F) {
 	f.Add(append(hdr(4), []byte("null")...))
 	f.Add(append(hdr(4), []byte("!!!!")...))
 	f.Add(append(hdr(100), []byte(`{"type":"beat"}`)...)) // truncated body
+	f.Add(corrupt(valid(map[string]any{"type": "beat"}))) // checksum mismatch
 	f.Add(valid(map[string]any{"type": "hello", "hello": map[string]any{"proto": "quicbench-dist", "version": 1}}))
 	f.Add(valid(map[string]any{"type": "assign", "assign": map[string]any{"key": "a/b", "seed": 7}}))
 	f.Add(append(valid(map[string]any{"type": "beat"}), valid(map[string]any{"type": "bye"})...))

@@ -17,9 +17,14 @@
 package dist
 
 import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sync"
 
@@ -27,10 +32,12 @@ import (
 )
 
 // Protocol identity, validated in the hello handshake so a worker from a
-// different build generation never silently exchanges trials.
+// different build generation never silently exchanges trials. Version 2
+// adds result-integrity digests on assign/result and the optional
+// shared-secret HMAC on hello.
 const (
 	protoName    = "quicbench-dist"
-	protoVersion = 1
+	protoVersion = 2
 )
 
 // Message types on the coordinator/worker connection.
@@ -57,34 +64,103 @@ const (
 // protocol (bad hello, wrong version, malformed frame).
 var ErrProtocol = errors.New("dist: protocol error")
 
+// ErrAuthFailed marks a peer rejected by the shared-secret handshake: a
+// missing or wrong -auth-token. The peer is dropped before any trial is
+// dispatched.
+var ErrAuthFailed = errors.New("dist: authentication failed")
+
+// Bye codes: machine-readable reasons a coordinator ends a worker's
+// campaign, so the worker can exit with a typed error instead of parsing
+// prose.
+const (
+	byeComplete      = "complete"
+	byeAuthFailed    = "auth-failed"
+	byeNotAllowed    = "not-allowed"
+	byeQuarantined   = "quarantined"
+	byeProtoMismatch = "proto-mismatch"
+)
+
 // helloMsg introduces a worker: protocol identity, a display name for
-// fleet telemetry, and how many trials it runs in parallel.
+// fleet telemetry, and how many trials it runs in parallel. When the
+// fabric runs with a shared secret, Nonce is a random value and MAC an
+// HMAC-SHA256 over the hello's identity fields plus that nonce, proving
+// the worker holds the token without putting it on the wire.
 type helloMsg struct {
 	Proto   string `json:"proto"`
 	Version int    `json:"version"`
 	Name    string `json:"name"`
 	Slots   int    `json:"slots"`
+	Nonce   string `json:"nonce,omitempty"`
+	MAC     string `json:"mac,omitempty"`
+}
+
+// helloMAC computes the shared-secret HMAC binding a hello's identity
+// fields together under token.
+func helloMAC(token string, h helloMsg) string {
+	mac := hmac.New(sha256.New, []byte(token))
+	fmt.Fprintf(mac, "%s|%d|%s|%d|%s", h.Proto, h.Version, h.Name, h.Slots, h.Nonce)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// authenticate stamps a hello with a fresh nonce and its MAC.
+func authenticate(token string, h *helloMsg) error {
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return fmt.Errorf("dist: auth nonce: %w", err)
+	}
+	h.Nonce = hex.EncodeToString(nonce[:])
+	h.MAC = helloMAC(token, *h)
+	return nil
+}
+
+// verifyHello checks a hello's MAC against token. Constant-time compare,
+// and a hello with no MAC at all fails.
+func verifyHello(token string, h helloMsg) bool {
+	if h.MAC == "" {
+		return false
+	}
+	want := helloMAC(token, helloMsg{Proto: h.Proto, Version: h.Version, Name: h.Name, Slots: h.Slots, Nonce: h.Nonce})
+	return hmac.Equal([]byte(h.MAC), []byte(want))
+}
+
+// digestOf is the fabric's canonical content digest (FNV-1a 64, fixed
+// width hex): cheap, deterministic across platforms, and — combined with
+// the frame layer's CRC — enough to pin a result to the exact spec bytes
+// it answered. It is an integrity check against bugs and bit rot, not a
+// cryptographic commitment.
+func digestOf(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // assignMsg is one trial attempt. Payload is the domain spec (for sweeps
-// a marshalled core.CellTrialSpec), opaque to the fabric.
+// a marshalled core.CellTrialSpec), opaque to the fabric; SpecDigest is
+// the coordinator's digest of those payload bytes, which the worker must
+// independently recompute in its result.
 type assignMsg struct {
-	Key     string          `json:"key"`
-	Seed    uint64          `json:"seed"`
-	Attempt int             `json:"attempt"`
-	Payload json.RawMessage `json:"payload"`
+	Key        string          `json:"key"`
+	Seed       uint64          `json:"seed"`
+	Attempt    int             `json:"attempt"`
+	Payload    json.RawMessage `json:"payload"`
+	SpecDigest string          `json:"spec_digest,omitempty"`
 }
 
 // resultMsg reports an assignment's outcome. Exactly one of Result or
 // Err is set; Kind carries the worker-side failure classification
 // (runner.FailKind) so a panic recovered on a worker journals the same
-// way as one recovered in-process.
+// way as one recovered in-process. SpecDigest is the worker's own digest
+// of the payload it executed and ResultDigest its digest of the result
+// bytes — the coordinator verifies both, so a cross-wired or stale answer
+// never silently lands in the journal.
 type resultMsg struct {
-	Key     string          `json:"key"`
-	Attempt int             `json:"attempt"`
-	Result  json.RawMessage `json:"result,omitempty"`
-	Err     string          `json:"err,omitempty"`
-	Kind    string          `json:"kind,omitempty"`
+	Key          string          `json:"key"`
+	Attempt      int             `json:"attempt"`
+	Result       json.RawMessage `json:"result,omitempty"`
+	Err          string          `json:"err,omitempty"`
+	Kind         string          `json:"kind,omitempty"`
+	SpecDigest   string          `json:"spec_digest,omitempty"`
+	ResultDigest string          `json:"result_digest,omitempty"`
 }
 
 // drainMsg announces a clean worker shutdown; Keys lists assignments the
@@ -93,9 +169,10 @@ type drainMsg struct {
 	Keys []string `json:"keys,omitempty"`
 }
 
-// byeMsg ends a worker's campaign, with an optional reason (handshake
-// rejection, campaign complete).
+// byeMsg ends a worker's campaign: a machine-readable Code (one of the
+// bye* constants) plus a human reason.
 type byeMsg struct {
+	Code   string `json:"code,omitempty"`
 	Reason string `json:"reason,omitempty"`
 }
 
@@ -118,7 +195,9 @@ func readMsg(r io.Reader) (wireMsg, error) {
 		if err == io.EOF {
 			return wireMsg{}, io.EOF
 		}
-		return wireMsg{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+		// Double-wrap so callers can match both the fabric-level sentinel
+		// and the frame layer's typed cause (oversize vs checksum vs torn).
+		return wireMsg{}, fmt.Errorf("%w: %w", ErrProtocol, err)
 	}
 	return m, nil
 }

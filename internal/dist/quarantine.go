@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrWorkerQuarantined marks a worker the coordinator no longer trusts:
+// repeated result divergence, corrupt frames, stalls, or losses pushed its
+// health score past the quarantine threshold. The worker is excluded from
+// dispatch, its in-flight trials re-dispatch to healthy workers, and a
+// rejoin under the same name is turned away — the campaign continues
+// without it.
+var ErrWorkerQuarantined = errors.New("dist: worker quarantined")
+
+// faultKind classifies one observed worker fault for health scoring.
+type faultKind int
+
+const (
+	// faultLoss: the connection dropped with trials in flight.
+	faultLoss faultKind = iota
+	// faultStall: the reaper declared the worker dead after silent
+	// heartbeats (a partition or a wedged process).
+	faultStall
+	// faultCorruptFrame: the worker's connection produced a malformed,
+	// oversize, or checksum-failing frame — bytes the fabric cannot trust.
+	faultCorruptFrame
+	// faultDiverge: the worker returned a result whose digest disagrees
+	// with an audit re-execution (or with its own claimed digests) — the
+	// Byzantine case, weighted heaviest.
+	faultDiverge
+)
+
+// faultWeight is each fault's health-score cost. Integrity faults weigh
+// double: a flaky connection earns slow distrust, wrong answers earn it
+// fast.
+func faultWeight(k faultKind) int {
+	switch k {
+	case faultDiverge, faultCorruptFrame:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func (k faultKind) String() string {
+	switch k {
+	case faultLoss:
+		return "connection loss"
+	case faultStall:
+		return "heartbeat stall"
+	case faultCorruptFrame:
+		return "corrupt frame"
+	case faultDiverge:
+		return "result divergence"
+	default:
+		return "fault"
+	}
+}
+
+// workerHealth is one worker's score card, keyed by worker *name* so it
+// survives reconnects: a misbehaving worker cannot shed its record by
+// re-dialing.
+type workerHealth struct {
+	score       int // decaying fault score; successes pay it down
+	diverges    int // lifetime divergence count (never decays)
+	quarantined bool
+}
+
+// healthTracker is the quarantine state machine. Two ways in, no way out
+// (for the lifetime of a campaign): accumulate threshold fault points, or
+// diverge twice — one divergence could be the *other* replica's fault, two
+// is a pattern.
+type healthTracker struct {
+	mu        sync.Mutex
+	threshold int
+	byName    map[string]*workerHealth
+}
+
+func newHealthTracker(threshold int) *healthTracker {
+	if threshold <= 0 {
+		threshold = 4
+	}
+	return &healthTracker{threshold: threshold, byName: make(map[string]*workerHealth)}
+}
+
+func (t *healthTracker) get(name string) *workerHealth {
+	h, ok := t.byName[name]
+	if !ok {
+		h = &workerHealth{}
+		t.byName[name] = h
+	}
+	return h
+}
+
+// penalize records one fault and reports whether it newly quarantined the
+// worker.
+func (t *healthTracker) penalize(name string, k faultKind) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.get(name)
+	if h.quarantined {
+		return false
+	}
+	h.score += faultWeight(k)
+	if k == faultDiverge {
+		h.diverges++
+	}
+	if h.score >= t.threshold || h.diverges >= 2 {
+		h.quarantined = true
+		return true
+	}
+	return false
+}
+
+// credit records one verified-good result, paying down transient fault
+// score (never divergence history) so an occasionally-flaky but honest
+// worker stays in the fleet.
+func (t *healthTracker) credit(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.get(name)
+	if h.score > 0 {
+		h.score--
+	}
+}
+
+// quarantined reports whether name is shut out of the fleet.
+func (t *healthTracker) quarantined(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.byName[name]
+	return ok && h.quarantined
+}
+
+// score returns name's current fault score (for telemetry and tests).
+func (t *healthTracker) scoreOf(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.byName[name]
+	if !ok {
+		return 0
+	}
+	return h.score
+}

@@ -1,0 +1,86 @@
+package dist
+
+import "testing"
+
+// The quarantine state machine, event by event: which fault sequences tip
+// a worker over, which it survives, and how success credit pays transient
+// faults down (but never divergence history).
+func TestQuarantineStateMachine(t *testing.T) {
+	const ok = "credit" // success credit pseudo-event
+	cases := []struct {
+		name      string
+		threshold int
+		events    []any // faultKind or ok
+		want      bool  // quarantined at the end
+	}{
+		{"clean worker", 0, []any{ok, ok, ok}, false},
+		{"one loss is forgiven", 0, []any{faultLoss}, false},
+		{"one stall is forgiven", 0, []any{faultStall}, false},
+		{"one divergence is not enough", 0, []any{faultDiverge}, false},
+		{"two divergences quarantine regardless of score", 0,
+			[]any{faultDiverge, ok, ok, ok, faultDiverge}, true},
+		{"one corrupt frame is not enough", 0, []any{faultCorruptFrame}, false},
+		{"two corrupt frames reach the default threshold", 0,
+			[]any{faultCorruptFrame, faultCorruptFrame}, true},
+		{"mixed faults accumulate", 0,
+			[]any{faultLoss, faultStall, faultCorruptFrame}, true},
+		{"credit pays transient faults down", 0,
+			[]any{faultLoss, ok, faultLoss, ok, faultLoss, ok, faultLoss}, false},
+		{"credit cannot erase divergence history", 0,
+			[]any{faultDiverge, ok, ok, ok, ok, ok, faultDiverge}, true},
+		{"credit never goes negative", 0,
+			[]any{ok, ok, ok, faultCorruptFrame, faultCorruptFrame}, true},
+		{"higher threshold tolerates more", 8,
+			[]any{faultCorruptFrame, faultCorruptFrame, faultLoss}, false},
+		{"higher threshold still reached", 8,
+			[]any{faultCorruptFrame, faultCorruptFrame, faultCorruptFrame, faultCorruptFrame}, true},
+		{"threshold one hair-triggers", 1, []any{faultLoss}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHealthTracker(tc.threshold)
+			name := "w"
+			for i, ev := range tc.events {
+				if ev == ok {
+					h.credit(name)
+					continue
+				}
+				newly := h.penalize(name, ev.(faultKind))
+				if newly && i < len(tc.events)-1 {
+					// Already quarantined before the sequence ended: the
+					// remaining events must not re-trigger.
+					for _, rest := range tc.events[i+1:] {
+						if rest != ok && h.penalize(name, rest.(faultKind)) {
+							t.Fatal("penalize reported a second quarantine transition")
+						}
+					}
+					break
+				}
+			}
+			if got := h.quarantined(name); got != tc.want {
+				t.Errorf("after %v: quarantined=%v, want %v (score %d)",
+					tc.events, got, tc.want, h.scoreOf(name))
+			}
+		})
+	}
+}
+
+// Health is keyed by name: a quarantined worker cannot shed its record by
+// reconnecting, and other workers' scores are independent.
+func TestQuarantineSurvivesReconnectAndIsolatesNames(t *testing.T) {
+	h := newHealthTracker(0)
+	h.penalize("evil", faultDiverge)
+	h.penalize("evil", faultDiverge)
+	if !h.quarantined("evil") {
+		t.Fatal("two divergences did not quarantine")
+	}
+	if h.quarantined("good") {
+		t.Error("an innocent name inherited quarantine")
+	}
+	if h.penalize("evil", faultLoss) {
+		t.Error("further faults on a quarantined name reported a new transition")
+	}
+	if h.scoreOf("good") != 0 {
+		t.Error("scores leak across names")
+	}
+}

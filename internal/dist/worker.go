@@ -30,6 +30,12 @@ const (
 	// silently dropped) — a one-way network partition the coordinator's
 	// reaper must detect.
 	EnvDistBlackhole = "QUICBENCH_TEST_DIST_BLACKHOLE"
+	// EnvDistDiverge: on matching assignments the worker executes the
+	// trial honestly and then perturbs one byte of the result before
+	// computing its digests — a Byzantine worker whose wire integrity is
+	// perfect and whose *answers* are wrong. Only audit re-execution can
+	// catch it.
+	EnvDistDiverge = "QUICBENCH_TEST_DIST_DIVERGE"
 )
 
 // errChaosKilled reports a worker stopped by the crash chaos hook.
@@ -65,10 +71,16 @@ type Worker struct {
 	ReconnectMax  time.Duration
 	// Logf, when non-nil, observes connection lifecycle events.
 	Logf func(format string, args ...any)
-	// ChaosCrash and ChaosBlackhole are key substrings arming the chaos
-	// hooks; empty values fall back to the QUICBENCH_TEST_DIST_* env.
+	// AuthToken, when non-empty, authenticates the hello frame with an
+	// HMAC over this shared secret; it must match the coordinator's
+	// -auth-token or the worker is turned away with ErrAuthFailed.
+	AuthToken string
+	// ChaosCrash, ChaosBlackhole, and ChaosDiverge are key substrings
+	// arming the chaos hooks; empty values fall back to the
+	// QUICBENCH_TEST_DIST_* env.
 	ChaosCrash     string
 	ChaosBlackhole string
+	ChaosDiverge   string
 
 	drainOnce sync.Once
 	drainInit sync.Once
@@ -154,7 +166,14 @@ func (w *Worker) Run(ctx context.Context) error {
 			return ctx.Err()
 		default:
 		}
-		conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", w.Addr)
+		rawConn, err := (&net.Dialer{}).DialContext(ctx, "tcp", w.Addr)
+		var conn net.Conn
+		if err == nil {
+			// Network chaos wraps the dialed connection below the frame
+			// layer, so injected corruption and partitions exercise the
+			// exact path a bad NIC would.
+			conn = chaosFromEnv(rawConn, w.name())
+		}
 		if err != nil {
 			w.logf("dist: dial %s: %v (retrying in %v)", w.Addr, err, delay)
 			select {
@@ -186,9 +205,13 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := &msgWriter{w: conn}
-	if err := out.write(wireMsg{Type: msgHello, Hello: &helloMsg{
-		Proto: protoName, Version: protoVersion, Name: w.name(), Slots: w.slots(),
-	}}); err != nil {
+	hello := helloMsg{Proto: protoName, Version: protoVersion, Name: w.name(), Slots: w.slots()}
+	if w.AuthToken != "" {
+		if err := authenticate(w.AuthToken, &hello); err != nil {
+			return true, err
+		}
+	}
+	if err := out.write(wireMsg{Type: msgHello, Hello: &hello}); err != nil {
 		return false, fmt.Errorf("dist: hello: %w", err)
 	}
 
@@ -245,6 +268,7 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 
 	chaosCrash := w.chaos(w.ChaosCrash, EnvDistCrash)
 	chaosBlackhole := w.chaos(w.ChaosBlackhole, EnvDistBlackhole)
+	chaosDiverge := w.chaos(w.ChaosDiverge, EnvDistDiverge)
 	for {
 		m, rerr := readMsg(conn)
 		if rerr != nil {
@@ -262,6 +286,10 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 		switch m.Type {
 		case msgBye:
 			trials.Wait()
+			if err := byeError(m.Bye); err != nil {
+				w.logf("dist: coordinator turned us away: %v (%s)", err, byeReason(m.Bye))
+				return true, err
+			}
 			w.logf("dist: campaign complete (%s)", byeReason(m.Bye))
 			return true, nil
 		case msgAssign:
@@ -290,6 +318,10 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 			go func() {
 				defer trials.Done()
 				res := w.runAssignment(sctx, a)
+				if chaosDiverge != "" && strings.Contains(a.Key, chaosDiverge) && res.Result != nil {
+					res.Result = perturb(res.Result)
+					res.ResultDigest = digestOf(res.Result)
+				}
 				_ = out.write(wireMsg{Type: msgResult, Result: &res})
 			}()
 		}
@@ -300,7 +332,10 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 // in-process executor's classification so a panic on a worker journals
 // exactly like a panic at home.
 func (w *Worker) runAssignment(ctx context.Context, a assignMsg) (out resultMsg) {
-	out = resultMsg{Key: a.Key, Attempt: a.Attempt}
+	// SpecDigest is recomputed from the payload bytes actually received —
+	// not echoed from the assignment — so the coordinator's check proves
+	// this result answers the spec it sent.
+	out = resultMsg{Key: a.Key, Attempt: a.Attempt, SpecDigest: digestOf(a.Payload)}
 	defer func() {
 		if r := recover(); r != nil {
 			fmt.Fprintf(os.Stderr, "dist worker: trial %s panicked: %v\n%s", a.Key, r, debug.Stack())
@@ -316,7 +351,25 @@ func (w *Worker) runAssignment(ctx context.Context, a assignMsg) (out resultMsg)
 		return out
 	}
 	out.Result = raw
+	out.ResultDigest = digestOf(raw)
 	return out
+}
+
+// perturb flips one digit of a JSON result, keeping it syntactically
+// valid: the deliberately-divergent chaos worker's lie.
+func perturb(raw json.RawMessage) json.RawMessage {
+	mutated := append(json.RawMessage(nil), raw...)
+	for i, b := range mutated {
+		if b >= '0' && b <= '8' {
+			mutated[i] = b + 1
+			return mutated
+		}
+		if b == '9' {
+			mutated[i] = '7'
+			return mutated
+		}
+	}
+	return mutated
 }
 
 func byeReason(b *byeMsg) string {
@@ -324,4 +377,24 @@ func byeReason(b *byeMsg) string {
 		return "no reason given"
 	}
 	return b.Reason
+}
+
+// byeError maps a bye's machine-readable code to the typed error a worker
+// returns from Run; a campaign-complete (or legacy, code-less) bye is nil.
+func byeError(b *byeMsg) error {
+	if b == nil {
+		return nil
+	}
+	switch b.Code {
+	case byeAuthFailed:
+		return ErrAuthFailed
+	case byeQuarantined:
+		return ErrWorkerQuarantined
+	case byeNotAllowed:
+		return fmt.Errorf("%w: not on the coordinator's allowlist", ErrAuthFailed)
+	case byeProtoMismatch:
+		return fmt.Errorf("%w: %s", ErrProtocol, b.Reason)
+	default:
+		return nil
+	}
 }

@@ -5,71 +5,158 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"hash/fnv"
 	"os"
+	"strconv"
 	"sync"
+	"syscall"
 )
 
 // ErrJournalCorrupt is the typed failure for a journal whose interior is
-// damaged (unparseable line, record without a key) or whose version header
-// does not match this binary's format. Callers match it with errors.Is to
-// distinguish corruption — which needs operator attention — from a
-// clean-crash truncated tail, which resume handles silently.
+// damaged (unparseable line, record without a key, a record failing its
+// CRC or chain-hash check) or whose version header does not match a format
+// this binary reads. Callers match it with errors.Is to distinguish
+// corruption — which needs operator attention — from a clean-crash
+// truncated tail, which resume handles silently.
 var ErrJournalCorrupt = errors.New("journal corrupt")
 
 // journalName and journalVersion identify the checkpoint-journal format.
 // The first line of every journal written by this package is a header
-// (`{"journal":"quicbench-sweep","version":2}`); ParseJournal rejects a
-// mismatched header instead of silently misreading a future format.
-// Headerless journals are accepted as the legacy version-1 format.
+// (`{"journal":"quicbench-sweep","version":3}`). Version 3 adds per-record
+// integrity: every record line carries a CRC-32C of its canonical record
+// bytes plus a running chain hash binding it to everything before it, so
+// any bit flip, splice, or reorder is detectable and resume can truncate
+// to the last verifiable prefix instead of replaying poison. Version-2
+// (headered, no integrity fields) and headerless version-1 journals are
+// accepted read-only as legacy formats; a future version is rejected
+// instead of silently misread.
 const (
 	journalName    = "quicbench-sweep"
-	journalVersion = 2
+	journalVersion = 3
 )
 
-// journalHeader is the first line of a version-2 (or later) journal. The
-// "journal" field doubles as the header discriminator: records never carry
-// it, so a first line with a non-empty Journal is unambiguously a header.
+// EnvJournalENOSPC is a chaos hook for the fabric soak: when set to a byte
+// count, a Journal fails appends with ENOSPC once that many bytes have
+// been written past open — delivering a torn partial line first, exactly
+// like a disk filling up mid-append. Recovery must then truncate the torn
+// tail and resume bit-identically.
+const EnvJournalENOSPC = "QUICBENCH_TEST_JOURNAL_ENOSPC"
+
+// journalHeader is the first line of a versioned journal. The "journal"
+// field doubles as the header discriminator: records never carry it, so a
+// first line with a non-empty Journal is unambiguously a header.
 type journalHeader struct {
 	Journal string `json:"journal"`
 	Version int    `json:"version"`
 }
 
-// Journal is an append-only JSONL checkpoint file: one Record per line,
+// journalLine is one version-3 record line: the record itself plus its
+// integrity fields. CRC is the CRC-32C of the record's canonical JSON
+// bytes; Chain is the running chain hash — FNV-1a 64 over the previous
+// chain value and those same bytes — that binds the line to its exact
+// position in the journal.
+type journalLine struct {
+	Record
+	CRC   string `json:"crc,omitempty"`
+	Chain string `json:"chain,omitempty"`
+}
+
+// castagnoli is the CRC-32C table shared by every record checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcHex is the per-record checksum: CRC-32C over the record's canonical
+// JSON bytes, fixed-width hex.
+func crcHex(recBytes []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(recBytes, castagnoli))
+}
+
+// chainNext advances the journal chain hash over one record.
+func chainNext(prev string, recBytes []byte) string {
+	h := fnv.New64a()
+	h.Write([]byte(prev))
+	h.Write(recBytes)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// chainSeed starts the chain from the exact header bytes, so even the
+// header participates in the integrity check.
+func chainSeed(headerLine []byte) string {
+	h := fnv.New64a()
+	h.Write(headerLine)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Journal is an append-only JSONL checkpoint file: one record per line,
 // synced to disk per append so a crash loses at most the line being
-// written. Appends are safe for concurrent use by the worker pool.
+// written. Version-3 journals carry per-record CRC + chain-hash fields.
+// Appends are safe for concurrent use by the worker pool.
 type Journal struct {
 	mu     sync.Mutex
 	f      *os.File
 	closed bool
+	// verified marks a version-3 journal: appends carry crc/chain fields
+	// and chain tracks the running hash. Appending to a legacy (v1/v2)
+	// journal keeps the legacy record format so the file stays
+	// self-consistent.
+	verified bool
+	chain    string
+	// spaceLeft is the ENOSPC chaos budget (-1 = unlimited): once spent,
+	// appends tear mid-line and fail like a full disk.
+	spaceLeft int64
 }
 
 // OpenJournal opens (creating if needed) the journal at path. With
 // appendMode the existing contents are kept — the resume path — except
-// for a torn final line (the signature of a crash mid-append), which is
-// truncated away so fresh records append at a clean line boundary and
-// the resumed journal stays byte-identical to an uninterrupted run's.
+// for a torn final line (the signature of a crash mid-append) and, on a
+// version-3 journal, any unverifiable suffix (bad CRC or chain hash),
+// both of which are truncated away so fresh records append at a clean,
+// trusted line boundary and the resumed journal stays byte-identical to
+// an uninterrupted run's.
 func OpenJournal(path string, appendMode bool) (*Journal, error) {
+	j := &Journal{spaceLeft: enospcBudget()}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	var resumeChain string
+	legacyAppend := false
 	if !appendMode {
 		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
-	} else if err := truncateTornTail(path); err != nil {
-		return nil, err
+	} else {
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("runner: read journal: %w", err)
+		}
+		if len(data) > 0 {
+			_, info, perr := ParseJournalVerified(data)
+			if perr != nil {
+				return nil, fmt.Errorf("runner: journal %s: %w", path, perr)
+			}
+			if info.GoodLen < len(data) {
+				if terr := os.Truncate(path, int64(info.GoodLen)); terr != nil {
+					return nil, fmt.Errorf("runner: truncate unverifiable journal tail: %w", terr)
+				}
+			}
+			if info.GoodLen > 0 {
+				legacyAppend = info.Legacy
+				resumeChain = info.LastChain
+			}
+		}
 	}
 	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runner: open journal: %w", err)
 	}
-	// A fresh (or truncated) journal starts with the version header; an
-	// append to an existing non-empty journal keeps whatever header it has
-	// (ParseJournal already validated it on the resume read).
+	j.f = f
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("runner: stat journal: %w", err)
 	}
-	if st.Size() == 0 {
+	switch {
+	case st.Size() == 0:
+		// Fresh (or fully truncated) journal: start a version-3 journal
+		// with its header, seeding the chain from the header bytes.
 		hdr, _ := json.Marshal(journalHeader{Journal: journalName, Version: journalVersion})
-		if _, err := f.Write(append(hdr, '\n')); err != nil {
+		if err := j.write(append(hdr, '\n')); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("runner: write journal header: %w", err)
 		}
@@ -77,13 +164,59 @@ func OpenJournal(path string, appendMode bool) (*Journal, error) {
 			f.Close()
 			return nil, fmt.Errorf("runner: sync journal header: %w", err)
 		}
+		j.verified = true
+		j.chain = chainSeed(hdr)
+	case legacyAppend:
+		// A legacy journal keeps its legacy record format on append;
+		// mixing integrity fields into a v1/v2 file would corrupt it for
+		// older readers without protecting it for this one.
+		j.verified = false
+	default:
+		j.verified = true
+		j.chain = resumeChain
 	}
-	return &Journal{f: f}, nil
+	return j, nil
 }
 
-// Append writes one record as a JSONL line and syncs it to disk.
+// enospcBudget reads the ENOSPC chaos hook (-1 = disabled).
+func enospcBudget() int64 {
+	v := os.Getenv(EnvJournalENOSPC)
+	if v == "" {
+		return -1
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// write sends bytes to the file through the ENOSPC chaos budget: when the
+// budget runs out mid-line, the bytes that "fit" are written (a torn
+// line, exactly what a full disk leaves) and the append fails with
+// ENOSPC.
+func (j *Journal) write(p []byte) error {
+	if j.spaceLeft < 0 {
+		_, err := j.f.Write(p)
+		return err
+	}
+	if int64(len(p)) <= j.spaceLeft {
+		j.spaceLeft -= int64(len(p))
+		_, err := j.f.Write(p)
+		return err
+	}
+	if j.spaceLeft > 0 {
+		j.f.Write(p[:j.spaceLeft])
+		j.f.Sync()
+		j.spaceLeft = 0
+	}
+	return syscall.ENOSPC
+}
+
+// Append writes one record as a JSONL line — with CRC and chain-hash
+// integrity fields on a version-3 journal — and syncs it to disk.
 func (j *Journal) Append(rec Record) error {
-	line, err := json.Marshal(rec)
+	recBytes, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("marshal record %q: %w", rec.Key, err)
 	}
@@ -92,8 +225,20 @@ func (j *Journal) Append(rec Record) error {
 	if j.closed {
 		return fmt.Errorf("append to closed journal")
 	}
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
+	line := recBytes
+	var nextChain string
+	if j.verified {
+		nextChain = chainNext(j.chain, recBytes)
+		line, err = json.Marshal(journalLine{Record: rec, CRC: crcHex(recBytes), Chain: nextChain})
+		if err != nil {
+			return fmt.Errorf("marshal record %q: %w", rec.Key, err)
+		}
+	}
+	if err := j.write(append(line, '\n')); err != nil {
 		return fmt.Errorf("append record %q: %w", rec.Key, err)
+	}
+	if j.verified {
+		j.chain = nextChain
 	}
 	return j.f.Sync()
 }
@@ -109,32 +254,11 @@ func (j *Journal) Close() error {
 	return j.f.Close()
 }
 
-// truncateTornTail cuts an unterminated final line off the journal at
-// path — the leftover of a crash mid-append. Complete (newline-ended)
-// lines are never touched; a missing file is fine.
-func truncateTornTail(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("runner: read journal: %w", err)
-	}
-	if len(data) == 0 || data[len(data)-1] == '\n' {
-		return nil
-	}
-	keep := bytes.LastIndexByte(data, '\n') + 1 // 0 when no newline at all
-	if err := os.Truncate(path, int64(keep)); err != nil {
-		return fmt.Errorf("runner: truncate torn journal tail: %w", err)
-	}
-	return nil
-}
-
 // ReadJournal replays the journal at path into a map of the last record per
 // trial key. A missing file is an empty journal (a resume of a sweep that
 // never started). An unterminated final line — the signature of a crash
-// mid-append — is tolerated and dropped; malformed interior content is
-// corruption and reported as an error.
+// mid-append — is tolerated and dropped; malformed or unverifiable interior
+// content is corruption and reported as an error.
 func ReadJournal(path string) (map[string]Record, error) {
 	done, _, err := ReadJournalTail(path)
 	return done, err
@@ -158,19 +282,47 @@ func ReadJournalTail(path string) (map[string]Record, bool, error) {
 	return done, truncated, nil
 }
 
+// RecoveryInfo reports what journal verification found and what recovery
+// had to discard.
+type RecoveryInfo struct {
+	// Legacy marks a headerless v1 or headered v2 journal: records carry
+	// no integrity fields, so only structural damage is detectable.
+	Legacy bool
+	// TornTail reports an unterminated final line (crash or full disk
+	// mid-append), dropped from the parse.
+	TornTail bool
+	// CorruptSuffix reports that a version-3 record failed its CRC or
+	// chain-hash check; it and everything after it were discarded, and
+	// only the verified prefix was returned.
+	CorruptSuffix bool
+	// BadLine is the 1-based line number of the first unverifiable line
+	// (0 when the journal verified end to end).
+	BadLine int
+	// GoodLen is the byte length of the verified (or, legacy, parseable)
+	// prefix — the truncation point recovery uses.
+	GoodLen int
+	// Records counts record lines in the returned prefix.
+	Records int
+	// LastChain is the chain-hash state after the verified prefix, used
+	// to continue appending (version 3 only).
+	LastChain string
+}
+
 // ParseJournal replays raw JSONL journal bytes into a map of the last
-// record per trial key. It never panics: any malformed input — bad JSON,
-// a non-object line, a record without a key — is reported as an error
-// matching ErrJournalCorrupt, with one exception: an *unterminated* final
-// line is the signature of a crash mid-write and is silently dropped
-// (that trial simply re-executes on resume). A malformed line that ends
-// in a newline was a completed write and is treated as corruption like
-// any interior damage — a clean crash never produces one.
+// record per trial key. It never panics: any malformed input — bad JSON, a
+// non-object line, a record without a key, a version-3 record failing its
+// CRC or chain check — is reported as an error matching ErrJournalCorrupt,
+// with one exception: an *unterminated* final line is the signature of a
+// crash mid-write and is silently dropped (that trial simply re-executes
+// on resume). A malformed line that ends in a newline was a completed
+// write and is treated as corruption like any interior damage — a clean
+// crash never produces one.
 //
-// A version header on the first line is validated: a mismatched name or
-// version is ErrJournalCorrupt (a journal from a future format must never
-// be silently misread as records). A headerless journal is the legacy
-// version-1 format and parses as before.
+// A version header on the first line is validated: a mismatched name or an
+// unknown version is ErrJournalCorrupt (a journal from a future format
+// must never be silently misread as records). A headerless journal is the
+// legacy version-1 format and a version-2 header the pre-integrity format;
+// both parse without per-record verification.
 func ParseJournal(data []byte) (map[string]Record, error) {
 	done, _, err := ParseJournalTail(data)
 	return done, err
@@ -179,49 +331,170 @@ func ParseJournal(data []byte) (map[string]Record, error) {
 // ParseJournalTail is ParseJournal plus a truncated-tail report (see
 // ReadJournalTail).
 func ParseJournalTail(data []byte) (map[string]Record, bool, error) {
+	done, info, err := ParseJournalVerified(data)
+	if err != nil {
+		return nil, info.TornTail, err
+	}
+	if info.CorruptSuffix {
+		return nil, info.TornTail, fmt.Errorf("line %d: record fails its integrity check (crc/chain): %w",
+			info.BadLine, ErrJournalCorrupt)
+	}
+	return done, info.TornTail, nil
+}
+
+// ParseJournalVerified is the lenient, integrity-checking parser behind
+// resume recovery: instead of failing on a damaged version-3 journal it
+// returns the longest verifiable prefix plus a RecoveryInfo describing
+// what was discarded, so callers can truncate to the trusted prefix and
+// re-execute the rest. It never panics on any input. Errors — matching
+// ErrJournalCorrupt — are reserved for damage recovery cannot scope: a
+// header from a different format, or interior corruption in a legacy
+// journal that carries no integrity fields to verify a prefix against.
+func ParseJournalVerified(data []byte) (map[string]Record, RecoveryInfo, error) {
 	done := make(map[string]Record)
-	// The final line is a tolerable crash artifact only when it was never
-	// finished: no terminating newline (trailing spaces/tabs aside).
-	unterminated := false
-	if t := bytes.TrimRight(data, " \t"); len(t) > 0 && t[len(t)-1] != '\n' {
-		unterminated = true
-	}
-	lines := bytes.Split(data, []byte("\n"))
-	// Trim trailing blank lines so "last line" means the last record.
-	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
-		lines = lines[:len(lines)-1]
-	}
+	info := RecoveryInfo{}
+	chain := ""
+	verified := false
 	headerChecked := false
-	for i, line := range lines {
-		if len(bytes.TrimSpace(line)) == 0 {
+	lineNo := 0
+	for offset := 0; offset < len(data); {
+		lineNo++
+		var line []byte
+		var end int // offset just past this line, including its newline
+		terminated := false
+		if idx := bytes.IndexByte(data[offset:], '\n'); idx >= 0 {
+			line = data[offset : offset+idx]
+			end = offset + idx + 1
+			terminated = true
+		} else {
+			line = data[offset:]
+			end = len(data)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			// Blank lines never appear in a journal this package wrote;
+			// tolerate terminated ones, ignore trailing spaces at EOF.
+			if terminated {
+				info.GoodLen = end
+			}
+			offset = end
 			continue
 		}
-		tornTail := unterminated && i == len(lines)-1
 		if !headerChecked {
 			headerChecked = true
 			var h journalHeader
-			if err := json.Unmarshal(line, &h); err == nil && h.Journal != "" {
-				if h.Journal != journalName || h.Version != journalVersion {
-					return nil, false, fmt.Errorf("line %d: journal header %q version %d (this binary reads %q version %d): %w",
-						i+1, h.Journal, h.Version, journalName, journalVersion, ErrJournalCorrupt)
+			if err := json.Unmarshal(trimmed, &h); err == nil && h.Journal != "" {
+				if h.Journal != journalName {
+					return nil, info, fmt.Errorf("line %d: journal header %q (this binary reads %q): %w",
+						lineNo, h.Journal, journalName, ErrJournalCorrupt)
 				}
-				continue // valid header line, not a record
+				if !terminated {
+					info.TornTail = true
+					return done, info, nil
+				}
+				switch h.Version {
+				case journalVersion:
+					verified = true
+					chain = chainSeed(line)
+					info.LastChain = chain
+				case 2:
+					info.Legacy = true
+				default:
+					return nil, info, fmt.Errorf("line %d: journal header version %d (this binary reads versions 1-%d): %w",
+						lineNo, h.Version, journalVersion, ErrJournalCorrupt)
+				}
+				info.GoodLen = end
+				offset = end
+				continue
 			}
+			// No header at all: the headerless legacy version-1 format.
+			info.Legacy = true
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			if tornTail {
-				return done, true, nil // crash mid-write: re-execute it
+		if verified {
+			ok, recBytes, ln := verifyLine(trimmed, chain)
+			if !ok || !terminated {
+				// An unterminated final line is a torn append even when it
+				// happens to verify: drop it so appends restart at a clean
+				// boundary. A terminated line that fails verification marks
+				// the end of the trustworthy prefix.
+				if !terminated {
+					info.TornTail = true
+				} else {
+					info.CorruptSuffix = true
+					info.BadLine = lineNo
+				}
+				return done, info, nil
 			}
-			return nil, false, fmt.Errorf("line %d: %v: %w", i+1, err, ErrJournalCorrupt)
+			chain = chainNext(chain, recBytes)
+			done[ln.Key] = ln.Record
+			info.Records++
+			info.LastChain = chain
+			info.GoodLen = end
+			offset = end
+			continue
+		}
+		// Legacy record: structural checks only.
+		var rec Record
+		if err := json.Unmarshal(trimmed, &rec); err != nil {
+			if !terminated {
+				info.TornTail = true
+				return done, info, nil
+			}
+			return nil, info, fmt.Errorf("line %d: %v: %w", lineNo, err, ErrJournalCorrupt)
 		}
 		if rec.Key == "" {
-			if tornTail {
-				return done, true, nil // a keyless torn tail, same story
+			if !terminated {
+				info.TornTail = true
+				return done, info, nil
 			}
-			return nil, false, fmt.Errorf("line %d: record without key: %w", i+1, ErrJournalCorrupt)
+			return nil, info, fmt.Errorf("line %d: record without key: %w", lineNo, ErrJournalCorrupt)
 		}
 		done[rec.Key] = rec
+		info.Records++
+		info.GoodLen = end
+		offset = end
 	}
-	return done, false, nil
+	return done, info, nil
+}
+
+// verifyLine checks one version-3 record line: parseable, keyed, CRC
+// matching its canonical record bytes, chain hash matching its position.
+func verifyLine(line []byte, chain string) (bool, []byte, journalLine) {
+	var ln journalLine
+	if err := json.Unmarshal(line, &ln); err != nil || ln.Key == "" {
+		return false, nil, ln
+	}
+	recBytes, err := json.Marshal(ln.Record)
+	if err != nil {
+		return false, nil, ln
+	}
+	if ln.CRC != crcHex(recBytes) || ln.Chain != chainNext(chain, recBytes) {
+		return false, nil, ln
+	}
+	return true, recBytes, ln
+}
+
+// RecoverJournal reads and verifies the journal at path for resumption,
+// repairing it on disk: a torn final line and (version 3) any
+// unverifiable suffix are truncated away, so what remains — and what
+// resume replays — is exactly the verified prefix. A missing file is an
+// empty journal.
+func RecoverJournal(path string) (map[string]Record, RecoveryInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]Record{}, RecoveryInfo{}, nil
+		}
+		return nil, RecoveryInfo{}, fmt.Errorf("runner: read journal: %w", err)
+	}
+	done, info, err := ParseJournalVerified(data)
+	if err != nil {
+		return nil, info, fmt.Errorf("runner: journal %s: %w", path, err)
+	}
+	if info.GoodLen < len(data) {
+		if terr := os.Truncate(path, int64(info.GoodLen)); terr != nil {
+			return nil, info, fmt.Errorf("runner: truncate unverifiable journal tail: %w", terr)
+		}
+	}
+	return done, info, nil
 }

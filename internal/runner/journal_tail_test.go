@@ -73,34 +73,57 @@ func TestReadJournalTailReportsTruncation(t *testing.T) {
 // carrying half a record glued to the next line.
 func TestOpenJournalTruncatesTornTail(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "j.jsonl")
-	hdr, _ := json.Marshal(journalHeader{Journal: journalName, Version: journalVersion})
-	line, _ := json.Marshal(Record{Key: "a", Seed: 1, Outcome: OutcomeOK, Attempts: 1})
-	clean := append(append(append(append([]byte{}, hdr...), '\n'), line...), '\n')
-	if err := os.WriteFile(path, append(clean, []byte(`{"key":"b","ou`)...), 0o644); err != nil {
+	recA := Record{Key: "a", Seed: 1, Outcome: OutcomeOK, Attempts: 1}
+	recB := Record{Key: "b", Seed: 2, Outcome: OutcomeOK, Attempts: 1}
+
+	// Reference: both records written in one uninterrupted session.
+	ref := filepath.Join(dir, "ref.jsonl")
+	jr, err := OpenJournal(ref, false)
+	if err != nil {
 		t.Fatal(err)
 	}
+	for _, rec := range []Record{recA, recB} {
+		if err := jr.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jr.Close()
+	want, _ := os.ReadFile(ref)
 
-	j, err := OpenJournal(path, true)
+	// Crash scenario: record a lands, then half of record b's line.
+	path := filepath.Join(dir, "j.jsonl")
+	j1, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(recA); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"b","ou`)
+	f.Close()
+
+	j2, err := OpenJournal(path, true)
 	if err != nil {
 		t.Fatalf("OpenJournal: %v", err)
 	}
-	rec := Record{Key: "b", Seed: 2, Outcome: OutcomeOK, Attempts: 1}
-	if err := j.Append(rec); err != nil {
+	if err := j2.Append(recB); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	if err := j.Close(); err != nil {
+	if err := j2.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	bline, _ := json.Marshal(rec)
-	want := append(append(append([]byte{}, clean...), bline...), '\n')
 	got, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {
-		t.Errorf("resumed journal kept the torn tail:\nwant %q\ngot  %q", want, got)
+		t.Errorf("resumed journal differs from uninterrupted run:\nwant %q\ngot  %q", want, got)
 	}
 }
 

@@ -345,12 +345,18 @@ func Resume(ctx context.Context, cfg Config, trials []Trial, path string) (*Swee
 // resume true it behaves like Resume.
 func RunCheckpointed(ctx context.Context, cfg Config, trials []Trial, path string, resume bool) (*SweepResult, error) {
 	if resume {
-		done, truncated, err := ReadJournalTail(path)
+		done, info, err := RecoverJournal(path)
 		if err != nil {
 			return nil, err
 		}
-		if truncated && cfg.Warnf != nil {
-			cfg.Warnf("journal %s ends in a torn line (crash mid-write); resuming from the last complete record", path)
+		if cfg.Warnf != nil {
+			if info.TornTail {
+				cfg.Warnf("journal %s ends in a torn line (crash mid-write); resuming from the last complete record", path)
+			}
+			if info.CorruptSuffix {
+				cfg.Warnf("journal %s fails its integrity check at line %d (flipped bits or spliced records); truncated to the verified prefix of %d records",
+					path, info.BadLine, info.Records)
+			}
 		}
 		cfg.Done = done
 	}

@@ -414,8 +414,8 @@ func TestJournalHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	first := string(bytes.SplitN(data, []byte("\n"), 2)[0])
-	if !strings.Contains(first, `"journal":"quicbench-sweep"`) || !strings.Contains(first, `"version":2`) {
-		t.Errorf("first line is not the v2 header: %s", first)
+	if !strings.Contains(first, `"journal":"quicbench-sweep"`) || !strings.Contains(first, `"version":3`) {
+		t.Errorf("first line is not the v3 header: %s", first)
 	}
 	done, err := ReadJournal(path)
 	if err != nil {

@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# fabric-chaos: the Byzantine-tolerance soak. A coordinator with full
+# auditing, a shared-secret handshake, and a worker allowlist shards a
+# seeded campaign across three workers: one honest, one behind a chaotic
+# network (latency spikes, byte corruption the frame CRC must catch, an
+# asymmetric partition only the reaper can detect), and one Byzantine —
+# it executes trials honestly, then perturbs its answers with perfect
+# wire integrity, so only audit re-execution can expose it. Mid-campaign
+# the coordinator's journal disk "fills" (injected ENOSPC) and the
+# coordinator dies with a torn record on disk. The resumed run must
+# truncate the torn tail, finish the campaign, and leave a journal
+# byte-identical to an uninterrupted single-process run — with the
+# Byzantine worker visibly quarantined along the way.
+set -u
+
+GO=${GO:-go}
+BIN=$(mktemp -t quicbench-fabric.XXXXXX)
+WORK=$(mktemp -d -t quicbench-fabric-chaos.XXXXXX)
+SWEEP_ARGS=(-stacks quicgo,lsquic,xquic,quicly,quinn,quiche -ccas cubic
+  -duration 30s -trials 2 -seed 7)
+TOKEN=fabric-chaos-secret
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null; done
+  rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "fabric-chaos: $*" >&2
+  for f in "$WORK"/*.log; do
+    [ -f "$f" ] && { echo "--- $f"; tail -15 "$f"; } >&2
+  done
+  exit 1
+}
+
+# wait_gone <pid> <timeout-s>: poll until the process exits.
+wait_gone() {
+  local deadline=$(($(date +%s) + $2))
+  while kill -0 "$1" 2>/dev/null; do
+    [ "$(date +%s)" -lt "$deadline" ] || return 1
+    sleep 0.2
+  done
+}
+
+$GO build -o "$BIN" ./cmd/quicbench || fail "build failed"
+
+echo "fabric-chaos: reference single-process run"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/ref.jsonl" >/dev/null \
+  || fail "reference sweep failed"
+
+# The ENOSPC budget tears the 4th record mid-line: the journal header plus
+# three complete records fit, then the "disk" fills 25 bytes into the next.
+BUDGET=$(($(head -4 "$WORK/ref.jsonl" | wc -c) + 25))
+
+cat >"$WORK/fleet.txt" <<EOF
+# fabric-chaos fleet roster (names; -workers-file also accepts host:port)
+w-good    # honest
+w-part    # honest, behind an asymmetric partition + latency jitter
+w-flip    # honest, behind a byte-corrupting link
+w-evil    # Byzantine
+EOF
+
+echo "fabric-chaos: starting coordinator (audit 1.0, auth, allowlist, ENOSPC at $BUDGET bytes)"
+QUICBENCH_TEST_JOURNAL_ENOSPC=$BUDGET \
+  "$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/dist.jsonl" \
+  -listen 127.0.0.1:0 -workers 3 -worker-timeout 3s \
+  -audit 1.0 -auth-token "$TOKEN" -workers-file "$WORK/fleet.txt" \
+  >"$WORK/coord.out" 2>"$WORK/coord.log" &
+COORD=$!
+PIDS+=("$COORD")
+
+ADDR=""
+deadline=$(($(date +%s) + 30))
+while [ -z "$ADDR" ]; do
+  [ "$(date +%s)" -lt "$deadline" ] || fail "coordinator never announced its address"
+  ADDR=$(sed -n 's/^sweep: coordinator listening on //p' "$WORK/coord.log" | head -1)
+  sleep 0.1
+done
+echo "fabric-chaos: coordinator on $ADDR"
+
+# An impostor without the fleet secret must be turned away before dispatch.
+"$BIN" worker -connect "$ADDR" -name w-good 2>"$WORK/impostor.log"
+[ $? -ne 0 ] || fail "a worker without the auth token was admitted"
+grep -qi "auth" "$WORK/impostor.log" || fail "impostor exit carried no auth error"
+
+"$BIN" worker -connect "$ADDR" -name w-good -auth-token "$TOKEN" \
+  2>"$WORK/w-good.log" &
+GOOD=$!
+PIDS+=("$GOOD")
+
+# w-part's outbound direction silently drops everything for 4 s starting
+# at its 3rd write — longer than the 3 s heartbeat timeout, so only the
+# wall-clock reaper can notice and re-dispatch its trials.
+QUICBENCH_TEST_DIST_LATENCY=40ms \
+QUICBENCH_TEST_DIST_PARTITION=3:4s \
+  "$BIN" worker -connect "$ADDR" -name w-part -auth-token "$TOKEN" \
+  2>"$WORK/w-part.log" &
+PART=$!
+PIDS+=("$PART")
+
+# w-flip's link flips one byte in every 3rd write: the frame CRC must
+# catch each one and the coordinator must classify the connection as a
+# worker fault — never decode the frame, never poison the journal.
+QUICBENCH_TEST_DIST_CORRUPT=3 \
+  "$BIN" worker -connect "$ADDR" -name w-flip -auth-token "$TOKEN" \
+  2>"$WORK/w-flip.log" &
+FLIP=$!
+PIDS+=("$FLIP")
+
+QUICBENCH_TEST_DIST_DIVERGE=cubic \
+  "$BIN" worker -connect "$ADDR" -name w-evil -auth-token "$TOKEN" \
+  2>"$WORK/w-evil.log" &
+EVIL=$!
+PIDS+=("$EVIL")
+
+# The coordinator dies on the injected ENOSPC (every trial still executed;
+# the journal holds the verified prefix plus one torn line).
+wait "$COORD"
+status=$?
+[ "$status" -ne 0 ] || fail "coordinator survived a full journal disk (exit 0)"
+grep -qi "no space left\|ENOSPC" "$WORK/coord.log" "$WORK/coord.out" \
+  || fail "coordinator exit did not surface ENOSPC"
+
+# The torn journal is exactly the budget, and byte-for-byte a prefix of
+# the reference — ordered flushing under chaos never reordered a record.
+size=$(wc -c <"$WORK/dist.jsonl")
+[ "$size" -eq "$BUDGET" ] || fail "torn journal is $size bytes, want exactly the $BUDGET-byte budget"
+head -c "$BUDGET" "$WORK/ref.jsonl" | cmp -s - "$WORK/dist.jsonl" \
+  || fail "torn journal is not a byte prefix of the reference"
+
+# The corrupted link was caught by the frame CRC and classified as a
+# worker fault; the partition was caught by the wall-clock reaper.
+grep -qi "corrupt frame" "$WORK/coord.log" || fail "no corrupt-frame classification in coordinator log"
+grep -qi "reaping worker w-part" "$WORK/coord.log" || fail "partitioned worker was never reaped"
+
+# The Byzantine worker must have been caught by auditing and quarantined,
+# visibly in coordinator telemetry and terminally for the worker itself.
+grep -qi "quarantin" "$WORK/coord.log" || fail "no quarantine in coordinator log"
+grep -i "quarantin" "$WORK/coord.log" | grep -q "w-evil" \
+  || fail "quarantine log does not name w-evil"
+grep -qi "diverg" "$WORK/coord.log" || fail "no divergence report in coordinator log"
+wait_gone "$EVIL" 60 || fail "quarantined worker w-evil never exited"
+wait "$EVIL"
+status=$?
+[ "$status" -ne 0 ] || fail "quarantined worker w-evil exited 0, want a quarantine error"
+grep -qi "quarantin" "$WORK/w-evil.log" || fail "w-evil exit carried no quarantine error"
+
+# The honest worker got a clean campaign-complete bye.
+wait_gone "$GOOD" 60 || fail "honest worker never exited after bye"
+wait "$GOOD"
+status=$?
+[ "$status" -eq 0 ] || fail "honest worker w-good exited $status, want 0"
+
+# Resume without the ENOSPC hook: the torn tail is truncated (warned), the
+# missing cells re-execute, and the journal converges to the reference.
+echo "fabric-chaos: resuming after the disk-full crash"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/dist.jsonl" -resume \
+  -listen 127.0.0.1:0 -worker-timeout 3s -audit 1.0 -auth-token "$TOKEN" \
+  >"$WORK/coord2.out" 2>"$WORK/coord2.log" \
+  || fail "resumed sweep failed"
+grep -qi "torn line" "$WORK/coord2.log" || fail "resume did not warn about the torn journal tail"
+
+cmp "$WORK/ref.jsonl" "$WORK/dist.jsonl" || {
+  diff "$WORK/ref.jsonl" "$WORK/dist.jsonl" >"$WORK/journal.diff" 2>&1
+  [ -n "${FABRIC_CHAOS_DIFF:-}" ] && cp "$WORK/journal.diff" "$FABRIC_CHAOS_DIFF"
+  fail "final journal differs from single-process reference (see journal.diff)"
+}
+
+audits=$(grep -ci "diverged" "$WORK/coord.log" || true)
+corrupt=$(grep -ci "corrupt frame" "$WORK/coord.log" || true)
+echo "fabric-chaos: ok (ENOSPC crash + torn-tail resume bit-identical;" \
+  "w-evil quarantined; $audits divergence line(s), $corrupt corrupt-frame line(s))"
