@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke trace-smoke dist-smoke fabric-chaos soak bench bench-check
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke manyflow-smoke trace-smoke dist-smoke fabric-chaos soak bench bench-check
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -67,6 +67,19 @@ sweep-smoke:
 	done
 	@rm -f /tmp/quicbench-sweep-smoke /tmp/quicbench-sweep-smoke.jsonl
 	@echo "sweep-smoke: ok"
+
+## manyflow-smoke: the many-flow traffic engine end to end — the churn
+## invariant, determinism, and sampler suites under the race detector
+## (conservation, cwnd/in-flight bounds, generation-checked reuse, the
+## journal/qlog byte-equality sweeps, and the Poisson/bounded-Pareto
+## statistical checks), then a seeded CLI population run through the full
+## per-cohort conformance pipeline.
+manyflow-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestManyFlow|TestRunManyFlowTrial|TestResolveCohorts|TestExecuteCellSpecManyFlow|TestSpec|TestParseSpec|TestExponentialMean|TestBoundedPareto' \
+		./internal/traffic ./internal/stats ./internal/core .
+	$(GO) run ./cmd/quicbench manyflow -bw 300 -duration 2s -trials 2 -seed 5
+	@echo "manyflow-smoke: ok"
 
 ## trace-smoke: the observability loop end to end — a traced one-cell
 ## sweep with the live progress line and JSONL status snapshots, then

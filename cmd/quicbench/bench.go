@@ -23,6 +23,19 @@ func benchMain(args []string) int {
 	)
 	fs.Parse(args)
 
+	// Read the baseline before running: with the default -out, writing the
+	// fresh report first would clobber the very file -compare points at and
+	// turn the gate into a self-comparison.
+	var base bench.Report
+	if *compare != "" {
+		b, err := bench.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		base = b
+	}
+
 	fmt.Printf("%-22s %14s %14s %14s %12s\n", "benchmark", "ns/op", "allocs/op", "bytes/op", "events/sec")
 	rep := bench.RunSuite(*warm, *iters, func(m bench.Metric) {
 		evs := "-"
@@ -41,11 +54,6 @@ func benchMain(args []string) int {
 	}
 
 	if *compare != "" {
-		base, err := bench.ReadFile(*compare)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			return 1
-		}
 		regs := bench.Compare(base, rep, *tol, *timeTol)
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "bench: %d regression(s) vs %s:\n", len(regs), *compare)

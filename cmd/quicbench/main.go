@@ -82,6 +82,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
 		os.Exit(workerMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "manyflow" {
+		os.Exit(manyflowMain(os.Args[2:]))
+	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(benchMain(os.Args[2:]))
 	}

@@ -56,6 +56,7 @@ func sweepMain(args []string) int {
 		workersFile = fs.String("workers-file", "", "with -listen, admit only workers named in this file (one host:port or name per line, # comments)")
 		authToken   = fs.String("auth-token", "", "with -listen, require workers to prove this shared secret in their handshake")
 		auditFrac   = fs.Float64("audit", 0, "with -listen, re-execute this fraction of remote results (0..1) to detect divergent workers")
+		manyflow    = fs.String("manyflow", "", "run many-flow traffic cells instead of the two-flow grid: a traffic-spec JSON file, or 'default' for the built-in mix")
 	)
 	fs.Parse(args)
 
@@ -112,6 +113,14 @@ func sweepMain(args []string) int {
 			Trials:        *trials,
 			Seed:          *seed,
 		}},
+	}
+	if *manyflow != "" {
+		spec, serr := readTrafficSpec(*manyflow)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", serr)
+			return 2
+		}
+		opts.TrafficSpec = spec
 	}
 	if *stackList != "" {
 		opts.Stacks = splitList(*stackList)

@@ -163,6 +163,27 @@ func Suite() []Benchmark {
 			}
 			return 0 // spans many engines; events/op not meaningful
 		}},
+		{Name: "many_flow_1000", Run: func() uint64 {
+			// The many-flow traffic engine at full scale: 1000 concurrent
+			// flows (Poisson churn over an initial batch, bounded-Pareto
+			// sizes) on one gigabit bottleneck. The O(1)-per-event claim is
+			// checked against two_flow_trial_cubic: allocs/event and
+			// events/sec here must stay within a small constant factor of
+			// the two-flow engine despite 500× the flow count.
+			n := core.Network{
+				BandwidthMbps: 1000,
+				RTT:           20 * sim.Millisecond,
+				BufferBDP:     1,
+				Duration:      2 * sim.Second,
+				Trials:        1,
+				Seed:          5,
+			}
+			res, err := core.RunManyFlowTrial(core.DefaultTrafficSpec(), n, 0, core.Bounds{}, nil)
+			if err != nil {
+				panic(fmt.Sprintf("bench: many_flow_1000: %v", err))
+			}
+			return res.Events
+		}},
 		{Name: "chaos_trial_gilbert", Run: func() uint64 {
 			// One fault-injected trial: Gilbert–Elliott burst loss on the
 			// data path exercises the injector and the spurious-loss paths.

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/geom"
+	"repro/internal/netem"
+	"repro/internal/pe"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+// ErrBadTraffic marks a traffic model that cannot be evaluated as a sweep
+// cell even though it parsed: an unresolvable stack/CCA pair or a missing
+// reference cohort. Spec-shape problems keep their traffic.ErrSpec typing.
+var ErrBadTraffic = errors.New("core: bad traffic model")
+
+// DefaultTrafficSpec is the canonical many-flow population: 90% short
+// web-like flows and a 5% bulk tail on the test stack, plus a 5% bulk
+// cohort on the kernel reference whose samples build the reference
+// envelope. Sizes follow bounded-Pareto distributions (heavy-tailed flow
+// sizes are the empirical Internet shape the paper's workload mix models).
+func DefaultTrafficSpec() *traffic.Spec {
+	return &traffic.Spec{
+		Cohorts: []traffic.CohortSpec{
+			{Name: "web", Fraction: 0.90, Stack: "quicgo", CCA: "cubic",
+				SizeAlpha: 1.2, MinBytes: 20e3, MaxBytes: 2e6},
+			{Name: "bulk", Fraction: 0.05, Stack: "quicgo", CCA: "cubic",
+				SizeAlpha: 1.5, MinBytes: 4e6, MaxBytes: 64e6},
+			{Name: "ref-bulk", Fraction: 0.05, Stack: "kernel", CCA: "cubic",
+				SizeAlpha: 1.5, MinBytes: 4e6, MaxBytes: 64e6, Reference: true},
+		},
+		ArrivalPerSec: 500,
+		MaxConcurrent: 1000,
+		InitialFlows:  1000,
+	}
+}
+
+// ResolveCohorts looks every cohort's stack/CCA pair up in the registry,
+// producing the resolved cohort list the traffic engine needs. Unknown
+// stacks report ErrUnknownStack; a stack that does not implement the
+// requested CCA reports ErrBadTraffic.
+func ResolveCohorts(spec *traffic.Spec) ([]traffic.Cohort, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]traffic.Cohort, 0, len(spec.Cohorts))
+	for _, c := range spec.Cohorts {
+		st := stacks.Get(c.Stack)
+		if st == nil {
+			return nil, fmt.Errorf("cohort %q: %w %q", c.Name, ErrUnknownStack, c.Stack)
+		}
+		cca := stacks.CCA(c.CCA)
+		if !st.Has(cca) {
+			return nil, fmt.Errorf("%w: cohort %q: stack %q does not implement %q",
+				ErrBadTraffic, c.Name, c.Stack, c.CCA)
+		}
+		out = append(out, traffic.Cohort{
+			Spec:          c,
+			Profile:       st.Profile,
+			NewController: func() cc.Controller { return st.NewController(cca) },
+		})
+	}
+	return out, nil
+}
+
+// RunManyFlowTrial runs one many-flow trial: the spec's flow population
+// churning through the Network's bottleneck for its duration. The trial
+// index individualizes randomness exactly like the two-flow engine (same
+// seed-mixing recipe, with the cohort identities taking the role of the
+// flow pairing). The partial result accompanies any error.
+func RunManyFlowTrial(spec *traffic.Spec, n Network, trial int, bounds Bounds,
+	tr telemetry.Tracer) (*traffic.Result, error) {
+	cohorts, err := ResolveCohorts(spec)
+	if err != nil {
+		return nil, err
+	}
+	n = n.withDefaults()
+
+	// Mix the population identity into the seed so different cohort mixes
+	// never share the exact same randomness (mirrors runTrial's pairing
+	// hash).
+	h := uint64(14695981039346656037)
+	for _, c := range spec.Cohorts {
+		for _, s := range []string{"manyflow", c.Name, c.Stack, c.CCA} {
+			for i := 0; i < len(s); i++ {
+				h = (h ^ uint64(s[i])) * 1099511628211
+			}
+		}
+	}
+	seed := n.Seed*1_000_003 + uint64(trial)*7919 + h
+
+	jitter := n.RTT / 200
+	if n.Wild {
+		jitter = n.RTT / 20
+	}
+	bps := n.BandwidthMbps * 1e6
+	bdp := float64(netem.BDPBytes(bps, n.RTT))
+	cfg := traffic.Config{
+		Spec:    *spec,
+		Cohorts: cohorts,
+		Net: traffic.NetConfig{
+			BottleneckBps: bps,
+			BaseRTT:       n.RTT,
+			QueueBytes:    int(bdp * n.BufferBDP),
+			Jitter:        jitter,
+		},
+		Duration: n.Duration,
+		Seed:     seed,
+		Deadline: bounds.Deadline,
+		Tracer:   tr,
+	}
+	if ctx := bounds.Ctx; ctx != nil {
+		cfg.Interrupted = func() bool { return ctx.Err() != nil }
+	}
+	eng, err := traffic.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: manyflow trial %d: %w", trial, err)
+	}
+	res, err := eng.Run()
+	// Donate the trial's endpoint pools to the cross-engine tier so the
+	// next trial adopts instead of allocating.
+	eng.Release()
+	return res, err
+}
+
+// CohortReport is one cohort's slice of a many-flow cell report: its PE
+// metrics against the reference cohort plus its workload accounting.
+// Reference cohorts carry accounting only (their conformance against
+// themselves would always be ~1).
+type CohortReport struct {
+	Name                string  `json:"name"`
+	Reference           bool    `json:"ref,omitempty"`
+	Conformance         float64 `json:"conf,omitempty"`
+	ConformanceT        float64 `json:"conf_t,omitempty"`
+	DeltaThroughputMbps float64 `json:"d_tput_mbps,omitempty"`
+	DeltaDelayMs        float64 `json:"d_delay_ms,omitempty"`
+	K                   int     `json:"k,omitempty"`
+	Flows               int64   `json:"flows"`
+	Completed           int64   `json:"completed"`
+	MeanFCTms           float64 `json:"fct_ms,omitempty"`
+	MeanMbps            float64 `json:"mbps"`
+}
+
+// ManyFlowReport is the many-flow block of a CellReport: trial-aggregate
+// workload accounting plus the per-cohort breakdown.
+type ManyFlowReport struct {
+	Flows      int64          `json:"flows"`
+	Completed  int64          `json:"completed"`
+	Rejected   int64          `json:"rejected,omitempty"`
+	PeakActive int            `json:"peak_active"`
+	AggMbps    float64        `json:"agg_mbps"`
+	Cohorts    []CohortReport `json:"cohorts"`
+}
+
+// manyFlowCell runs the conformance pipeline for a many-flow cell: Trials
+// seeded runs of the population, per-cohort (delay, throughput) samples
+// evaluated against the reference cohort's envelope, and the aggregate
+// non-reference population evaluated the same way for the cell's headline
+// numbers. It is the single code path behind both the in-process executor
+// and the isolated child, like runCell for two-flow cells.
+func manyFlowCell(c SweepCell, deadline sim.Time, topts *TraceOptions, bounds Bounds) (CellReport, error) {
+	spec := c.Traffic
+	n := c.Net.withDefaults()
+	bounds.Deadline = deadline
+
+	refIdx := -1
+	for i, co := range spec.Cohorts {
+		if co.Reference {
+			refIdx = i
+			break
+		}
+	}
+	if refIdx < 0 {
+		return CellReport{}, fmt.Errorf("%w: no reference cohort to build the reference envelope", ErrBadTraffic)
+	}
+
+	ct, err := newCellTracer(topts, c.Key())
+	if err != nil {
+		return CellReport{}, err
+	}
+
+	// One run per trial; every cohort's window samples are kept per trial,
+	// the shape pe.EvaluateE expects.
+	nc := len(spec.Cohorts)
+	cohortTrials := make([][][]geom.Point, nc) // [cohort][trial][]point
+	for i := range cohortTrials {
+		cohortTrials[i] = make([][]geom.Point, n.Trials)
+	}
+	aggTrials := make([][]geom.Point, n.Trials) // non-reference union
+	mf := &ManyFlowReport{Cohorts: make([]CohortReport, nc)}
+	for i, co := range spec.Cohorts {
+		mf.Cohorts[i].Name = co.Name
+		mf.Cohorts[i].Reference = co.Reference
+	}
+
+	for t := 0; t < n.Trials; t++ {
+		tt, terr := ct.open("mf", t, t, n.Seed)
+		if terr != nil {
+			return CellReport{}, fmt.Errorf("manyflow trial %d: %w", t, terr)
+		}
+		var tr telemetry.Tracer
+		if tt != nil {
+			tr = tt.tracer
+		}
+		res, rerr := RunManyFlowTrial(spec, n, t, bounds, tr)
+		if cerr := tt.close(); cerr != nil && rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return CellReport{}, fmt.Errorf("manyflow trial %d: %w", t, rerr)
+		}
+		mf.Flows += res.Flows
+		mf.Completed += res.Completed
+		mf.Rejected += res.Rejected
+		if res.PeakActive > mf.PeakActive {
+			mf.PeakActive = res.PeakActive
+		}
+		mf.AggMbps += res.AggMbps / float64(n.Trials)
+		for i, cr := range res.Cohorts {
+			cohortTrials[i][t] = cr.Points
+			if !cr.Reference {
+				aggTrials[t] = append(aggTrials[t], cr.Points...)
+			}
+			mc := &mf.Cohorts[i]
+			mc.Flows += cr.Started
+			mc.Completed += cr.Completed
+			mc.MeanFCTms += cr.MeanFCTms / float64(n.Trials)
+			mc.MeanMbps += cr.MeanMbps / float64(n.Trials)
+		}
+	}
+
+	refTrials := cohortTrials[refIdx]
+	for i := range spec.Cohorts {
+		if i == refIdx || spec.Cohorts[i].Reference {
+			continue
+		}
+		r, perr := pe.EvaluateE(cohortTrials[i], refTrials, pe.Options{Seed: n.Seed})
+		if perr != nil {
+			// A sparse cohort (few flows, short run) can lack the samples for
+			// an envelope of its own. That degrades the breakdown — the
+			// cohort's conformance fields stay zero/omitted — but does not
+			// fail the cell: the aggregate evaluation below still gates it.
+			if errors.Is(perr, pe.ErrNoSamples) ||
+				errors.Is(perr, pe.ErrInsufficientSamples) ||
+				errors.Is(perr, pe.ErrDegenerateEnvelope) {
+				continue
+			}
+			return CellReport{}, fmt.Errorf("cohort %q envelope: %w", spec.Cohorts[i].Name, perr)
+		}
+		mc := &mf.Cohorts[i]
+		mc.Conformance = r.Conformance
+		mc.ConformanceT = r.ConformanceT
+		mc.DeltaThroughputMbps = r.DeltaThroughputMbps
+		mc.DeltaDelayMs = r.DeltaDelayMs
+		mc.K = r.K
+	}
+
+	agg, err := pe.EvaluateE(aggTrials, refTrials, pe.Options{Seed: n.Seed})
+	if err != nil {
+		return CellReport{}, fmt.Errorf("aggregate envelope: %w", err)
+	}
+	return CellReport{
+		Conformance:         agg.Conformance,
+		ConformanceOld:      agg.ConformanceOld,
+		ConformanceT:        agg.ConformanceT,
+		DeltaThroughputMbps: agg.DeltaThroughputMbps,
+		DeltaDelayMs:        agg.DeltaDelayMs,
+		K:                   agg.K,
+		ManyFlow:            mf,
+	}, nil
+}
+
+// ManyFlowCells expands one traffic spec across network configurations —
+// the sweep-axis constructor mirroring GridCells. The spec is resolved
+// eagerly so an unknown stack fails before any trial runs.
+func ManyFlowCells(spec *traffic.Spec, nets []Network) ([]SweepCell, error) {
+	if _, err := ResolveCohorts(spec); err != nil {
+		return nil, err
+	}
+	out := make([]SweepCell, len(nets))
+	for i, n := range nets {
+		out[i] = SweepCell{Stack: "manyflow", CCA: "mix", Net: n, Traffic: spec}
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// smallTrafficSpec is a scaled-down population that keeps core-level tests
+// in the hundreds of milliseconds: same cohort shape as the default mix,
+// two orders of magnitude fewer flows.
+func smallTrafficSpec() *traffic.Spec {
+	return &traffic.Spec{
+		Cohorts: []traffic.CohortSpec{
+			{Name: "web", Fraction: 0.80, Stack: "quicgo", CCA: "cubic",
+				SizeAlpha: 1.2, MinBytes: 20e3, MaxBytes: 1e6},
+			{Name: "ref", Fraction: 0.20, Stack: "kernel", CCA: "cubic",
+				SizeAlpha: 1.2, MinBytes: 20e3, MaxBytes: 1e6, Reference: true},
+		},
+		ArrivalPerSec: 100,
+		MaxConcurrent: 100,
+		InitialFlows:  60,
+	}
+}
+
+func smallTrafficNet() Network {
+	return Network{
+		BandwidthMbps: 50,
+		RTT:           10 * sim.Millisecond,
+		BufferBDP:     1,
+		Duration:      2 * sim.Second,
+		Trials:        2,
+		Seed:          11,
+	}
+}
+
+func TestRunManyFlowTrialSmall(t *testing.T) {
+	res, err := RunManyFlowTrial(smallTrafficSpec(), smallTrafficNet(), 0, Bounds{}, nil)
+	if err != nil {
+		t.Fatalf("RunManyFlowTrial: %v", err)
+	}
+	if res.Flows < 60 {
+		t.Errorf("Flows = %d, want >= the 60 initial flows", res.Flows)
+	}
+	if res.Completed == 0 {
+		t.Error("no flow completed in 2s at 50 Mbps")
+	}
+	if res.AggMbps <= 0 {
+		t.Errorf("AggMbps = %v, want > 0", res.AggMbps)
+	}
+	if len(res.Cohorts) != 2 {
+		t.Fatalf("len(Cohorts) = %d, want 2", len(res.Cohorts))
+	}
+	for _, c := range res.Cohorts {
+		if c.Started == 0 {
+			t.Errorf("cohort %q started no flows", c.Name)
+		}
+		if len(c.Points) == 0 {
+			t.Errorf("cohort %q produced no sample points", c.Name)
+		}
+	}
+}
+
+func TestResolveCohortsErrors(t *testing.T) {
+	unknown := smallTrafficSpec()
+	unknown.Cohorts[0].Stack = "nonesuch"
+	if _, err := ResolveCohorts(unknown); !errors.Is(err, ErrUnknownStack) {
+		t.Errorf("unknown stack: err = %v, want ErrUnknownStack", err)
+	}
+
+	badCCA := smallTrafficSpec()
+	badCCA.Cohorts[0].CCA = "nonesuch"
+	if _, err := ResolveCohorts(badCCA); !errors.Is(err, ErrBadTraffic) {
+		t.Errorf("unimplemented CCA: err = %v, want ErrBadTraffic", err)
+	}
+
+	invalid := smallTrafficSpec()
+	invalid.Cohorts = nil
+	if _, err := ResolveCohorts(invalid); !errors.Is(err, traffic.ErrSpec) {
+		t.Errorf("invalid spec: err = %v, want traffic.ErrSpec", err)
+	}
+}
+
+func TestManyFlowCellsKeys(t *testing.T) {
+	nets := []Network{smallTrafficNet()}
+	a, err := ManyFlowCells(smallTrafficSpec(), nets)
+	if err != nil {
+		t.Fatalf("ManyFlowCells: %v", err)
+	}
+	spec2 := smallTrafficSpec()
+	spec2.ArrivalPerSec = 101
+	b, err := ManyFlowCells(spec2, nets)
+	if err != nil {
+		t.Fatalf("ManyFlowCells: %v", err)
+	}
+	if a[0].Key() == b[0].Key() {
+		t.Errorf("different traffic specs share journal key %q", a[0].Key())
+	}
+	if a[0].Key() == (SweepCell{Stack: "manyflow", CCA: "mix", Net: nets[0]}).Key() {
+		t.Error("many-flow key does not encode the traffic model")
+	}
+
+	if _, err := ManyFlowCells(&traffic.Spec{}, nets); !errors.Is(err, traffic.ErrSpec) {
+		t.Errorf("empty spec: err = %v, want traffic.ErrSpec", err)
+	}
+}
+
+// TestExecuteCellSpecManyFlow drives a many-flow cell through the isolated
+// child's entry point and checks the bytes match the in-process pipeline —
+// the property the -isolate executor's bit-identical journal rests on.
+func TestExecuteCellSpecManyFlow(t *testing.T) {
+	cell := SweepCell{Stack: "manyflow", CCA: "mix", Net: smallTrafficNet(), Traffic: smallTrafficSpec()}
+	payload, err := json.Marshal(CellTrialSpec{Cell: cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	childBytes, err := ExecuteCellSpec(context.Background(), payload)
+	if err != nil {
+		t.Fatalf("ExecuteCellSpec: %v", err)
+	}
+	var rep CellReport
+	if err := json.Unmarshal(childBytes, &rep); err != nil {
+		t.Fatalf("decoding child CellReport: %v", err)
+	}
+	if rep.ManyFlow == nil {
+		t.Fatal("CellReport.ManyFlow is nil for a traffic cell")
+	}
+	if rep.ManyFlow.Completed == 0 {
+		t.Error("no completions in the many-flow report")
+	}
+	if len(rep.ManyFlow.Cohorts) != 2 {
+		t.Fatalf("len(ManyFlow.Cohorts) = %d, want 2", len(rep.ManyFlow.Cohorts))
+	}
+	ref := rep.ManyFlow.Cohorts[1]
+	if !ref.Reference || ref.Conformance != 0 {
+		t.Errorf("reference cohort carries conformance metrics: %+v", ref)
+	}
+
+	// In-process pipeline, same cell: identical marshalled bytes.
+	inproc, err := runCell(context.Background(), cell, 0, nil)
+	if err != nil {
+		t.Fatalf("runCell: %v", err)
+	}
+	inprocBytes, err := json.Marshal(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(childBytes, inprocBytes) {
+		t.Errorf("child and in-process reports differ:\nchild:     %s\nin-process: %s",
+			childBytes, inprocBytes)
+	}
+
+	// And the child path is itself deterministic across invocations.
+	again, err := ExecuteCellSpec(context.Background(), payload)
+	if err != nil {
+		t.Fatalf("ExecuteCellSpec (repeat): %v", err)
+	}
+	if !bytes.Equal(childBytes, again) {
+		t.Error("repeated ExecuteCellSpec runs differ for the same payload")
+	}
+}
+
+// TestManyFlowCellNoReference checks the typed failure for a population
+// with no reference cohort: there is no envelope to measure against.
+func TestManyFlowCellNoReference(t *testing.T) {
+	spec := smallTrafficSpec()
+	spec.Cohorts[1].Reference = false
+	cell := SweepCell{Stack: "manyflow", CCA: "mix", Net: smallTrafficNet(), Traffic: spec}
+	payload, err := json.Marshal(CellTrialSpec{Cell: cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteCellSpec(context.Background(), payload); !errors.Is(err, ErrBadTraffic) {
+		t.Errorf("no-reference cell: err = %v, want ErrBadTraffic", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stacks"
+	"repro/internal/traffic"
 )
 
 // SweepCell identifies one unit of a conformance sweep: an implementation
@@ -19,6 +20,12 @@ type SweepCell struct {
 	Stack string
 	CCA   stacks.CCA
 	Net   Network
+	// Traffic, when non-nil, turns the cell into a many-flow trial: the
+	// population described by the spec churns through Net's bottleneck and
+	// conformance is evaluated per cohort against the spec's reference
+	// cohort (Stack/CCA then serve only as display labels). Nil keeps the
+	// classic two-flow conformance cell.
+	Traffic *traffic.Spec `json:"Traffic,omitempty"`
 }
 
 // Key returns the cell's stable identity — the checkpoint-journal key that
@@ -29,6 +36,17 @@ func (c SweepCell) Key() string {
 	key := fmt.Sprintf("%s/%s/%s/%v/x%d/seed%d", c.Stack, c.CCA, n, n.Duration, n.Trials, n.Seed)
 	if n.Wild {
 		key += "/wild"
+	}
+	if c.Traffic != nil {
+		// Digest the canonical JSON encoding (fixed field order) so any
+		// change to the traffic model — cohort mix, rates, sizes — makes a
+		// distinct journal key.
+		js, _ := json.Marshal(c.Traffic)
+		h := uint64(14695981039346656037)
+		for _, b := range js {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		key += fmt.Sprintf("/mf%016x", h)
 	}
 	return key
 }
@@ -42,6 +60,10 @@ type CellReport struct {
 	DeltaThroughputMbps float64 `json:"d_tput_mbps"`
 	DeltaDelayMs        float64 `json:"d_delay_ms"`
 	K                   int     `json:"k"`
+	// ManyFlow carries the per-cohort breakdown of a many-flow cell (nil
+	// for classic two-flow cells); the top-level metrics then describe the
+	// aggregate non-reference population.
+	ManyFlow *ManyFlowReport `json:"manyflow,omitempty"`
 }
 
 // GridCells expands stackNames × ccas × nets into sweep cells, keeping only
@@ -84,6 +106,9 @@ type CellTrialSpec struct {
 // code path behind both the in-process trial closure and the isolated
 // child (ExecuteCellSpec), which is what makes their results bit-identical.
 func runCell(ctx context.Context, c SweepCell, deadline sim.Time, topts *TraceOptions) (CellReport, error) {
+	if c.Traffic != nil {
+		return manyFlowCell(c, deadline, topts, Bounds{Ctx: ctx})
+	}
 	fl, err := SpecE(c.Stack, c.CCA)
 	if err != nil {
 		return CellReport{}, err

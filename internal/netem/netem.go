@@ -44,6 +44,12 @@ type Packet struct {
 	// pooled marks a packet obtained from GetPacket; only such packets are
 	// recycled by ReleasePacket. Caller-constructed packets stay with the GC.
 	pooled bool
+
+	// linkEnq is the enqueue instant on the link currently carrying the
+	// packet (for the Deliver tap's sojourn). A packet is owned by at most
+	// one link between enqueue and delivery, so one field suffices even
+	// when links are chained.
+	linkEnq sim.Time
 }
 
 // pktPool recycles Packet objects across the hot send/ACK path. A two-flow
@@ -180,6 +186,13 @@ type Link struct {
 	DroppedBytes   uint64
 
 	taps []func(LinkEvent)
+
+	// txDoneFn/deliverFn are the per-packet event callbacks, bound once at
+	// construction and scheduled with sim.Engine.AtArg: the two events every
+	// packet costs (serialization done, propagation done) then allocate
+	// nothing.
+	txDoneFn  func(any)
+	deliverFn func(any)
 }
 
 // LinkConfig configures a Link.
@@ -232,7 +245,7 @@ func NewLinkE(eng *sim.Engine, cfg LinkConfig, dst Handler) (*Link, error) {
 	if cfg.ReorderProb < 0 || cfg.ReorderProb > 1 {
 		return nil, fmt.Errorf("netem: ReorderProb %g outside [0,1]", cfg.ReorderProb)
 	}
-	return &Link{
+	l := &Link{
 		eng:          eng,
 		rateBps:      cfg.RateBps,
 		propag:       cfg.Propagation,
@@ -242,7 +255,10 @@ func NewLinkE(eng *sim.Engine, cfg LinkConfig, dst Handler) (*Link, error) {
 		jitterRNG:    cfg.JitterRNG,
 		reorderProb:  cfg.ReorderProb,
 		reorderDelay: cfg.ReorderDelay,
-	}, nil
+	}
+	l.txDoneFn = l.onTxDone
+	l.deliverFn = l.onDeliver
+	return l, nil
 }
 
 // Tap registers fn to observe every link event. Taps run synchronously in
@@ -325,37 +341,47 @@ func (l *Link) HandlePacket(pkt *Packet) {
 	}
 	txEnd := start + l.serializationTime(pkt.Size)
 	l.busyUntil = txEnd
-	enq := now
-	l.eng.At(txEnd, func() {
-		l.queuedBytes -= pkt.Size
-		deliverAt := l.eng.Now() + l.propag
-		if l.jitter > 0 {
-			deliverAt += sim.Time(l.jitterRNG.Float64() * float64(l.jitter))
+	pkt.linkEnq = now
+	l.eng.AtArg(txEnd, l.txDoneFn, pkt)
+}
+
+// onTxDone fires when a packet's last bit leaves the queue: it frees the
+// queue space and schedules delivery after propagation (plus jitter and
+// reordering, when configured).
+func (l *Link) onTxDone(arg any) {
+	pkt := arg.(*Packet)
+	l.queuedBytes -= pkt.Size
+	deliverAt := l.eng.Now() + l.propag
+	if l.jitter > 0 {
+		deliverAt += sim.Time(l.jitterRNG.Float64() * float64(l.jitter))
+	}
+	if l.reorderProb > 0 && l.jitterRNG.Float64() < l.reorderProb {
+		// Out-of-order delivery: this packet is held back and later
+		// packets may overtake it.
+		deliverAt += l.reorderDelay
+	} else {
+		// Preserve FIFO delivery for the common case.
+		if deliverAt < l.lastDeliver {
+			deliverAt = l.lastDeliver
 		}
-		if l.reorderProb > 0 && l.jitterRNG.Float64() < l.reorderProb {
-			// Out-of-order delivery: this packet is held back and later
-			// packets may overtake it.
-			deliverAt += l.reorderDelay
-		} else {
-			// Preserve FIFO delivery for the common case.
-			if deliverAt < l.lastDeliver {
-				deliverAt = l.lastDeliver
-			}
-			l.lastDeliver = deliverAt
-		}
-		l.eng.At(deliverAt, func() {
-			l.Delivered++
-			l.DeliveredBytes += uint64(pkt.Size)
-			l.emit(LinkEvent{
-				Time:    l.eng.Now(),
-				Packet:  pkt,
-				Kind:    Deliver,
-				QueueB:  l.queuedBytes,
-				Sojourn: l.eng.Now() - enq,
-			})
-			l.dst.HandlePacket(pkt)
-		})
+		l.lastDeliver = deliverAt
+	}
+	l.eng.AtArg(deliverAt, l.deliverFn, pkt)
+}
+
+// onDeliver fires when a packet reaches the far end of the link.
+func (l *Link) onDeliver(arg any) {
+	pkt := arg.(*Packet)
+	l.Delivered++
+	l.DeliveredBytes += uint64(pkt.Size)
+	l.emit(LinkEvent{
+		Time:    l.eng.Now(),
+		Packet:  pkt,
+		Kind:    Deliver,
+		QueueB:  l.queuedBytes,
+		Sojourn: l.eng.Now() - pkt.linkEnq,
 	})
+	l.dst.HandlePacket(pkt)
 }
 
 func (l *Link) emit(ev LinkEvent) {
@@ -374,6 +400,14 @@ func NewDemux() *Demux { return &Demux{handlers: make(map[int]Handler)} }
 
 // Register binds flow id to h, replacing any previous binding.
 func (d *Demux) Register(flow int, h Handler) { d.handlers[flow] = h }
+
+// Unregister removes flow's binding. Packets still in flight for the flow
+// are then discarded (and released) on arrival, exactly like traffic for a
+// closed socket — the departure half of a flow churn process.
+func (d *Demux) Unregister(flow int) { delete(d.handlers, flow) }
+
+// Len returns the number of registered flows (for churn invariant tests).
+func (d *Demux) Len() int { return len(d.handlers) }
 
 // HandlePacket implements Handler. Packets for unknown flows are dropped
 // silently (mirrors a host discarding traffic for a closed socket).

@@ -21,6 +21,43 @@ type SweepRow struct {
 	K         int
 	// Err is the typed failure text for failed/skipped cells.
 	Err string
+	// Cohorts, when non-empty, is the per-cohort breakdown of a many-flow
+	// cell, rendered as a detail table under the main sweep table.
+	Cohorts []CohortRow
+}
+
+// CohortRow is one cohort of a many-flow cell: PE metrics against the
+// reference cohort plus workload accounting. Reference cohorts render "-"
+// metrics (they define the envelope others are measured against).
+type CohortRow struct {
+	Name      string
+	Reference bool
+	Conf      float64
+	ConfT     float64
+	DTputMbps float64
+	DDelayMs  float64
+	K         int
+	Flows     int64
+	Completed int64
+	FCTms     float64
+	Mbps      float64
+}
+
+// CohortTable builds the per-cohort detail table of one many-flow cell.
+func CohortTable(rows []CohortRow) *Table {
+	t := &Table{Header: []string{
+		"cohort", "conf", "conf-T", "dTput", "dDelay", "K", "flows", "done", "fct-ms", "mbps",
+	}}
+	for _, r := range rows {
+		if r.Reference {
+			t.AddRow(r.Name+" (ref)", "-", "-", "-", "-", "-",
+				r.Flows, r.Completed, r.FCTms, r.Mbps)
+			continue
+		}
+		t.AddRow(r.Name, r.Conf, r.ConfT, r.DTputMbps, r.DDelayMs, r.K,
+			r.Flows, r.Completed, r.FCTms, r.Mbps)
+	}
+	return t
 }
 
 // completed reports whether the row carries metrics.
@@ -115,6 +152,17 @@ func SweepSummary(rows []SweepRow, interrupted bool) string {
 func RenderSweep(w io.Writer, rows []SweepRow, interrupted bool) error {
 	if err := SweepTable(rows).Render(w); err != nil {
 		return err
+	}
+	for _, r := range rows {
+		if len(r.Cohorts) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\ncohorts of %s:\n", r.Cell); err != nil {
+			return err
+		}
+		if err := CohortTable(r.Cohorts).Render(w); err != nil {
+			return err
+		}
 	}
 	_, err := fmt.Fprintf(w, "\n%s\n", SweepSummary(rows, interrupted))
 	return err

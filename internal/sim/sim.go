@@ -60,9 +60,14 @@ func (t Time) String() string {
 // free list and its generation advances, so any EventID still pointing at
 // it goes stale instead of touching the recycled slot.
 type event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among events at the same instant
-	fn   func()
+	at  Time
+	seq uint64 // tie-break: FIFO among events at the same instant
+	fn  func()
+	// afn/arg is the allocation-free callback form (AtArg): hot paths that
+	// would otherwise close over one value per event pass a long-lived
+	// func(any) plus the value instead. Exactly one of fn and afn is set.
+	afn  func(any)
+	arg  any
 	gen  uint64 // incremented on recycle; validates EventIDs
 	dead bool   // cancelled (tombstone awaiting lazy removal)
 }
@@ -83,6 +88,7 @@ type Engine struct {
 	now    Time
 	queue  []*event // binary min-heap ordered by (at, seq)
 	free   []*event // event pool: recycled, generation-advanced events
+	slab   []event  // bulk-allocated backing for fresh events (see alloc)
 	batch  []*event // scratch for same-timestamp batch dispatch
 	seq    uint64
 	fired  uint64
@@ -149,7 +155,10 @@ func (e *Engine) heapPop() *event {
 	return top
 }
 
-// alloc takes an event from the free list, or makes a fresh one.
+// alloc takes an event from the free list, or carves one from the current
+// slab. Slab allocation keeps pool growth to one heap allocation per 256
+// events instead of one each — the growth phase of a large simulation
+// (thousands of pending events) stops dominating its allocation profile.
 func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -157,13 +166,20 @@ func (e *Engine) alloc() *event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return &event{}
+	if len(e.slab) == 0 {
+		e.slab = make([]event, 256)
+	}
+	ev := &e.slab[0]
+	e.slab = e.slab[1:]
+	return ev
 }
 
 // release returns ev to the free list. Advancing the generation invalidates
 // every outstanding EventID for it; dropping fn releases the closure.
 func (e *Engine) release(ev *event) {
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.dead = false
 	ev.gen++
 	e.free = append(e.free, ev)
@@ -249,6 +265,28 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	return EventID{ev: ev, gen: ev.gen}
 }
 
+// AtArg schedules fn(arg) at absolute virtual time t. It behaves exactly
+// like At — same ordering key, same cancellation semantics — but the
+// callback and its argument travel separately, so a hot path scheduling
+// one event per packet can reuse a single long-lived func(any) instead of
+// allocating a fresh closure each time.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.afn = fn
+	ev.arg = arg
+	e.seq++
+	e.heapPush(ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
 // After schedules fn to run d after the current time. Negative d is
 // treated as 0.
 func (e *Engine) After(d Time, fn func()) EventID {
@@ -281,11 +319,17 @@ func (e *Engine) fire(ev *event) {
 	// Cancel of the firing event from inside its own callback is the same
 	// no-op it was when the heap tracked popped indices.
 	ev.gen++
-	fn := ev.fn
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.dead = false
 	e.free = append(e.free, ev)
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 	if e.guard != nil && e.fired%e.guardEvery == 0 {
 		if err := e.guard(e.now, e.fired); err != nil {
 			e.err = err
@@ -401,11 +445,12 @@ func (e *Engine) Halted() bool { return e.halted }
 // time.Timer but virtual. The zero value is unusable; create timers with
 // NewTimer.
 type Timer struct {
-	eng *Engine
-	fn  func()
-	id  EventID
-	at  Time
-	set bool
+	eng  *Engine
+	fn   func()
+	fire func() // pre-bound dispatch closure, built once in NewTimerE
+	id   EventID
+	at   Time
+	set  bool
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires. It
@@ -427,19 +472,22 @@ func NewTimerE(eng *Engine, fn func()) (*Timer, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("sim: nil timer callback")
 	}
-	return &Timer{eng: eng, fn: fn}, nil
+	t := &Timer{eng: eng, fn: fn}
+	t.fire = func() {
+		t.set = false
+		t.fn()
+	}
+	return t, nil
 }
 
 // Reset (re)arms the timer to fire at absolute time t, replacing any
-// previously armed deadline.
+// previously armed deadline. Re-arming reuses the timer's pre-bound
+// dispatch closure, so a timer that resets on every ACK never allocates.
 func (t *Timer) Reset(at Time) {
 	t.Stop()
 	t.at = at
 	t.set = true
-	t.id = t.eng.At(at, func() {
-		t.set = false
-		t.fn()
-	})
+	t.id = t.eng.At(at, t.fire)
 }
 
 // ResetAfter (re)arms the timer to fire d after now.
@@ -451,6 +499,16 @@ func (t *Timer) Stop() {
 		t.eng.Cancel(t.id)
 		t.set = false
 	}
+}
+
+// Rebind moves the timer onto a different engine, keeping its callback and
+// pre-bound dispatch closure. The timer is disarmed in the process. This
+// exists so pools can recycle timer-owning components (transport endpoints)
+// across simulation runs without re-allocating their timers.
+func (t *Timer) Rebind(eng *Engine) {
+	t.Stop()
+	t.eng = eng
+	t.id = EventID{}
 }
 
 // Armed reports whether the timer is pending.

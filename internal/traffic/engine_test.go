@@ -1,0 +1,342 @@
+package traffic_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stacks"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+// testSpec is the canonical mixed population: mostly short web-like flows,
+// a bulk tail, and a reference-stack bulk cohort for PE evaluation.
+func testSpec(arrivalPerSec float64, maxConc, initial int) traffic.Spec {
+	return traffic.Spec{
+		Cohorts: []traffic.CohortSpec{
+			{Name: "web", Fraction: 0.90, Stack: "quicgo", CCA: "cubic",
+				SizeAlpha: 1.2, MinBytes: 20e3, MaxBytes: 2e6},
+			{Name: "bulk", Fraction: 0.05, Stack: "quicgo", CCA: "cubic",
+				SizeAlpha: 1.5, MinBytes: 4e6, MaxBytes: 64e6},
+			{Name: "ref-bulk", Fraction: 0.05, Stack: "kernel", CCA: "cubic",
+				SizeAlpha: 1.5, MinBytes: 4e6, MaxBytes: 64e6, Reference: true},
+		},
+		ArrivalPerSec: arrivalPerSec,
+		MaxConcurrent: maxConc,
+		InitialFlows:  initial,
+	}
+}
+
+// resolve builds the cohort list from the stack registry, the way
+// internal/core does for real trials.
+func resolve(t *testing.T, spec traffic.Spec) []traffic.Cohort {
+	t.Helper()
+	out := make([]traffic.Cohort, 0, len(spec.Cohorts))
+	for _, c := range spec.Cohorts {
+		st := stacks.Get(c.Stack)
+		if st == nil {
+			t.Fatalf("unknown stack %q", c.Stack)
+		}
+		cca := stacks.CCA(c.CCA)
+		if !st.Has(cca) {
+			t.Fatalf("stack %q has no CCA %q", c.Stack, c.CCA)
+		}
+		out = append(out, traffic.Cohort{
+			Spec:          c,
+			Profile:       st.Profile,
+			NewController: func() cc.Controller { return st.NewController(cca) },
+		})
+	}
+	return out
+}
+
+// TestManyFlowChurnInvariants runs the headline workload — a thousand
+// concurrent flows churning through one bottleneck — and audits, while the
+// trial is live, the per-flow transport invariants:
+//
+//   - bytes in flight is non-negative, and
+//   - bytes in flight equals (sent - acked - lost) x MSS exactly (every
+//     data packet is MSS-sized, and spuriously-lost packets stay counted
+//     as lost), and
+//   - the controller's congestion window stays positive, and
+//   - the live population never exceeds the admission cap.
+//
+// After the drain it audits the conservation ledger, the pool discipline
+// (every started flow released, free lists holding every pooled object,
+// zero stale deliveries), and the packet pool's get/put balance.
+func TestManyFlowChurnInvariants(t *testing.T) {
+	flows, bps, arrival := 1000, 1000e6, 500.0
+	dur := 2 * sim.Second
+	if testing.Short() {
+		flows, bps, arrival = 200, 200e6, 200.0
+		dur = sim.Second
+	}
+	rtt := 20 * sim.Millisecond
+	spec := testSpec(arrival, flows, flows)
+	cohorts := resolve(t, spec)
+
+	gets0, puts0, _ := netem.PoolStats()
+
+	eng, err := traffic.New(traffic.Config{
+		Spec:    spec,
+		Cohorts: cohorts,
+		Net: traffic.NetConfig{
+			BottleneckBps: bps,
+			BaseRTT:       rtt,
+			QueueBytes:    netem.BDPBytes(bps, rtt),
+			Jitter:        100 * sim.Microsecond,
+		},
+		Duration: dur,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Probe every RTT while the trial runs. The probe only reads state, so
+	// it cannot perturb the simulation.
+	var probes, flowChecks int
+	se := eng.Sim()
+	var probe func()
+	probe = func() {
+		probes++
+		if a := eng.Active(); a > spec.MaxConcurrent {
+			t.Errorf("t=%v: %d active flows exceeds cap %d", se.Now(), a, spec.MaxConcurrent)
+		}
+		visited := 0
+		eng.ForEachActive(func(id, cohort int, snd *transport.Sender, rcv *transport.Receiver) {
+			visited++
+			flowChecks++
+			bif := snd.BytesInFlight()
+			if bif < 0 {
+				t.Errorf("t=%v flow %d: negative bytes in flight %d", se.Now(), id, bif)
+			}
+			mss := cohorts[cohort].Profile.MSS
+			st := snd.Stats
+			if want := int(st.PacketsSent-st.PacketsAcked-st.PacketsLost) * mss; bif != want {
+				t.Errorf("t=%v flow %d: bytes in flight %d != (sent %d - acked %d - lost %d) x MSS %d = %d",
+					se.Now(), id, bif, st.PacketsSent, st.PacketsAcked, st.PacketsLost, mss, want)
+			}
+			if cwnd := snd.Controller().CWND(); cwnd <= 0 {
+				t.Errorf("t=%v flow %d: non-positive cwnd %d", se.Now(), id, cwnd)
+			}
+		})
+		if visited != eng.Active() {
+			t.Errorf("t=%v: visited %d flows, Active() reports %d", se.Now(), visited, eng.Active())
+		}
+		if next := se.Now() + rtt; next < dur {
+			se.At(next, probe)
+		}
+	}
+	se.At(rtt, probe)
+
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if probes < 10 || flowChecks < 100 {
+		t.Fatalf("probe coverage too thin: %d probes, %d flow checks", probes, flowChecks)
+	}
+
+	// Population shape: the cap was actually reached (this is a many-flow
+	// test, not a trickle) and short flows completed and churned.
+	if res.PeakActive < flows*9/10 {
+		t.Errorf("peak active %d, want >= %d (workload never filled the bottleneck)", res.PeakActive, flows*9/10)
+	}
+	if res.Completed < int64(flows)/4 {
+		t.Errorf("only %d of %d flows completed: no churn to exercise recycling", res.Completed, res.Flows)
+	}
+	if res.Flows <= int64(flows) {
+		t.Errorf("started %d flows, want arrivals beyond the initial %d", res.Flows, flows)
+	}
+
+	// Lifecycle ledger (Run already ran CheckConservation; re-assert the
+	// interesting counters explicitly).
+	if eng.Active() != 0 {
+		t.Errorf("%d flows still active after drain", eng.Active())
+	}
+	if res.Stats.FlowsStarted != res.Stats.FlowsReleased {
+		t.Errorf("started %d != released %d", res.Stats.FlowsStarted, res.Stats.FlowsReleased)
+	}
+	if res.Stats.StaleDeliveries != 0 {
+		t.Errorf("%d stale deliveries reached released flows", res.Stats.StaleDeliveries)
+	}
+
+	// Pool discipline: everything pooled came back, and churn means far
+	// fewer endpoint objects were ever allocated than flows started.
+	pf, ps, pr := eng.PoolSizes()
+	if pf == 0 || ps == 0 || pr == 0 {
+		t.Errorf("empty free lists after drain: flows %d senders %d receivers %d", pf, ps, pr)
+	}
+	if int64(ps) >= res.Flows || int64(pr) >= res.Flows {
+		t.Errorf("no recycling: %d senders / %d receivers allocated for %d flows", ps, pr, res.Flows)
+	}
+
+	// Packet pool balance: every packet taken during the trial was
+	// released (the pre-existing imbalance from other tests is subtracted).
+	gets1, puts1, _ := netem.PoolStats()
+	if d0, d1 := gets0-puts0, gets1-puts1; d0 != d1 {
+		t.Errorf("packet pool leak: outstanding delta went %d -> %d (%d packets never released)",
+			d0, d1, d1-d0)
+	}
+
+	// The measurement layer produced per-cohort samples.
+	for _, c := range res.Cohorts {
+		if c.Started == 0 {
+			t.Errorf("cohort %s: no flows started", c.Name)
+		}
+		if len(c.Points) == 0 {
+			t.Errorf("cohort %s: no (delay, throughput) sample points", c.Name)
+		}
+	}
+	if res.AggMbps <= 0 {
+		t.Errorf("aggregate throughput %.2f Mbps", res.AggMbps)
+	}
+}
+
+// TestManyFlowDeterminism runs the identical seeded trial twice and demands
+// bit-identical results and bit-identical qlog traces.
+func TestManyFlowDeterminism(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		spec := testSpec(100, 100, 50)
+		var buf bytes.Buffer
+		tr := telemetry.NewJSONL(&buf)
+		tr.Header(telemetry.TraceMeta{Cell: "traffic-test", Role: "mf", Seed: 7})
+		eng, err := traffic.New(traffic.Config{
+			Spec:    spec,
+			Cohorts: resolve(t, spec),
+			Net: traffic.NetConfig{
+				BottleneckBps: 200e6,
+				BaseRTT:       20 * sim.Millisecond,
+				QueueBytes:    netem.BDPBytes(200e6, 20*sim.Millisecond),
+				Jitter:        100 * sim.Microsecond,
+			},
+			Duration: sim.Second,
+			Seed:     7,
+			Tracer:   tr,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		tr.Flush()
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return js, buf.Bytes()
+	}
+	res1, qlog1 := run()
+	res2, qlog2 := run()
+	if !bytes.Equal(res1, res2) {
+		t.Errorf("same seed, different results:\n%s\n%s", res1, res2)
+	}
+	if !bytes.Equal(qlog1, qlog2) {
+		t.Errorf("same seed, different qlog traces (%d vs %d bytes)", len(qlog1), len(qlog2))
+	}
+	if res, _ := run(); !bytes.Equal(res1, res) {
+		t.Errorf("third run diverged from the first")
+	}
+}
+
+// TestManyFlowAdmissionControl overloads a tiny cap and checks the
+// Erlang-loss accounting.
+func TestManyFlowAdmissionControl(t *testing.T) {
+	spec := testSpec(2000, 8, 8)
+	eng, err := traffic.New(traffic.Config{
+		Spec:    spec,
+		Cohorts: resolve(t, spec),
+		Net: traffic.NetConfig{
+			BottleneckBps: 20e6,
+			BaseRTT:       20 * sim.Millisecond,
+			QueueBytes:    netem.BDPBytes(20e6, 20*sim.Millisecond),
+		},
+		Duration: sim.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.PeakActive > 8 {
+		t.Errorf("peak active %d exceeded cap 8", res.PeakActive)
+	}
+	if res.Rejected == 0 {
+		t.Errorf("2000/s arrivals into a cap of 8 rejected nothing")
+	}
+	if res.Flows+res.Rejected < 100 {
+		t.Errorf("arrival process barely ran: %d started + %d rejected", res.Flows, res.Rejected)
+	}
+}
+
+// TestManyFlowConfigErrors exercises New's typed rejections.
+func TestManyFlowConfigErrors(t *testing.T) {
+	spec := testSpec(100, 100, 10)
+	net := traffic.NetConfig{BottleneckBps: 100e6, BaseRTT: 20 * sim.Millisecond}
+
+	cases := []struct {
+		name string
+		cfg  traffic.Config
+	}{
+		{"invalid_spec", traffic.Config{Spec: traffic.Spec{}, Net: net, Duration: sim.Second}},
+		{"cohort_mismatch", traffic.Config{Spec: spec, Cohorts: nil, Net: net, Duration: sim.Second}},
+		{"nil_controller", traffic.Config{Spec: spec,
+			Cohorts: func() []traffic.Cohort {
+				cs := resolve(t, spec)
+				cs[1].NewController = nil
+				return cs
+			}(), Net: net, Duration: sim.Second}},
+		{"bad_net", traffic.Config{Spec: spec, Cohorts: resolve(t, spec),
+			Net: traffic.NetConfig{BottleneckBps: 0, BaseRTT: 20 * sim.Millisecond}, Duration: sim.Second}},
+		{"bad_duration", traffic.Config{Spec: spec, Cohorts: resolve(t, spec), Net: net, Duration: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := traffic.New(tc.cfg); !errors.Is(err, traffic.ErrSpec) {
+				t.Errorf("err = %v, want ErrSpec", err)
+			}
+		})
+	}
+}
+
+// TestManyFlowClosedPopulation checks the no-arrival mode: a fixed batch of
+// flows runs to completion (or the horizon) with no Poisson process.
+func TestManyFlowClosedPopulation(t *testing.T) {
+	spec := testSpec(0, 64, 64)
+	eng, err := traffic.New(traffic.Config{
+		Spec:    spec,
+		Cohorts: resolve(t, spec),
+		Net: traffic.NetConfig{
+			BottleneckBps: 200e6,
+			BaseRTT:       10 * sim.Millisecond,
+			QueueBytes:    netem.BDPBytes(200e6, 10*sim.Millisecond),
+		},
+		Duration: sim.Second,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Flows != 64 {
+		t.Errorf("started %d flows, want exactly the 64 initial ones", res.Flows)
+	}
+	if res.Completed == 0 {
+		t.Errorf("no flow completed in a second at 200 Mbps")
+	}
+}

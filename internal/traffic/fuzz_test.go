@@ -1,0 +1,66 @@
+package traffic
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec asserts the spec parser's total-function contract: arbitrary
+// bytes either yield a spec that re-validates cleanly or a typed error
+// wrapping ErrSpec — never a panic, never an untyped error. The checked-in
+// corpus under testdata/fuzz/FuzzParseSpec seeds the interesting shapes
+// (malformed fractions, zero rates, NaN sizes, unknown fields, trailing
+// garbage) so `go test` exercises them on every run.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json`,
+		`null`,
+		`[]`,
+		`{"cohorts": []}`,
+		`{"cohorts": [{"name": "web", "fraction": 1, "stack": "quicgo", "cca": "cubic",
+		  "size_alpha": 1.2, "min_bytes": 2e4, "max_bytes": 2e6}],
+		  "arrival_per_sec": 100, "max_concurrent": 1000}`,
+		// Malformed fraction: sums to 0.5.
+		`{"cohorts": [{"name": "web", "fraction": 0.5, "stack": "quicgo", "cca": "cubic",
+		  "size_alpha": 1.2, "min_bytes": 2e4, "max_bytes": 2e6}],
+		  "arrival_per_sec": 100, "max_concurrent": 1000}`,
+		// Zero rate with no initial flows.
+		`{"cohorts": [{"name": "web", "fraction": 1, "stack": "quicgo", "cca": "cubic",
+		  "size_alpha": 1.2, "min_bytes": 2e4, "max_bytes": 2e6}],
+		  "arrival_per_sec": 0, "max_concurrent": 1000}`,
+		// NaN is not valid JSON so it arrives as a syntax error; an immense
+		// literal overflows float64 to +Inf instead.
+		`{"cohorts": [{"name": "web", "fraction": 1, "stack": "quicgo", "cca": "cubic",
+		  "size_alpha": 1.2, "min_bytes": 2e4, "max_bytes": NaN}],
+		  "arrival_per_sec": 100, "max_concurrent": 1000}`,
+		`{"cohorts": [{"name": "web", "fraction": 1, "stack": "quicgo", "cca": "cubic",
+		  "size_alpha": 1.2, "min_bytes": 2e4, "max_bytes": 1e999}],
+		  "arrival_per_sec": 100, "max_concurrent": 1000}`,
+		// Unknown field and trailing garbage.
+		`{"cohortz": []}`,
+		`{"cohorts": []} trailing`,
+		// Deep nesting and huge numbers.
+		`{"cohorts": [[[[[[[[]]]]]]]]}`,
+		`{"max_concurrent": 99999999999999999999999999}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("untyped error %v for input %q", err, data)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatalf("nil spec with nil error for input %q", data)
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails re-validation: %v (input %q)", verr, data)
+		}
+	})
+}

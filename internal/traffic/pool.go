@@ -1,0 +1,125 @@
+package traffic
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Cross-engine recycling tier. A traffic engine is single-use — one trial,
+// one Run — but a sweep runs thousands of trials back to back, and without
+// a second pool tier every trial pays the full construction cost of its
+// peak population (senders, receivers, flow slots) again. These pools let
+// a finished engine donate its free lists so the next trial's population
+// is adopted, not allocated: steady-state allocations per event become
+// independent of the flow count, which is the property the committed
+// many_flow_1000 bench gates.
+//
+// The tier is a bounded mutex-guarded stack rather than a sync.Pool on
+// purpose: sync.Pool contents are dropped by the garbage collector, and a
+// 1000-flow trial allocates enough to trigger several GC cycles, so pooled
+// endpoints would silently vanish between trials and the measured
+// allocs-per-event would swing run to run. A plain stack survives GC; the
+// capacity bound keeps retention at roughly one peak population.
+//
+// Determinism: adopted objects carry no behavioral state across trials.
+// Senders and receivers are fully re-initialized by ResetFlow (the
+// fresh-vs-recycled equivalence is pinned by transport's
+// TestResetFlowMatchesFreshSender), timers are rebound to the new trial's
+// engine, and flowState fields are all reassigned at startFlow. The one
+// surviving field is the flowState generation counter, which is
+// deliberately monotonic per object — reuse-after-release detection does
+// not reset between trials. Adoption order varies with pool contents run
+// to run; the sweep-level journal and qlog byte-equality tests exist to
+// prove that object identity never leaks into results.
+const poolCap = 4096
+
+var (
+	poolMu   sync.Mutex
+	sndPool  []*transport.Sender
+	rcvPool  []*transport.Receiver
+	flowPool []*flowState
+)
+
+// Release donates the engine's pooled free lists to the cross-engine tier
+// and drops its references. Call it once after Run when the engine (and
+// its results) are no longer needed; the engine must not be reused
+// afterwards. Engines that skip Release just leave their objects to the
+// garbage collector, as do donations past the tier's capacity bound.
+func (e *Engine) Release() {
+	poolMu.Lock()
+	for i, s := range e.sndFree {
+		if len(sndPool) < poolCap {
+			sndPool = append(sndPool, s)
+		}
+		e.sndFree[i] = nil
+	}
+	for i, r := range e.rcvFree {
+		if len(rcvPool) < poolCap {
+			rcvPool = append(rcvPool, r)
+		}
+		e.rcvFree[i] = nil
+	}
+	for i, fs := range e.flowFree {
+		if fs.active {
+			poolMu.Unlock()
+			panic("traffic: active flow on the free list at Release")
+		}
+		if len(flowPool) < poolCap {
+			flowPool = append(flowPool, fs)
+		}
+		e.flowFree[i] = nil
+	}
+	poolMu.Unlock()
+	e.sndFree = e.sndFree[:0]
+	e.rcvFree = e.rcvFree[:0]
+	e.flowFree = e.flowFree[:0]
+}
+
+// adoptSender pulls a donated sender from the cross-engine tier and moves
+// it onto clk, or reports nil when the tier is empty.
+func adoptSender(clk transport.Clock) *transport.Sender {
+	poolMu.Lock()
+	n := len(sndPool)
+	if n == 0 {
+		poolMu.Unlock()
+		return nil
+	}
+	s := sndPool[n-1]
+	sndPool[n-1] = nil
+	sndPool = sndPool[:n-1]
+	poolMu.Unlock()
+	s.Rebind(clk)
+	return s
+}
+
+// adoptReceiver is adoptSender for receivers.
+func adoptReceiver(clk transport.Clock) *transport.Receiver {
+	poolMu.Lock()
+	n := len(rcvPool)
+	if n == 0 {
+		poolMu.Unlock()
+		return nil
+	}
+	r := rcvPool[n-1]
+	rcvPool[n-1] = nil
+	rcvPool = rcvPool[:n-1]
+	poolMu.Unlock()
+	r.Rebind(clk)
+	return r
+}
+
+// adoptFlow pulls a donated flow slot, or reports nil.
+func adoptFlow() *flowState {
+	poolMu.Lock()
+	n := len(flowPool)
+	if n == 0 {
+		poolMu.Unlock()
+		return nil
+	}
+	fs := flowPool[n-1]
+	flowPool[n-1] = nil
+	flowPool = flowPool[:n-1]
+	poolMu.Unlock()
+	return fs
+}

@@ -1,0 +1,161 @@
+// Package traffic implements the many-flow traffic engine: one bottleneck
+// link carrying thousands of concurrent flows with Poisson arrivals,
+// heavy-tailed (bounded-Pareto) flow sizes, and short-flow churn. Flows are
+// grouped into cohorts (e.g. 90% short web-like flows + 10% bulk, or a
+// test stack vs a reference stack), each with its own transport profile and
+// congestion controller, so conformance under realistic multiplexing load
+// is measurable per population.
+//
+// Per-flow sender/receiver state comes from free-list pools and is fully
+// recycled on completion; every event costs O(1) work independent of the
+// number of live flows (see DESIGN.md).
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed spec-validation failures. ErrSpec is the root every other sentinel
+// wraps, so errors.Is(err, ErrSpec) matches any invalid traffic model while
+// the finer sentinels pinpoint the field class.
+var (
+	ErrSpec           = errors.New("traffic: invalid spec")
+	ErrSpecSyntax     = fmt.Errorf("%w: malformed JSON", ErrSpec)
+	ErrNoCohorts      = fmt.Errorf("%w: no cohorts", ErrSpec)
+	ErrBadFraction    = fmt.Errorf("%w: bad cohort fraction", ErrSpec)
+	ErrBadSize        = fmt.Errorf("%w: bad flow-size parameters", ErrSpec)
+	ErrBadRate        = fmt.Errorf("%w: bad arrival rate", ErrSpec)
+	ErrBadConcurrency = fmt.Errorf("%w: bad concurrency bounds", ErrSpec)
+	ErrDupCohort      = fmt.Errorf("%w: duplicate cohort name", ErrSpec)
+)
+
+// CohortSpec describes one flow population sharing the bottleneck.
+type CohortSpec struct {
+	// Name labels the cohort in reports ("web", "bulk", "ref-bulk"). Must
+	// be unique within a Spec.
+	Name string `json:"name"`
+	// Fraction is the probability an arriving flow belongs to this cohort.
+	// Fractions must sum to 1 (within a small tolerance).
+	Fraction float64 `json:"fraction"`
+	// Stack and CCA select the transport profile and congestion controller
+	// from the stack registry (resolved by the caller — this package never
+	// touches the registry, so specs validate without it).
+	Stack string `json:"stack"`
+	CCA   string `json:"cca"`
+	// SizeAlpha, MinBytes, MaxBytes parameterize the bounded-Pareto flow
+	// size distribution on [MinBytes, MaxBytes] with tail index SizeAlpha.
+	SizeAlpha float64 `json:"size_alpha"`
+	MinBytes  float64 `json:"min_bytes"`
+	MaxBytes  float64 `json:"max_bytes"`
+	// Reference marks the cohort whose samples build the reference
+	// Performance Envelope; the other cohorts are evaluated against it.
+	Reference bool `json:"reference,omitempty"`
+}
+
+// Spec is the serializable traffic-model block of a many-flow trial: the
+// cohort mix plus the arrival/concurrency process. It rides inside
+// core.CellTrialSpec, so isolated trial children and distributed workers
+// reproduce the exact same flow population.
+type Spec struct {
+	Cohorts []CohortSpec `json:"cohorts"`
+	// ArrivalPerSec is the Poisson arrival rate (flows per second of
+	// virtual time). Zero disables arrivals — InitialFlows must then be
+	// positive.
+	ArrivalPerSec float64 `json:"arrival_per_sec"`
+	// MaxConcurrent caps the live-flow population; arrivals beyond it are
+	// rejected and counted (an Erlang-loss admission model).
+	MaxConcurrent int `json:"max_concurrent"`
+	// InitialFlows are started within the first two RTTs of the trial,
+	// before the Poisson process takes over.
+	InitialFlows int `json:"initial_flows,omitempty"`
+}
+
+// fractionTolerance bounds |sum(fractions) - 1|: wide enough for decimal
+// literals like 3×0.333, tight enough to reject a forgotten cohort.
+const fractionTolerance = 1e-6
+
+// Validate checks the spec, reporting the first violation as a typed error
+// wrapping ErrSpec. A validated spec is guaranteed to construct samplers
+// and an engine without panicking.
+func (s *Spec) Validate() error {
+	if len(s.Cohorts) == 0 {
+		return ErrNoCohorts
+	}
+	if math.IsNaN(s.ArrivalPerSec) || math.IsInf(s.ArrivalPerSec, 0) || s.ArrivalPerSec < 0 {
+		return fmt.Errorf("%w: arrival_per_sec %g (want finite >= 0)", ErrBadRate, s.ArrivalPerSec)
+	}
+	if s.MaxConcurrent <= 0 {
+		return fmt.Errorf("%w: max_concurrent %d (want > 0)", ErrBadConcurrency, s.MaxConcurrent)
+	}
+	if s.InitialFlows < 0 {
+		return fmt.Errorf("%w: initial_flows %d (want >= 0)", ErrBadConcurrency, s.InitialFlows)
+	}
+	if s.InitialFlows > s.MaxConcurrent {
+		return fmt.Errorf("%w: initial_flows %d exceeds max_concurrent %d",
+			ErrBadConcurrency, s.InitialFlows, s.MaxConcurrent)
+	}
+	if s.ArrivalPerSec == 0 && s.InitialFlows == 0 {
+		return fmt.Errorf("%w: arrival_per_sec 0 with initial_flows 0 models no traffic", ErrBadRate)
+	}
+	seen := make(map[string]bool, len(s.Cohorts))
+	var sum float64
+	for i, c := range s.Cohorts {
+		if c.Name == "" {
+			return fmt.Errorf("%w: cohort %d has no name", ErrSpec, i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("%w %q", ErrDupCohort, c.Name)
+		}
+		seen[c.Name] = true
+		if math.IsNaN(c.Fraction) || c.Fraction < 0 || c.Fraction > 1 {
+			return fmt.Errorf("%w: cohort %q fraction %g (want [0, 1])", ErrBadFraction, c.Name, c.Fraction)
+		}
+		sum += c.Fraction
+		if math.IsNaN(c.SizeAlpha) || math.IsInf(c.SizeAlpha, 0) || c.SizeAlpha <= 0 {
+			return fmt.Errorf("%w: cohort %q size_alpha %g (want positive finite)", ErrBadSize, c.Name, c.SizeAlpha)
+		}
+		if math.IsNaN(c.MinBytes) || math.IsNaN(c.MaxBytes) ||
+			math.IsInf(c.MinBytes, 0) || math.IsInf(c.MaxBytes, 0) {
+			return fmt.Errorf("%w: cohort %q size bounds [%g, %g] must be finite",
+				ErrBadSize, c.Name, c.MinBytes, c.MaxBytes)
+		}
+		if c.MinBytes < 1 || c.MaxBytes <= c.MinBytes {
+			return fmt.Errorf("%w: cohort %q size bounds [%g, %g] (want 1 <= min < max)",
+				ErrBadSize, c.Name, c.MinBytes, c.MaxBytes)
+		}
+		if c.Stack == "" {
+			return fmt.Errorf("%w: cohort %q has no stack", ErrSpec, c.Name)
+		}
+		if c.CCA == "" {
+			return fmt.Errorf("%w: cohort %q has no cca", ErrSpec, c.Name)
+		}
+	}
+	if math.Abs(sum-1) > fractionTolerance {
+		return fmt.Errorf("%w: fractions sum to %g, want 1", ErrBadFraction, sum)
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON traffic model. Unknown fields are
+// rejected (a misspelled knob must not silently select a default). Every
+// failure is a typed error wrapping ErrSpec; malformed input never panics.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpecSyntax, err)
+	}
+	// Trailing garbage after the spec object is a syntax error too.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after spec object", ErrSpecSyntax)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

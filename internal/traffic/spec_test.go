@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Cohorts: []CohortSpec{
+			{Name: "web", Fraction: 0.9, Stack: "quicgo", CCA: "cubic",
+				SizeAlpha: 1.2, MinBytes: 20e3, MaxBytes: 2e6},
+			{Name: "bulk", Fraction: 0.1, Stack: "kernel", CCA: "cubic",
+				SizeAlpha: 1.5, MinBytes: 4e6, MaxBytes: 64e6, Reference: true},
+		},
+		ArrivalPerSec: 200,
+		MaxConcurrent: 1000,
+		InitialFlows:  100,
+	}
+}
+
+func TestSpecValidateOK(t *testing.T) {
+	s := validSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	// Arrival-free (closed population) and initial-free (pure Poisson)
+	// variants are both legal.
+	s2 := validSpec()
+	s2.ArrivalPerSec = 0
+	if err := s2.Validate(); err != nil {
+		t.Errorf("closed population rejected: %v", err)
+	}
+	s3 := validSpec()
+	s3.InitialFlows = 0
+	if err := s3.Validate(); err != nil {
+		t.Errorf("pure Poisson rejected: %v", err)
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   error
+	}{
+		{"no_cohorts", func(s *Spec) { s.Cohorts = nil }, ErrNoCohorts},
+		{"nan_rate", func(s *Spec) { s.ArrivalPerSec = nan }, ErrBadRate},
+		{"negative_rate", func(s *Spec) { s.ArrivalPerSec = -1 }, ErrBadRate},
+		{"inf_rate", func(s *Spec) { s.ArrivalPerSec = math.Inf(1) }, ErrBadRate},
+		{"no_traffic", func(s *Spec) { s.ArrivalPerSec = 0; s.InitialFlows = 0 }, ErrBadRate},
+		{"zero_concurrent", func(s *Spec) { s.MaxConcurrent = 0 }, ErrBadConcurrency},
+		{"negative_initial", func(s *Spec) { s.InitialFlows = -1 }, ErrBadConcurrency},
+		{"initial_over_cap", func(s *Spec) { s.InitialFlows = s.MaxConcurrent + 1 }, ErrBadConcurrency},
+		{"fraction_sum_low", func(s *Spec) { s.Cohorts[0].Fraction = 0.5 }, ErrBadFraction},
+		{"fraction_negative", func(s *Spec) { s.Cohorts[0].Fraction = -0.1 }, ErrBadFraction},
+		{"fraction_nan", func(s *Spec) { s.Cohorts[0].Fraction = nan }, ErrBadFraction},
+		{"fraction_over_one", func(s *Spec) { s.Cohorts[0].Fraction = 1.5 }, ErrBadFraction},
+		{"alpha_zero", func(s *Spec) { s.Cohorts[0].SizeAlpha = 0 }, ErrBadSize},
+		{"alpha_nan", func(s *Spec) { s.Cohorts[0].SizeAlpha = nan }, ErrBadSize},
+		{"size_nan", func(s *Spec) { s.Cohorts[0].MinBytes = nan }, ErrBadSize},
+		{"size_inf", func(s *Spec) { s.Cohorts[0].MaxBytes = math.Inf(1) }, ErrBadSize},
+		{"size_zero_min", func(s *Spec) { s.Cohorts[0].MinBytes = 0 }, ErrBadSize},
+		{"size_inverted", func(s *Spec) { s.Cohorts[0].MinBytes = 3e6; s.Cohorts[0].MaxBytes = 2e6 }, ErrBadSize},
+		{"dup_name", func(s *Spec) { s.Cohorts[1].Name = s.Cohorts[0].Name }, ErrDupCohort},
+		{"empty_name", func(s *Spec) { s.Cohorts[0].Name = "" }, ErrSpec},
+		{"no_stack", func(s *Spec) { s.Cohorts[0].Stack = "" }, ErrSpec},
+		{"no_cca", func(s *Spec) { s.Cohorts[0].CCA = "" }, ErrSpec},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(&s)
+			err := s.Validate()
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrSpec) {
+				t.Errorf("err = %v does not wrap ErrSpec", err)
+			}
+		})
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good := `{
+		"cohorts": [
+			{"name": "web", "fraction": 0.9, "stack": "quicgo", "cca": "cubic",
+			 "size_alpha": 1.2, "min_bytes": 20000, "max_bytes": 2000000},
+			{"name": "bulk", "fraction": 0.1, "stack": "kernel", "cca": "cubic",
+			 "size_alpha": 1.5, "min_bytes": 4000000, "max_bytes": 64000000, "reference": true}
+		],
+		"arrival_per_sec": 200,
+		"max_concurrent": 1000,
+		"initial_flows": 100
+	}`
+	s, err := ParseSpec([]byte(good))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(s.Cohorts) != 2 || s.Cohorts[1].Name != "bulk" || !s.Cohorts[1].Reference {
+		t.Errorf("parsed spec wrong: %+v", s)
+	}
+
+	bad := []struct {
+		name, in string
+		want     error
+	}{
+		{"garbage", "not json", ErrSpecSyntax},
+		{"empty", "", ErrSpecSyntax},
+		{"unknown_field", `{"cohorts": [], "arival_per_sec": 1}`, ErrSpecSyntax},
+		{"trailing", `{"cohorts": []} extra`, ErrSpecSyntax},
+		{"no_cohorts", `{"arrival_per_sec": 1, "max_concurrent": 5}`, ErrNoCohorts},
+		{"string_rate", `{"cohorts": [], "arrival_per_sec": "fast"}`, ErrSpecSyntax},
+		{"bad_fraction", strings.Replace(good, "0.9", "0.7", 1), ErrBadFraction},
+		{"zero_rate_no_initial", strings.Replace(strings.Replace(good,
+			`"arrival_per_sec": 200`, `"arrival_per_sec": 0`, 1),
+			`"initial_flows": 100`, `"initial_flows": 0`, 1), ErrBadRate},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.in))
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}

@@ -35,3 +35,20 @@ func (c simClock) Now() sim.Time { return c.eng.Now() }
 func (c simClock) NewTimer(fn func()) TimerHandle {
 	return sim.NewTimer(c.eng, fn)
 }
+
+// rebindTimer moves an existing timer handle onto clk's timeline without
+// allocating, when both sides support it (sim timers on a sim clock). It
+// reports whether the rebind happened; on false the caller must create a
+// fresh timer.
+func rebindTimer(h TimerHandle, clk Clock) bool {
+	t, ok := h.(*sim.Timer)
+	if !ok {
+		return false
+	}
+	sc, ok := clk.(simClock)
+	if !ok {
+		return false
+	}
+	t.Rebind(sc.eng)
+	return true
+}

@@ -73,6 +73,38 @@ func (r *Receiver) OnDeliver(fn func(DeliveredSample)) {
 	r.onDeliver = append(r.onDeliver, fn)
 }
 
+// Stop disarms the delayed-ACK timer (flow departure). The receiver still
+// accepts packets if handed any; callers unregister it from the demux
+// first.
+func (r *Receiver) Stop() { r.ackTimer.Stop() }
+
+// ResetFlow re-initializes a recycled receiver in place for a new flow,
+// preserving the ACK-range slice's capacity and the timer handle. After
+// ResetFlow the receiver is indistinguishable from one freshly built by
+// NewReceiverWithClock with the same arguments.
+// Rebind moves the receiver onto a new clock, for pools that recycle
+// receivers across simulation runs. See Sender.Rebind.
+func (r *Receiver) Rebind(clk Clock) {
+	r.clk = clk
+	if !rebindTimer(r.ackTimer, clk) {
+		r.ackTimer = clk.NewTimer(r.sendAck)
+	}
+}
+
+func (r *Receiver) ResetFlow(cfg Config, out netem.Handler, flow int) {
+	r.ackTimer.Stop()
+	r.cfg = cfg.withDefaults()
+	r.out = out
+	r.flow = flow
+	r.ranges = r.ranges[:0]
+	r.largestReceived = -1
+	r.largestReceivedAt = 0
+	r.unackedCount = 0
+	r.firstUnackedAt = 0
+	r.Stats = ReceiverStats{}
+	r.onDeliver = r.onDeliver[:0]
+}
+
 // HandlePacket implements netem.Handler for data packets.
 func (r *Receiver) HandlePacket(pkt *netem.Packet) {
 	// The receiver is the terminal consumer on the data path, so any

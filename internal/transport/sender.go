@@ -66,6 +66,7 @@ type Sender struct {
 	// per packet, and without a free list every one is a garbage-collected
 	// allocation on the hot path.
 	spFree []*sentPacket
+	spSlab []sentPacket // bulk-allocated backing for fresh records
 	// ackedScratch is reused across ACKs for the newly-acked seq list,
 	// eliminating the per-ACK slice allocation in RFC 9002 processing.
 	ackedScratch []int64
@@ -92,6 +93,15 @@ type Sender struct {
 
 	started bool
 	stopped bool
+
+	// Finite-flow support (the many-flow traffic engine): flowBytes bounds
+	// the bytes this flow carries (0 = unbounded bulk transfer), completed
+	// latches once BytesAcked first covers it, and onComplete is the
+	// engine's recycle hook. Lost bytes are made up by fresh packets, so
+	// the gate in trySend naturally reopens after a loss.
+	flowBytes  int64
+	completed  bool
+	onComplete func()
 
 	// Stats and hooks.
 	Stats      SenderStats
@@ -140,6 +150,78 @@ func NewSenderWithClock(clk Clock, cfg Config, ctrl cc.Controller, out netem.Han
 
 // Flow returns the flow id.
 func (s *Sender) Flow() int { return s.flow }
+
+// SetFlowBytes bounds the flow to the given number of application bytes
+// (0 restores the default unbounded bulk transfer). Call before Start. The
+// sender stops emitting once acked + in-flight bytes cover the flow and
+// declares completion when BytesAcked first reaches the bound; bytes lost
+// in flight reopen the send gate, so completion always covers every byte.
+func (s *Sender) SetFlowBytes(bytes int64) { s.flowBytes = bytes }
+
+// OnComplete registers fn to be invoked exactly once, after all other ACK
+// processing, when a finite flow (SetFlowBytes) is fully acknowledged. The
+// sender has already stopped itself when fn runs, so fn may safely recycle
+// it. A second call replaces the hook (pooled senders re-register per
+// flow).
+func (s *Sender) OnComplete(fn func()) { s.onComplete = fn }
+
+// Completed reports whether a finite flow has been fully acknowledged.
+func (s *Sender) Completed() bool { return s.completed }
+
+// ResetFlow re-initializes a recycled sender in place for a new flow,
+// preserving the expensive-to-rebuild internals: the timer handles, the
+// packets map's buckets, the sentPacket free list, and the ACK scratch
+// slices. After ResetFlow the sender is indistinguishable from one freshly
+// built by NewSenderWithClock with the same arguments.
+// Rebind moves the sender onto a new clock, for pools that recycle
+// senders across simulation runs. The sender must be stopped or completed
+// on its old timeline; call ResetFlow afterwards to start a fresh flow.
+// Sim-clock timers rebind in place; other clocks get fresh timers.
+func (s *Sender) Rebind(clk Clock) {
+	s.clk = clk
+	if !rebindTimer(s.sendTimer, clk) {
+		s.sendTimer = clk.NewTimer(s.trySend)
+	}
+	if !rebindTimer(s.lossTimer, clk) {
+		s.lossTimer = clk.NewTimer(s.onLossTimer)
+	}
+}
+
+func (s *Sender) ResetFlow(cfg Config, ctrl cc.Controller, out netem.Handler, flow int) {
+	s.sendTimer.Stop()
+	s.lossTimer.Stop()
+	for seq, sp := range s.packets {
+		s.forgetSent(seq, sp)
+	}
+	s.cfg = cfg.withDefaults()
+	s.ctrl = ctrl
+	s.out = out
+	s.flow = flow
+	s.nextSeq = 0
+	s.largestAcked = -1
+	s.bytesInFlight = 0
+	s.oldestUnacked = 0
+	s.rtt = rttEstimator{}
+	s.delivered = 0
+	s.deliveredTime = 0
+	s.firstSentTime = 0
+	s.roundTrips = 0
+	s.roundEndSeq = 0
+	s.nextSendAt = 0
+	s.ptoCount = 0
+	s.started = false
+	s.stopped = false
+	s.flowBytes = 0
+	s.completed = false
+	s.onComplete = nil
+	s.Stats = SenderStats{}
+	s.onRTT = s.onRTT[:0]
+	s.onCwnd = s.onCwnd[:0]
+	s.appLimited = false
+	s.tracer = nil
+	s.ssth = nil
+	s.lastMetKey = telemetry.Metrics{}
+}
 
 // Controller exposes the congestion controller (for tests and tracing).
 func (s *Sender) Controller() cc.Controller { return s.ctrl }
@@ -245,6 +327,12 @@ func (s *Sender) trySend() {
 	rate := s.ctrl.PacingRate()
 
 	for s.bytesInFlight+s.cfg.MSS <= cwnd {
+		if s.flowBytes > 0 && s.Stats.BytesAcked+int64(s.bytesInFlight) >= s.flowBytes {
+			// Finite flow: everything is already acked or in flight. A loss
+			// reduces bytesInFlight and the next ACK re-drives trySend, so
+			// the gate reopens until BytesAcked covers the flow.
+			return
+		}
 		if rate > 0 && s.nextSendAt > now {
 			// Pacer gate: come back later.
 			s.sendTimer.Reset(s.quantize(s.nextSendAt))
@@ -298,7 +386,14 @@ func (s *Sender) allocSent() *sentPacket {
 		s.spFree = s.spFree[:n-1]
 		return sp
 	}
-	return &sentPacket{}
+	// Slab-carve fresh records: one heap allocation per 64 instead of one
+	// each while the in-flight window grows to its peak.
+	if len(s.spSlab) == 0 {
+		s.spSlab = make([]sentPacket, 64)
+	}
+	sp := &s.spSlab[0]
+	s.spSlab = s.spSlab[1:]
+	return sp
 }
 
 // forgetSent removes seq from the tracked set and recycles its record.
@@ -498,6 +593,16 @@ func (s *Sender) HandlePacket(pkt *netem.Packet) {
 		s.emitMetrics(now)
 	}
 	s.trySend()
+
+	// Finite-flow completion, checked last so the hook can recycle the
+	// sender: nothing below this point touches sender state.
+	if s.flowBytes > 0 && !s.completed && s.Stats.BytesAcked >= s.flowBytes {
+		s.completed = true
+		s.Stop()
+		if fn := s.onComplete; fn != nil {
+			fn()
+		}
+	}
 }
 
 // accountDelivered updates the delivery-rate sampler totals. Following

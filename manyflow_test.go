@@ -1,0 +1,230 @@
+package quicbench
+
+import (
+	"bytes"
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// manyflowTestSpec is a scaled-down two-cohort population (one test, one
+// reference) that keeps facade-level many-flow tests under a second per
+// sweep while still exercising churn: Poisson arrivals on top of an
+// initial batch, bounded-Pareto sizes.
+const manyflowTestSpec = `{
+  "cohorts": [
+    {"name": "web", "fraction": 0.8, "stack": "quicgo", "cca": "cubic",
+     "size_alpha": 1.2, "min_bytes": 20000, "max_bytes": 1000000},
+    {"name": "ref", "fraction": 0.2, "stack": "kernel", "cca": "cubic",
+     "size_alpha": 1.2, "min_bytes": 20000, "max_bytes": 1000000, "reference": true}
+  ],
+  "arrival_per_sec": 100,
+  "max_concurrent": 100,
+  "initial_flows": 60
+}`
+
+// manyflowTestOpts mirrors sweepTestOpts for the many-flow axis: one
+// traffic cell on one small network.
+func manyflowTestOpts() SweepOptions {
+	return SweepOptions{
+		TrafficSpec: []byte(manyflowTestSpec),
+		Networks: []Network{{
+			BandwidthMbps: 50,
+			RTT:           10 * time.Millisecond,
+			BufferBDP:     1,
+			Duration:      2 * time.Second,
+			Trials:        2,
+			Seed:          11,
+		}},
+	}
+}
+
+func TestManyFlowSweepFacade(t *testing.T) {
+	sum, err := RunSweep(context.Background(), manyflowTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1 (one traffic cell per network)", len(sum.Cells))
+	}
+	c := sum.Cells[0]
+	if !c.Completed() || c.Outcome != "ok" {
+		t.Fatalf("cell %s: outcome %s (%s)", c.Cell, c.Outcome, c.Err)
+	}
+	if !strings.HasPrefix(c.Cell, "manyflow/mix/") || !strings.Contains(c.Cell, "/mf") {
+		t.Errorf("cell key %q does not carry the manyflow identity + spec digest", c.Cell)
+	}
+	mf := c.Report.ManyFlow
+	if mf == nil {
+		t.Fatal("Report.ManyFlow is nil for a traffic cell")
+	}
+	if mf.Completed == 0 || mf.Flows < 60 {
+		t.Errorf("implausible workload accounting: %+v", mf)
+	}
+	if len(mf.Cohorts) != 2 {
+		t.Fatalf("got %d cohorts, want 2", len(mf.Cohorts))
+	}
+	if !mf.Cohorts[1].Reference {
+		t.Error("reference cohort lost its flag crossing the facade")
+	}
+
+	var buf bytes.Buffer
+	if err := RenderSweep(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cohorts of manyflow/mix/", "web", "ref (ref)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderSweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestManyFlowSweepDeterministic: the same seeded many-flow sweep must
+// journal byte-identical records across repeat runs and worker counts.
+func TestManyFlowSweepDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	journals := []string{
+		filepath.Join(dir, "a.jsonl"),
+		filepath.Join(dir, "b.jsonl"),
+		filepath.Join(dir, "w4.jsonl"),
+	}
+	for i, j := range journals {
+		opts := manyflowTestOpts()
+		opts.Checkpoint = j
+		if i == 2 {
+			opts.Workers = 4
+		}
+		sum, err := RunSweep(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+		for _, c := range sum.Cells {
+			if !c.Completed() {
+				t.Fatalf("sweep %d cell %s: outcome %s (%s)", i, c.Cell, c.Outcome, c.Err)
+			}
+		}
+	}
+	want := journalRecords(t, journals[0])
+	if len(want) == 0 {
+		t.Fatal("empty baseline journal")
+	}
+	for _, j := range journals[1:] {
+		got := journalRecords(t, j)
+		if len(got) != len(want) {
+			t.Fatalf("journal %s has %d records, want %d", j, len(got), len(want))
+		}
+		for key, w := range want {
+			g := got[key]
+			if !bytes.Equal(w.Result, g.Result) || w.Hash != g.Hash {
+				t.Errorf("cell %s not bit-identical in %s:\nwant %s (%s)\ngot  %s (%s)",
+					key, j, w.Result, w.Hash, g.Result, g.Hash)
+			}
+		}
+	}
+}
+
+// TestManyFlowIsolatedBitIdentical: a many-flow cell run in a crash-isolated
+// child process must journal the same bytes — and write the same qlog trace
+// files — as the in-process executor.
+func TestManyFlowIsolatedBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	inprocJ := filepath.Join(dir, "inproc.jsonl")
+	isoJ := filepath.Join(dir, "iso.jsonl")
+	inprocT := filepath.Join(dir, "inproc-traces")
+	isoT := filepath.Join(dir, "iso-traces")
+
+	opts := manyflowTestOpts()
+	opts.Checkpoint = inprocJ
+	opts.TraceDir = inprocT
+	if _, err := RunSweep(context.Background(), opts); err != nil {
+		t.Fatalf("in-process sweep: %v", err)
+	}
+
+	iopts := manyflowTestOpts()
+	iopts.Checkpoint = isoJ
+	iopts.TraceDir = isoT
+	iopts.Isolate = true
+	iopts.IsolateStallTimeout = 10 * time.Second
+	iopts.OnFallback = func(cell string, err error) {
+		t.Errorf("cell %s silently degraded to in-process: %v", cell, err)
+	}
+	sum, err := RunSweep(context.Background(), iopts)
+	if err != nil {
+		t.Fatalf("isolated sweep: %v", err)
+	}
+	for _, c := range sum.Cells {
+		if !c.Completed() {
+			t.Fatalf("isolated cell %s: outcome %s (%s)", c.Cell, c.Outcome, c.Err)
+		}
+	}
+
+	inproc, iso := journalRecords(t, inprocJ), journalRecords(t, isoJ)
+	if len(inproc) == 0 || len(inproc) != len(iso) {
+		t.Fatalf("journal sizes differ: in-process %d, isolated %d", len(inproc), len(iso))
+	}
+	for key, want := range inproc {
+		got, ok := iso[key]
+		if !ok {
+			t.Errorf("cell %s missing from the isolated journal", key)
+			continue
+		}
+		if !bytes.Equal(want.Result, got.Result) || want.Hash != got.Hash {
+			t.Errorf("cell %s not bit-identical:\nin-process %s (%s)\nisolated   %s (%s)",
+				key, want.Result, want.Hash, got.Result, got.Hash)
+		}
+	}
+
+	if diff := compareTrees(t, inprocT, isoT); diff != "" {
+		t.Errorf("qlog traces differ between executors: %s", diff)
+	}
+}
+
+// compareTrees walks two directory trees and reports the first difference
+// in relative file sets or file bytes ("" when identical).
+func compareTrees(t *testing.T, a, b string) string {
+	t.Helper()
+	read := func(root string) map[string][]byte {
+		out := map[string][]byte{}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, rerr := filepath.Rel(root, path)
+			if rerr != nil {
+				return rerr
+			}
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return rerr
+			}
+			out[rel] = data
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+		return out
+	}
+	am, bm := read(a), read(b)
+	if len(am) == 0 {
+		return "no trace files written"
+	}
+	if len(am) != len(bm) {
+		return "different file counts"
+	}
+	for rel, data := range am {
+		other, ok := bm[rel]
+		if !ok {
+			return "missing file " + rel
+		}
+		if !bytes.Equal(data, other) {
+			return "bytes differ in " + rel
+		}
+	}
+	return ""
+}

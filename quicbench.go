@@ -1,6 +1,7 @@
 package quicbench
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -64,6 +65,80 @@ type Report struct {
 	DeltaDelayMs        float64
 	// K is the natural cluster count chosen for the test envelope.
 	K int
+	// ManyFlow carries the per-cohort breakdown when the cell ran the
+	// many-flow traffic engine (SweepOptions.TrafficSpec); nil for classic
+	// two-flow cells. The top-level metrics then describe the aggregate
+	// non-reference population against the reference cohort's envelope.
+	ManyFlow *ManyFlowReport
+}
+
+// CohortReport is one cohort's slice of a many-flow report: PE metrics
+// against the reference cohort plus workload accounting. Reference cohorts
+// carry accounting only.
+type CohortReport struct {
+	Name                string
+	Reference           bool
+	Conformance         float64
+	ConformanceT        float64
+	DeltaThroughputMbps float64
+	DeltaDelayMs        float64
+	K                   int
+	Flows               int64
+	Completed           int64
+	MeanFCTms           float64
+	MeanMbps            float64
+}
+
+// ManyFlowReport aggregates a many-flow cell: flow-population accounting
+// across trials plus the per-cohort breakdown.
+type ManyFlowReport struct {
+	Flows      int64
+	Completed  int64
+	Rejected   int64
+	PeakActive int
+	AggMbps    float64
+	Cohorts    []CohortReport
+}
+
+func fromManyFlowReport(mf *core.ManyFlowReport) *ManyFlowReport {
+	if mf == nil {
+		return nil
+	}
+	out := &ManyFlowReport{
+		Flows:      mf.Flows,
+		Completed:  mf.Completed,
+		Rejected:   mf.Rejected,
+		PeakActive: mf.PeakActive,
+		AggMbps:    mf.AggMbps,
+	}
+	for _, c := range mf.Cohorts {
+		out.Cohorts = append(out.Cohorts, CohortReport{
+			Name:                c.Name,
+			Reference:           c.Reference,
+			Conformance:         c.Conformance,
+			ConformanceT:        c.ConformanceT,
+			DeltaThroughputMbps: c.DeltaThroughputMbps,
+			DeltaDelayMs:        c.DeltaDelayMs,
+			K:                   c.K,
+			Flows:               c.Flows,
+			Completed:           c.Completed,
+			MeanFCTms:           c.MeanFCTms,
+			MeanMbps:            c.MeanMbps,
+		})
+	}
+	return out
+}
+
+// DefaultTrafficSpec returns the canonical many-flow traffic model as JSON
+// (90% short web flows + 5% bulk on quic-go CUBIC, 5% kernel-reference
+// bulk; Poisson arrivals at 500 flows/s into a 1000-flow cap), ready for
+// SweepOptions.TrafficSpec or as a template for a custom spec file.
+func DefaultTrafficSpec() []byte {
+	js, err := json.MarshalIndent(core.DefaultTrafficSpec(), "", "  ")
+	if err != nil {
+		panic(err) // a compile-time-constant spec cannot fail to marshal
+	}
+	return append(js, '\n')
 }
 
 func fromPEReport(r pe.Report) Report {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stacks"
 	"repro/internal/telemetry"
+	"repro/internal/traffic"
 )
 
 // SweepOptions configures a supervised conformance sweep: the grid to
@@ -33,6 +34,15 @@ type SweepOptions struct {
 	// Networks lists the network configurations (default: the paper's
 	// representative 20 Mbps / 10 ms / 1 BDP setting).
 	Networks []Network
+	// TrafficSpec, when non-empty, is a JSON many-flow traffic model (see
+	// DefaultTrafficSpec for the schema): the sweep then runs one
+	// many-flow cell per network — thousands of concurrent flows from the
+	// spec's cohort mix churning through the bottleneck, with conformance
+	// evaluated per cohort against the spec's reference cohort — instead
+	// of the two-flow stack × CCA grid (Stacks/CCAs are ignored). All
+	// supervision machinery (workers, isolation, checkpointing, the
+	// distributed fabric, tracing) applies unchanged.
+	TrafficSpec []byte
 	// Workers bounds the concurrent cells (default 1).
 	Workers int
 	// Retries is the per-cell attempt budget (default 3).
@@ -179,6 +189,21 @@ func (s *SweepSummary) count(o runner.Outcome) int {
 
 // sweepCells expands the options into the internal grid.
 func sweepCells(opts SweepOptions) ([]core.SweepCell, error) {
+	if len(opts.TrafficSpec) > 0 {
+		spec, err := traffic.ParseSpec(opts.TrafficSpec)
+		if err != nil {
+			return nil, err
+		}
+		nets := opts.Networks
+		if len(nets) == 0 {
+			nets = []Network{{}}
+		}
+		cnets := make([]core.Network, len(nets))
+		for i, n := range nets {
+			cnets[i] = n.toCore()
+		}
+		return core.ManyFlowCells(spec, cnets)
+	}
 	names := opts.Stacks
 	if len(names) == 0 {
 		for _, s := range stacks.QUICStacks() {
@@ -222,6 +247,7 @@ func cellResult(rec runner.Record) SweepCellResult {
 				DeltaThroughputMbps: cr.DeltaThroughputMbps,
 				DeltaDelayMs:        cr.DeltaDelayMs,
 				K:                   cr.K,
+				ManyFlow:            fromManyFlowReport(cr.ManyFlow),
 			}
 		}
 	}
@@ -471,6 +497,23 @@ func RenderSweep(w io.Writer, s *SweepSummary) error {
 			DDelayMs:  c.Report.DeltaDelayMs,
 			K:         c.Report.K,
 			Err:       c.Err,
+		}
+		if mf := c.Report.ManyFlow; mf != nil && c.Completed() {
+			for _, co := range mf.Cohorts {
+				rows[i].Cohorts = append(rows[i].Cohorts, report.CohortRow{
+					Name:      co.Name,
+					Reference: co.Reference,
+					Conf:      co.Conformance,
+					ConfT:     co.ConformanceT,
+					DTputMbps: co.DeltaThroughputMbps,
+					DDelayMs:  co.DeltaDelayMs,
+					K:         co.K,
+					Flows:     co.Flows,
+					Completed: co.Completed,
+					FCTms:     co.MeanFCTms,
+					Mbps:      co.MeanMbps,
+				})
+			}
 		}
 	}
 	if err := report.RenderSweep(w, rows, s.Interrupted); err != nil {
