@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	quicbench "repro"
+)
+
+// liveMain implements the `quicbench live` subcommand: the sim-vs-live
+// divergence report. Every cell of the requested grid is measured twice
+// under identical seeds — once by the discrete-event simulator, once over
+// real UDP loopback sockets — and the per-cell Δ-table is rendered with a
+// budget verdict. Exit codes: 0 within budget, 1 over budget (or a backend
+// failed to measure a cell), 2 on usage errors.
+func liveMain(args []string) int {
+	fs := flag.NewFlagSet("live", flag.ExitOnError)
+	var (
+		stackList = fs.String("stacks", "quicgo", "comma-separated stacks to measure")
+		ccaList   = fs.String("ccas", "cubic", "comma-separated CCAs")
+		bw        = fs.Float64("bw", 20, "bottleneck bandwidth (Mbps)")
+		rtt       = fs.Duration("rtt", 10*time.Millisecond, "base RTT")
+		buffer    = fs.Float64("buffer", 1, "droptail buffer (BDP multiples)")
+		duration  = fs.Duration("duration", 2*time.Second, "flow duration (live trials take this long in wall-clock time)")
+		trials    = fs.Int("trials", 2, "trials per cell")
+		seed      = fs.Uint64("seed", 1, "random seed (shared by both backends)")
+		lossP     = fs.Float64("loss", 0, "i.i.d. loss probability applied to both backends")
+		burst     = fs.Bool("burst", false, "Gilbert-Elliott burst loss (~1% mean) instead of i.i.d.")
+		budget    = fs.Float64("budget", 25, "divergence budget: mean |dConf| across cells (percentage points)")
+		stallTO   = fs.Duration("stall", 0, "kill a live trial whose relay moves no datagram for this long (0 = 2s)")
+		verbose   = fs.Bool("v", false, "log live degradation warnings (clock skew, Now regressions) to stderr")
+	)
+	fs.Parse(args)
+
+	if *lossP < 0 || *lossP > 1 {
+		fmt.Fprintln(os.Stderr, "live: -loss must be in [0, 1]")
+		return 2
+	}
+	if *lossP > 0 && *burst {
+		fmt.Fprintln(os.Stderr, "live: -loss and -burst are mutually exclusive")
+		return 2
+	}
+
+	opts := quicbench.LiveOptions{
+		Stacks: splitList(*stackList),
+		LossP:  *lossP,
+		Burst:  *burst,
+		Networks: []quicbench.Network{{
+			BandwidthMbps: *bw,
+			RTT:           *rtt,
+			BufferBDP:     *buffer,
+			Duration:      *duration,
+			Trials:        *trials,
+			Seed:          *seed,
+		}},
+		BudgetPP:     *budget,
+		StallTimeout: *stallTO,
+	}
+	for _, c := range splitList(*ccaList) {
+		opts.CCAs = append(opts.CCAs, quicbench.CCA(c))
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "live: "+format+"\n", args...)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		if _, ok := <-sigCh; ok {
+			cancel()
+		}
+	}()
+
+	sum, err := quicbench.RunLiveDivergence(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "live:", err)
+		return 2
+	}
+	within, err := quicbench.RenderLiveDivergence(os.Stdout, sum)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "live:", err)
+		return 2
+	}
+	if !within {
+		return 1
+	}
+	return 0
+}

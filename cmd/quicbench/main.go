@@ -13,6 +13,8 @@
 //	quicbench sweep -trace traces/ -progress -status status.jsonl
 //	quicbench sweep -listen 127.0.0.1:9777 -min-workers 3 -checkpoint run.jsonl
 //	quicbench worker -connect 127.0.0.1:9777     # one fleet member (run several)
+//	quicbench sweep -live -duration 2s -trials 1 # cells over real UDP loopback
+//	quicbench live -stacks quicgo -ccas cubic    # sim-vs-live divergence table
 //	quicbench trace -check traces/               # validate qlog JSONL files
 //	quicbench trace -cwnd 1 traces/<cell>/test0.qlog.jsonl  # cwnd-over-time CSV
 //
@@ -46,6 +48,16 @@
 // Checkpoint records flush in cell order, so the distributed journal —
 // even across a coordinator kill plus -resume — is byte-identical to a
 // single-process run's.
+//
+// With -live the sweep leaves the simulator: each cell's trials run over
+// real UDP sockets on the loopback interface through a userspace
+// bottleneck relay (rate, droptail queue, delay, seeded loss), in
+// wall-clock time, under a per-trial watchdog that classifies stalls and
+// overruns exactly like the isolate reaper. An environment that refuses
+// sockets degrades the cell to the simulator. The live subcommand runs
+// the same cells through BOTH backends under identical seeds and renders
+// the per-cell Δ-table (conformance, throughput, loss) with a divergence
+// budget verdict.
 //
 // Observability: -trace writes one qlog-style JSONL trace per trial
 // (cwnd/ssthresh/pacing updates, CC state transitions, loss and PTO
@@ -84,6 +96,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "manyflow" {
 		os.Exit(manyflowMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "live" {
+		os.Exit(liveMain(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(benchMain(os.Args[2:]))

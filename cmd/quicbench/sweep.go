@@ -37,6 +37,9 @@ func sweepMain(args []string) int {
 		checkpoint  = fs.String("checkpoint", "", "JSONL journal path (empty = no checkpointing)")
 		resume      = fs.Bool("resume", false, "replay the checkpoint journal and run only missing/failed cells")
 		isolated    = fs.Bool("isolate", false, "run each cell attempt in a crash-isolated child process")
+		liveBackend = fs.Bool("live", false, "run cells over real UDP loopback sockets (wall-clock trials; excludes -isolate/-listen)")
+		liveStall   = fs.Duration("live-stall", 0, "with -live, kill a trial whose relay moves no datagram for this long (0 = 2s)")
+		liveWall    = fs.Duration("live-wall", 0, "with -live, teardown grace past the nominal trial duration before the watchdog kills it (0 = 10s)")
 		memLimit    = fs.Int("mem-limit", 0, "soft heap ceiling per isolated child (MiB, 0 = none)")
 		stallTO     = fs.Duration("stall-timeout", 10*time.Second, "SIGKILL an isolated child silent for this long")
 		wallTO      = fs.Duration("wall-timeout", 0, "wall-clock deadline per isolated child attempt (0 = none)")
@@ -80,6 +83,14 @@ func sweepMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "sweep: -trace-packets requires -trace")
 		return 2
 	}
+	if *liveBackend && (*isolated || *listenAddr != "") {
+		fmt.Fprintln(os.Stderr, "sweep: -live is mutually exclusive with -isolate and -listen")
+		return 2
+	}
+	if !*liveBackend && (*liveStall != 0 || *liveWall != 0) {
+		fmt.Fprintln(os.Stderr, "sweep: -live-stall and -live-wall require -live")
+		return 2
+	}
 	if *pprofAddr != "" {
 		if err := startPprof(*pprofAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -101,6 +112,9 @@ func sweepMain(args []string) int {
 		IsolateMemLimitMB:   *memLimit,
 		IsolateStallTimeout: *stallTO,
 		IsolateWallTimeout:  *wallTO,
+		Live:                *liveBackend,
+		LiveStallTimeout:    *liveStall,
+		LiveWallTimeout:     *liveWall,
 		TraceDir:            *traceDir,
 		TracePackets:        *tracePkts,
 		StatusPath:          *statusPath,
@@ -166,6 +180,14 @@ func sweepMain(args []string) int {
 	if *isolated {
 		opts.OnFallback = func(cell string, err error) {
 			fmt.Fprintf(os.Stderr, "sweep: isolation fallback (in-process) for %s: %v\n", cell, err)
+		}
+	}
+	if *liveBackend {
+		opts.OnFallback = func(cell string, err error) {
+			fmt.Fprintf(os.Stderr, "sweep: live fallback (simulator) for %s: %v\n", cell, err)
+		}
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
 		}
 	}
 	if *verbose {

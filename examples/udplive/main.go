@@ -5,252 +5,28 @@
 // library's congestion controllers are not simulator-bound: the same
 // Sender/Receiver code runs on a real-time clock over a real network path.
 //
+// The relay, endpoints, and retrying read loop live in internal/live (the
+// same machinery behind `quicbench live` and `quicbench sweep -live`); this
+// example wires two flows through them by hand and prints the split. Read
+// failures surface as typed errors — errors.Is(err, live.ErrReadLoop) after
+// a retry budget is spent, live.ErrTorndown on an unexpected socket close —
+// instead of a log line buried mid-run.
+//
 //	go run ./examples/udplive                     # quiche cubic vs kernel cubic
 //	go run ./examples/udplive -a mvfst:bbr -duration 10s
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"strings"
-	"sync"
 	"time"
 
-	"repro/internal/netem"
-	"repro/internal/rtclock"
-	"repro/internal/sim"
+	"repro/internal/live"
 	"repro/internal/stacks"
 	"repro/internal/transport"
-	"repro/internal/wire"
 )
-
-// loopClock adapts *rtclock.Loop to transport.Clock.
-type loopClock struct{ l *rtclock.Loop }
-
-func (c loopClock) Now() sim.Time { return c.l.Now() }
-func (c loopClock) NewTimer(fn func()) transport.TimerHandle {
-	return c.l.NewTimer(fn)
-}
-
-// readDeadline bounds every blocking ReadFromUDP so read loops can notice
-// shutdown instead of blocking forever on an idle socket.
-const readDeadline = 250 * time.Millisecond
-
-// readLoop pumps datagrams from conn into handle until done closes or the
-// socket is torn down. Deadline timeouts just re-check done; transient
-// errors are retried with exponential backoff (1ms doubling to 128ms, at
-// most 8 consecutive failures) before the loop gives up.
-func readLoop(conn *net.UDPConn, done <-chan struct{}, handle func(buf []byte, n int)) {
-	buf := make([]byte, 2048)
-	backoff := time.Millisecond
-	failures := 0
-	for {
-		select {
-		case <-done:
-			return
-		default:
-		}
-		conn.SetReadDeadline(time.Now().Add(readDeadline))
-		n, _, err := conn.ReadFromUDP(buf)
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				continue // idle socket: loop back to the done check
-			}
-			failures++
-			if failures > 8 {
-				log.Printf("udplive: read loop giving up after %d transient errors: %v", failures, err)
-				return
-			}
-			select {
-			case <-done:
-				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > 128*time.Millisecond {
-				backoff = 128 * time.Millisecond
-			}
-			continue
-		}
-		failures = 0
-		backoff = time.Millisecond
-		handle(buf, n)
-	}
-}
-
-// relay is a userspace bottleneck: data datagrams (sender -> receiver) go
-// through a rate limiter with a droptail byte queue plus one-way delay;
-// ACKs (receiver -> sender) only get the delay. It answers on one UDP
-// socket and forwards by flow id to registered endpoint addresses.
-type relay struct {
-	conn *net.UDPConn
-	done chan struct{}
-	wg   sync.WaitGroup
-
-	mu        sync.Mutex
-	queued    int
-	busyUntil time.Time
-
-	rateBps  float64
-	queueCap int
-	owd      time.Duration // one-way delay per direction
-
-	dataAddr map[int]*net.UDPAddr // flow -> receiver addr
-	ackAddr  map[int]*net.UDPAddr // flow -> sender addr
-
-	dropped int
-}
-
-func newRelay(rateBps float64, queueCap int, owd time.Duration) (*relay, error) {
-	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-	if err != nil {
-		return nil, err
-	}
-	r := &relay{
-		conn:     conn,
-		done:     make(chan struct{}),
-		rateBps:  rateBps,
-		queueCap: queueCap,
-		owd:      owd,
-		dataAddr: make(map[int]*net.UDPAddr),
-		ackAddr:  make(map[int]*net.UDPAddr),
-	}
-	r.wg.Add(1)
-	go r.serve()
-	return r, nil
-}
-
-// close tears the relay down and waits for its serve goroutine to exit.
-func (r *relay) close() {
-	close(r.done)
-	r.conn.Close()
-	r.wg.Wait()
-}
-
-func (r *relay) addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
-
-func (r *relay) register(flow int, receiver, sender *net.UDPAddr) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.dataAddr[flow] = receiver
-	r.ackAddr[flow] = sender
-}
-
-func (r *relay) serve() {
-	defer r.wg.Done()
-	readLoop(r.conn, r.done, func(buf []byte, n int) {
-		if n < 4 || buf[0] != 0x51 {
-			return
-		}
-		isAck := buf[1]&1 != 0
-		flow := int(buf[2])
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-
-		r.mu.Lock()
-		var dst *net.UDPAddr
-		if isAck {
-			dst = r.ackAddr[flow]
-		} else {
-			dst = r.dataAddr[flow]
-		}
-		if dst == nil {
-			r.mu.Unlock()
-			return
-		}
-		if isAck {
-			// Uncongested reverse path: delay only.
-			r.mu.Unlock()
-			time.AfterFunc(r.owd, func() { r.conn.WriteToUDP(pkt, dst) })
-			return
-		}
-		// Droptail bottleneck.
-		if r.queued+n > r.queueCap {
-			r.dropped++
-			r.mu.Unlock()
-			return
-		}
-		r.queued += n
-		now := time.Now()
-		start := now
-		if r.busyUntil.After(start) {
-			start = r.busyUntil
-		}
-		txEnd := start.Add(time.Duration(float64(n*8) / r.rateBps * float64(time.Second)))
-		r.busyUntil = txEnd
-		r.mu.Unlock()
-
-		time.AfterFunc(txEnd.Sub(now), func() {
-			r.mu.Lock()
-			r.queued -= n
-			r.mu.Unlock()
-		})
-		time.AfterFunc(txEnd.Add(r.owd).Sub(now), func() {
-			r.conn.WriteToUDP(pkt, dst)
-		})
-	})
-}
-
-// endpoint is one UDP host running a transport sender or receiver on its
-// own real-time loop.
-type endpoint struct {
-	conn *net.UDPConn
-	loop *rtclock.Loop
-	done chan struct{}
-	wg   sync.WaitGroup
-}
-
-func newEndpoint() (*endpoint, error) {
-	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-	if err != nil {
-		return nil, err
-	}
-	return &endpoint{conn: conn, loop: rtclock.New(), done: make(chan struct{})}, nil
-}
-
-func (e *endpoint) addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
-
-// writerTo returns a netem.Handler that serializes packets to dst.
-func (e *endpoint) writerTo(dst *net.UDPAddr) netem.Handler {
-	return netem.HandlerFunc(func(p *netem.Packet) {
-		buf := make([]byte, 2048)
-		n, err := wire.Encode(buf, p)
-		if err != nil {
-			return
-		}
-		e.conn.WriteToUDP(buf[:n], dst)
-	})
-}
-
-// readInto pumps incoming datagrams into h on the endpoint's loop.
-func (e *endpoint) readInto(h netem.Handler) {
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		readLoop(e.conn, e.done, func(buf []byte, n int) {
-			pkt, err := wire.Decode(buf[:n])
-			if err != nil {
-				return
-			}
-			e.loop.Post(func() { h.HandlePacket(pkt) })
-		})
-	}()
-}
-
-// close tears the endpoint down: the read goroutine is joined before the
-// event loop closes, so no callback is posted to a dead loop.
-func (e *endpoint) close() {
-	close(e.done)
-	e.conn.Close()
-	e.wg.Wait()
-	e.loop.Close()
-}
 
 func parseFlow(s string) (*stacks.Stack, stacks.CCA, error) {
 	parts := strings.Split(s, ":")
@@ -285,7 +61,11 @@ func main() {
 	fmt.Printf("live UDP run: %.0f Mbps bottleneck, %v RTT, %d-byte queue (%.1f BDP), %v\n",
 		*mbps, rtt, queue, *buffer, *duration)
 
-	rel, err := newRelay(*mbps*1e6, queue, *owd)
+	rel, err := live.NewRelay(live.RelayConfig{
+		RateBps:    *mbps * 1e6,
+		QueueBytes: queue,
+		OWD:        *owd,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -293,8 +73,8 @@ func main() {
 	type flowHalf struct {
 		tx    *transport.Sender
 		rx    *transport.Receiver
-		txEP  *endpoint
-		rxEP  *endpoint
+		txEP  *live.Endpoint
+		rxEP  *live.Endpoint
 		label string
 	}
 	var flows []*flowHalf
@@ -305,21 +85,21 @@ func main() {
 			log.Fatal(err)
 		}
 		flowID := i + 1
-		txEP, err := newEndpoint()
+		txEP, err := live.NewEndpoint(live.ReadLoopConfig{}, false)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rxEP, err := newEndpoint()
+		rxEP, err := live.NewEndpoint(live.ReadLoopConfig{}, false)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rel.register(flowID, rxEP.addr(), txEP.addr())
+		rel.Register(flowID, rxEP.Addr(), txEP.Addr())
 
 		ctrl := st.NewController(cca)
-		tx := transport.NewSenderWithClock(loopClock{txEP.loop}, st.Profile, ctrl, txEP.writerTo(rel.addr()), flowID)
-		rx := transport.NewReceiverWithClock(loopClock{rxEP.loop}, st.Profile, rxEP.writerTo(rel.addr()), flowID)
-		txEP.readInto(tx) // sender consumes ACKs
-		rxEP.readInto(rx) // receiver consumes data
+		tx := transport.NewSenderWithClock(txEP.Clock(), st.Profile, ctrl, txEP.WriterTo(rel.Addr()), flowID)
+		rx := transport.NewReceiverWithClock(rxEP.Clock(), st.Profile, rxEP.WriterTo(rel.Addr()), flowID)
+		txEP.ReadInto(tx) // sender consumes ACKs
+		rxEP.ReadInto(rx) // receiver consumes data
 
 		flows = append(flows, &flowHalf{tx: tx, rx: rx, txEP: txEP, rxEP: rxEP, label: spec})
 	}
@@ -327,12 +107,12 @@ func main() {
 	start := time.Now()
 	for _, f := range flows {
 		f := f
-		f.txEP.loop.Post(func() { f.tx.Start() })
+		f.txEP.Loop().Post(func() { f.tx.Start() })
 	}
 	time.Sleep(*duration)
 	for _, f := range flows {
 		f := f
-		f.txEP.loop.Post(func() { f.tx.Stop() })
+		f.txEP.Loop().Post(func() { f.tx.Stop() })
 	}
 	elapsed := time.Since(start).Seconds()
 
@@ -343,7 +123,7 @@ func main() {
 		fmt.Printf("  %-16s %6.2f Mbps   (rtt est %v, losses %d, spurious %d)\n",
 			f.label, mbpsGot, time.Duration(f.tx.SRTT()), f.tx.Stats.PacketsLost, f.tx.Stats.SpuriousLosses)
 	}
-	fmt.Printf("  aggregate        %6.2f Mbps of %.0f available; relay dropped %d\n", total, *mbps, rel.dropped)
+	fmt.Printf("  aggregate        %6.2f Mbps of %.0f available; relay dropped %d\n", total, *mbps, rel.Dropped())
 	share := 0.0
 	a := float64(flows[0].rx.Stats.BytesReceived)
 	b := float64(flows[1].rx.Stats.BytesReceived)
@@ -352,9 +132,17 @@ func main() {
 	}
 	fmt.Printf("  bandwidth share: %.2f / %.2f\n", share, 1-share)
 
+	// Typed-error teardown: a read loop that died mid-run (retry budget
+	// spent, or socket closed under it) surfaces here instead of being
+	// swallowed by a log line.
 	for _, f := range flows {
-		f.txEP.close()
-		f.rxEP.close()
+		for _, ep := range []*live.Endpoint{f.txEP, f.rxEP} {
+			if err := ep.Close(); err != nil {
+				log.Printf("udplive: %s endpoint: %v", f.label, err)
+			}
+		}
 	}
-	rel.close()
+	if err := rel.Close(); err != nil {
+		log.Printf("udplive: relay: %v", err)
+	}
 }

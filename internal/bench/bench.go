@@ -24,6 +24,7 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/live"
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/stacks"
@@ -183,6 +185,23 @@ func Suite() []Benchmark {
 				panic(fmt.Sprintf("bench: many_flow_1000: %v", err))
 			}
 			return res.Events
+		}},
+		{Name: "live_single_flow", Run: func() uint64 {
+			// The live-UDP backend's hot path: a fixed 512 KiB flow over real
+			// loopback sockets through the userspace relay. Only the work
+			// metrics matter here (datagrams relayed, allocs for a fixed
+			// transfer); ns/op is wall-clock-bound by design. An environment
+			// that refuses UDP sockets skips the entry (0 events) rather than
+			// failing the whole suite — the same degradation the sweep's live
+			// executor applies.
+			events, err := live.BenchSingleFlow()
+			if errors.Is(err, live.ErrSocket) {
+				return 0
+			}
+			if err != nil {
+				panic(fmt.Sprintf("bench: live_single_flow: %v", err))
+			}
+			return events
 		}},
 		{Name: "chaos_trial_gilbert", Run: func() uint64 {
 			// One fault-injected trial: Gilbert–Elliott burst loss on the

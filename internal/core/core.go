@@ -82,6 +82,11 @@ func (n Network) withDefaults() Network {
 	return n
 }
 
+// WithDefaults returns the configuration with the paper's defaults
+// filled in — the exported form for alternate backends (internal/live)
+// that must shape their networks exactly like the simulator does.
+func (n Network) WithDefaults() Network { return n.withDefaults() }
+
 // String summarizes the configuration ("20Mbps/10ms/1.0BDP").
 func (n Network) String() string {
 	return fmt.Sprintf("%.0fMbps/%.0fms/%.1fBDP", n.BandwidthMbps, n.RTT.Millis(), n.BufferBDP)

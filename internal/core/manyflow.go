@@ -10,6 +10,7 @@ import (
 	"repro/internal/pe"
 	"repro/internal/sim"
 	"repro/internal/stacks"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
@@ -144,6 +145,11 @@ type CohortReport struct {
 	Completed           int64   `json:"completed"`
 	MeanFCTms           float64 `json:"fct_ms,omitempty"`
 	MeanMbps            float64 `json:"mbps"`
+	// Jain is Jain's fairness index over the cohort's window throughput
+	// samples pooled across trials: how evenly the cohort's flows shared
+	// the bottleneck through time (1 = perfectly even). Computed for
+	// reference cohorts too — fairness is accounting, not conformance.
+	Jain float64 `json:"jain,omitempty"`
 }
 
 // ManyFlowReport is the many-flow block of a CellReport: trial-aggregate
@@ -232,6 +238,20 @@ func manyFlowCell(c SweepCell, deadline sim.Time, topts *TraceOptions, bounds Bo
 			mc.MeanFCTms += cr.MeanFCTms / float64(n.Trials)
 			mc.MeanMbps += cr.MeanMbps / float64(n.Trials)
 		}
+	}
+
+	// Jain's fairness index per cohort over the pooled window throughput
+	// samples (Y of the (delay, throughput) points): the §3 sampling
+	// already discretizes each flow's bandwidth share through time, so
+	// fairness falls out of the same data that builds the envelopes.
+	for i := range spec.Cohorts {
+		var ys []float64
+		for _, pts := range cohortTrials[i] {
+			for _, p := range pts {
+				ys = append(ys, p.Y)
+			}
+		}
+		mf.Cohorts[i].Jain = stats.JainIndex(ys)
 	}
 
 	refTrials := cohortTrials[refIdx]

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -178,5 +179,55 @@ func TestManyFlowCellNoReference(t *testing.T) {
 	}
 	if _, err := ExecuteCellSpec(context.Background(), payload); !errors.Is(err, ErrBadTraffic) {
 		t.Errorf("no-reference cell: err = %v, want ErrBadTraffic", err)
+	}
+}
+
+// TestManyFlowJainFairness: the per-cohort Jain index is present, sane,
+// seeded-deterministic, and equals stats.JainIndex recomputed from the
+// same trials' pooled window throughput samples.
+func TestManyFlowJainFairness(t *testing.T) {
+	spec, n := smallTrafficSpec(), smallTrafficNet()
+	cell := SweepCell{Stack: "manyflow", CCA: "mix", Net: n, Traffic: spec}
+
+	rep, err := runCell(context.Background(), cell, 0, nil)
+	if err != nil {
+		t.Fatalf("runCell: %v", err)
+	}
+	for _, co := range rep.ManyFlow.Cohorts {
+		if co.Jain <= 0 || co.Jain > 1 {
+			t.Errorf("cohort %q Jain = %v, want in (0, 1]", co.Name, co.Jain)
+		}
+	}
+
+	// Cross-check: pool each cohort's window throughput samples across the
+	// same seeded trials and recompute.
+	want := make([][]float64, len(spec.Cohorts))
+	for trial := 0; trial < n.Trials; trial++ {
+		res, rerr := RunManyFlowTrial(spec, n, trial, Bounds{}, nil)
+		if rerr != nil {
+			t.Fatalf("RunManyFlowTrial(%d): %v", trial, rerr)
+		}
+		for i, cr := range res.Cohorts {
+			for _, p := range cr.Points {
+				want[i] = append(want[i], p.Y)
+			}
+		}
+	}
+	for i, co := range rep.ManyFlow.Cohorts {
+		if exp := stats.JainIndex(want[i]); co.Jain != exp {
+			t.Errorf("cohort %q Jain = %v, recomputed %v", co.Name, co.Jain, exp)
+		}
+	}
+
+	// Seeded determinism: a second full evaluation reports bit-identical
+	// fairness.
+	again, err := runCell(context.Background(), cell, 0, nil)
+	if err != nil {
+		t.Fatalf("runCell (repeat): %v", err)
+	}
+	for i := range rep.ManyFlow.Cohorts {
+		if rep.ManyFlow.Cohorts[i].Jain != again.ManyFlow.Cohorts[i].Jain {
+			t.Errorf("cohort %d Jain differs across identical runs", i)
+		}
 	}
 }

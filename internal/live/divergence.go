@@ -1,0 +1,142 @@
+package live
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/pe"
+	"repro/internal/stacks"
+)
+
+// CellMeasure is one backend's measurement of a conformance cell: the PE
+// metrics plus the raw per-trial aggregates the divergence report compares.
+type CellMeasure struct {
+	// Conf and ConfT are the §3 conformance metrics.
+	Conf  float64
+	ConfT float64
+	// TputMbps is the test flow's mean truncated-window throughput across
+	// test trials.
+	TputMbps float64
+	// LossPkts is the test flow's mean sender-detected packet losses per
+	// test trial.
+	LossPkts float64
+	// Err is the typed failure text when the backend could not measure
+	// the cell; the other fields are then zero.
+	Err string
+}
+
+// DivergenceCell pairs the simulator's and the live backend's measurement
+// of the same cell under the same seeds — one Δ-table row.
+type DivergenceCell struct {
+	Cell core.SweepCell
+	Sim  CellMeasure
+	Live CellMeasure
+}
+
+// DivergenceConfig tunes a sim-vs-live divergence measurement.
+type DivergenceConfig struct {
+	// Stall, WallGrace, SkewBudget tune the live watchdog (see RunTrial).
+	Stall      time.Duration
+	WallGrace  time.Duration
+	SkewBudget time.Duration
+	// Loss, when non-nil, builds a fresh loss model per trial and is
+	// applied to BOTH backends: the simulator runs it in its fault
+	// injector, the live relay on its data path — same builder, same
+	// seeds, comparable impairment.
+	Loss func() (faults.LossModel, error)
+	// OnWarn observes live clock-sanity warnings (key = cell key).
+	OnWarn func(key string, w Warning)
+}
+
+// MeasureCell runs one cell's full conformance pipeline through both
+// backends with identical seed mixing — test trials t and reference trials
+// t+1000 draw from the same streams in both — and returns the paired
+// measurement. Backend failures land in the measure's Err field rather
+// than aborting the comparison: a divergence report that says "the live
+// backend could not run this cell" is itself signal.
+func MeasureCell(ctx context.Context, cfg DivergenceConfig, c core.SweepCell) DivergenceCell {
+	out := DivergenceCell{Cell: c}
+	out.Sim = measureSim(cfg, c)
+	out.Live = measureLive(ctx, cfg, c)
+	return out
+}
+
+// measureSim is the simulator half: core.RunTrialImpaired under the
+// divergence loss model (nil Impairment fields degrade to the clean path).
+func measureSim(cfg DivergenceConfig, c core.SweepCell) CellMeasure {
+	fl, err := core.SpecE(c.Stack, c.CCA)
+	if err != nil {
+		return CellMeasure{Err: err.Error()}
+	}
+	n := c.Net.WithDefaults()
+	ref := core.Flow{Stack: stacks.Reference(), CCA: c.CCA}
+	imp := core.Impairment{Loss: cfg.Loss}
+
+	run := func(a, b core.Flow, trial int) (*core.TrialResult, error) {
+		return core.RunTrialImpaired(a, b, n, trial, imp)
+	}
+	return evaluate(n, func(trial int) (*core.TrialResult, error) { return run(fl, ref, trial) },
+		func(trial int) (*core.TrialResult, error) { return run(ref, ref, trial) })
+}
+
+// measureLive is the socket half: RunTrial on the loopback relay.
+func measureLive(ctx context.Context, cfg DivergenceConfig, c core.SweepCell) CellMeasure {
+	fl, err := core.SpecE(c.Stack, c.CCA)
+	if err != nil {
+		return CellMeasure{Err: err.Error()}
+	}
+	n := c.Net.WithDefaults()
+	ref := core.Flow{Stack: stacks.Reference(), CCA: c.CCA}
+	key := c.Key()
+
+	run := func(a, b core.Flow, trial int) (*core.TrialResult, error) {
+		return RunTrial(ctx, TrialConfig{
+			A: a, B: b, Net: n, Trial: trial,
+			Loss:  cfg.Loss,
+			Chaos: chaosFor(c.Stack),
+			Stall: cfg.Stall, WallGrace: cfg.WallGrace, SkewBudget: cfg.SkewBudget,
+			OnWarn: func(w Warning) {
+				if cfg.OnWarn != nil {
+					cfg.OnWarn(key, w)
+				}
+			},
+		})
+	}
+	return evaluate(n, func(trial int) (*core.TrialResult, error) { return run(fl, ref, trial) },
+		func(trial int) (*core.TrialResult, error) { return run(ref, ref, trial) })
+}
+
+// evaluate drives one backend through the shared trial schedule — test
+// trials t, reference trials t+1000 — and reduces to a CellMeasure.
+func evaluate(n core.Network, test, refr func(trial int) (*core.TrialResult, error)) CellMeasure {
+	testTrials := make([][]geom.Point, n.Trials)
+	refTrials := make([][]geom.Point, n.Trials)
+	var m CellMeasure
+	for t := 0; t < n.Trials; t++ {
+		res, err := test(t)
+		if err != nil {
+			return CellMeasure{Err: err.Error()}
+		}
+		testTrials[t] = res.Points(0, n)
+		m.TputMbps += res.MeanMbps[0]
+		m.LossPkts += float64(res.Losses[0])
+
+		if res, err = refr(t + 1000); err != nil {
+			return CellMeasure{Err: err.Error()}
+		}
+		refTrials[t] = res.Points(0, n)
+	}
+	m.TputMbps /= float64(n.Trials)
+	m.LossPkts /= float64(n.Trials)
+
+	r, err := pe.EvaluateE(testTrials, refTrials, pe.Options{Seed: n.Seed})
+	if err != nil {
+		return CellMeasure{Err: err.Error()}
+	}
+	m.Conf = r.Conformance
+	m.ConfT = r.ConformanceT
+	return m
+}

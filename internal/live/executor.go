@@ -1,0 +1,157 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/pe"
+	"repro/internal/runner"
+	"repro/internal/stacks"
+)
+
+// Executor implements runner.TrialExecutor over real UDP sockets: each
+// sweep cell's conformance pipeline (test trials against the kernel
+// reference, reference trials, PE evaluation) runs through RunTrial on the
+// loopback relay instead of the discrete-event simulator. The supervised
+// runner's whole policy layer — retry with deterministic backoff,
+// checkpoint journaling, outcome classification — applies unchanged, which
+// is the point: `sweep -live` is the same methodology on a real network
+// path.
+//
+// Degradation is graceful by design, mirroring internal/isolate: a cell
+// whose sockets cannot open (ErrSocket — EPERM in a sandbox, port
+// exhaustion) falls back to the simulator through Fallback with an
+// OnFallback notification, never a hard error. Everything else classifies:
+// watchdog kills (ErrRelayStall, ErrWallClock) arrive as FailTimeout,
+// cancellation as FailInterrupted, dead paths (core.ErrZeroThroughput,
+// ErrReadLoop, ErrTorndown) as FailError.
+type Executor struct {
+	// Stall, WallGrace, SkewBudget tune every trial's watchdog and
+	// clock-sanity thresholds; zero selects the package defaults.
+	Stall      time.Duration
+	WallGrace  time.Duration
+	SkewBudget time.Duration
+	// Loss, when non-nil, builds a fresh relay loss model per trial —
+	// the same builder shape core.Impairment uses, so a divergence run
+	// can hand one builder to both backends.
+	Loss func() (faults.LossModel, error)
+	// Fallback executes cells that cannot run live (socket refusal,
+	// many-flow cells, unserializable specs). Nil selects the in-process
+	// simulator executor.
+	Fallback runner.TrialExecutor
+	// OnFallback, when non-nil, observes each degradation (must be safe
+	// for concurrent use).
+	OnFallback func(key string, err error)
+	// OnWarn, when non-nil, observes typed clock-sanity degradation
+	// warnings from trials that completed anyway (must be safe for
+	// concurrent use).
+	OnWarn func(key string, w Warning)
+}
+
+// ExecuteTrial implements runner.TrialExecutor.
+func (e *Executor) ExecuteTrial(ctx context.Context, tr runner.Trial, attempt int) (json.RawMessage, *runner.TrialError) {
+	if tr.Spec == nil {
+		return e.fallback(ctx, tr, attempt, errors.New("trial has no serializable spec"))
+	}
+	payload, err := json.Marshal(tr.Spec)
+	if err != nil {
+		return e.fallback(ctx, tr, attempt, fmt.Errorf("marshal trial spec: %w", err))
+	}
+	var spec core.CellTrialSpec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		return e.fallback(ctx, tr, attempt, fmt.Errorf("decode trial spec: %w", err))
+	}
+	if spec.Cell.Traffic != nil {
+		// Many-flow cells model thousands of concurrent flows; one real
+		// socket pair per flow would exhaust descriptors, so they stay on
+		// the simulator.
+		return e.fallback(ctx, tr, attempt, errors.New("many-flow cell has no live backend"))
+	}
+	rep, err := e.runCell(ctx, tr.Key, spec.Cell)
+	switch {
+	case errors.Is(err, ErrSocket):
+		return e.fallback(ctx, tr, attempt, err)
+	case err != nil:
+		return nil, &runner.TrialError{Key: tr.Key, Attempt: attempt, Kind: runner.Classify(err), Err: err}
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		return nil, &runner.TrialError{Key: tr.Key, Attempt: attempt, Kind: runner.FailError, Err: err}
+	}
+	return out, nil
+}
+
+// runCell is the live conformance pipeline for one two-flow cell — the
+// socket-backed analogue of core's runCell: test trials t = 0..Trials-1
+// against the kernel reference, reference trials offset by 1000 (the
+// simulator's seed-space convention), then the §3 PE evaluation on the
+// identical sample extraction.
+func (e *Executor) runCell(ctx context.Context, key string, c core.SweepCell) (core.CellReport, error) {
+	fl, err := core.SpecE(c.Stack, c.CCA)
+	if err != nil {
+		return core.CellReport{}, err
+	}
+	n := c.Net.WithDefaults()
+	ref := core.Flow{Stack: stacks.Reference(), CCA: c.CCA}
+	chaos := chaosFor(c.Stack)
+
+	run := func(a, b core.Flow, trial int) ([]geom.Point, error) {
+		res, terr := RunTrial(ctx, TrialConfig{
+			A: a, B: b, Net: n, Trial: trial,
+			Loss:  e.Loss,
+			Chaos: chaos,
+			Stall: e.Stall, WallGrace: e.WallGrace, SkewBudget: e.SkewBudget,
+			OnWarn: func(w Warning) {
+				if e.OnWarn != nil {
+					e.OnWarn(key, w)
+				}
+			},
+		})
+		if terr != nil {
+			return nil, terr
+		}
+		return res.Points(0, n), nil
+	}
+
+	testTrials := make([][]geom.Point, n.Trials)
+	refTrials := make([][]geom.Point, n.Trials)
+	for t := 0; t < n.Trials; t++ {
+		if testTrials[t], err = run(fl, ref, t); err != nil {
+			return core.CellReport{}, err
+		}
+		if refTrials[t], err = run(ref, ref, t+1000); err != nil {
+			return core.CellReport{}, err
+		}
+	}
+
+	r, err := pe.EvaluateE(testTrials, refTrials, pe.Options{Seed: n.Seed})
+	if err != nil {
+		return core.CellReport{}, err
+	}
+	return core.CellReport{
+		Conformance:         r.Conformance,
+		ConformanceOld:      r.ConformanceOld,
+		ConformanceT:        r.ConformanceT,
+		DeltaThroughputMbps: r.DeltaThroughputMbps,
+		DeltaDelayMs:        r.DeltaDelayMs,
+		K:                   r.K,
+	}, nil
+}
+
+// fallback degrades to the simulator executor.
+func (e *Executor) fallback(ctx context.Context, tr runner.Trial, attempt int, cause error) (json.RawMessage, *runner.TrialError) {
+	if e.OnFallback != nil {
+		e.OnFallback(tr.Key, cause)
+	}
+	fb := e.Fallback
+	if fb == nil {
+		fb = runner.InProcess{}
+	}
+	return fb.ExecuteTrial(ctx, tr, attempt)
+}

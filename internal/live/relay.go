@@ -1,0 +1,214 @@
+package live
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+// RelayConfig shapes the userspace bottleneck.
+type RelayConfig struct {
+	// RateBps is the forward serialization rate (bits per second).
+	RateBps float64
+	// QueueBytes is the droptail byte queue capacity.
+	QueueBytes int
+	// OWD is the one-way propagation delay per direction.
+	OWD time.Duration
+	// Loss, when non-nil, drops forward data datagrams before they enter
+	// the queue — the live analogue of the simulator's fault injector
+	// sitting between the senders and the bottleneck (ACKs stay clean).
+	Loss faults.LossModel
+	// RNG drives the loss model; required when Loss is set. Seeded from
+	// the trial's mixed seed so impairment traces are reproducible.
+	RNG *stats.RNG
+	// Chaos carries the injected-fault switches (wedge/drop).
+	Chaos Chaos
+	// ReadLoop tunes the relay socket's retry discipline.
+	ReadLoop ReadLoopConfig
+}
+
+// Relay is a userspace bottleneck on one UDP socket: data datagrams
+// (sender → receiver) pass a seeded loss model, then a rate limiter with a
+// droptail byte queue, then one-way delay; ACKs (receiver → sender) get
+// the delay only. Forwarding is by flow id to registered addresses.
+//
+// Handled counts every datagram the relay has read — the watchdog's
+// forward-progress heartbeat: a healthy trial keeps it moving (even a
+// drop storm does, since senders keep probing), while a wedged socket
+// freezes it and the reaper fires.
+type Relay struct {
+	conn *net.UDPConn
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	handled   atomic.Uint64 // datagrams read (watchdog heartbeat)
+	forwarded atomic.Uint64 // datagrams written onward
+	dropped   atomic.Uint64 // droptail queue drops
+	lost      atomic.Uint64 // loss-model drops
+
+	mu        sync.Mutex
+	queued    int
+	busyUntil time.Time
+	dataAddr  map[int]*net.UDPAddr // flow → receiver addr
+	ackAddr   map[int]*net.UDPAddr // flow → sender addr
+
+	cfg RelayConfig
+
+	closeOnce sync.Once
+	readErr   error // read loop's typed verdict, valid after Close
+}
+
+// NewRelay opens the relay socket and starts its serve loop. Socket
+// refusals classify as ErrSocket.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	conn, err := listenUDP(cfg.Chaos.DenySockets)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		conn:     conn,
+		done:     make(chan struct{}),
+		dataAddr: make(map[int]*net.UDPAddr),
+		ackAddr:  make(map[int]*net.UDPAddr),
+		cfg:      cfg,
+	}
+	r.wg.Add(1)
+	go r.serve()
+	return r, nil
+}
+
+// Addr returns the relay's socket address — where endpoints send.
+func (r *Relay) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+// Register maps a flow id to its receiver (data) and sender (ACK)
+// addresses.
+func (r *Relay) Register(flow int, receiver, sender *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dataAddr[flow] = receiver
+	r.ackAddr[flow] = sender
+}
+
+// Handled returns the datagrams read so far (the watchdog heartbeat).
+func (r *Relay) Handled() uint64 { return r.handled.Load() }
+
+// Forwarded returns the datagrams written onward so far.
+func (r *Relay) Forwarded() uint64 { return r.forwarded.Load() }
+
+// Dropped returns the droptail queue drops so far.
+func (r *Relay) Dropped() uint64 { return r.dropped.Load() }
+
+// Lost returns the loss-model drops so far.
+func (r *Relay) Lost() uint64 { return r.lost.Load() }
+
+// Kill force-closes the relay socket without waiting for the serve loop —
+// the watchdog's hammer. A later Close still joins cleanly.
+func (r *Relay) Kill() { r.conn.Close() }
+
+// Close tears the relay down, waits for its serve loop, and returns the
+// read loop's typed verdict (nil on orderly shutdown).
+func (r *Relay) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.done)
+		r.conn.Close()
+		r.wg.Wait()
+	})
+	return r.readErr
+}
+
+func (r *Relay) serve() {
+	defer r.wg.Done()
+	r.readErr = ReadLoop(r.conn, r.done, r.cfg.ReadLoop, r.handlePacket)
+}
+
+// handlePacket classifies and forwards one datagram. The wire format puts
+// everything the relay needs in the first bytes: magic, ACK flag, flow id
+// (see internal/wire).
+func (r *Relay) handlePacket(buf []byte, n int) {
+	if r.cfg.Chaos.Wedge {
+		// Injected wedge: the relay "reads" nothing as far as the
+		// watchdog can tell — Handled freezes and the reaper fires.
+		return
+	}
+	r.handled.Add(1)
+	if n < 4 || buf[0] != 0x51 {
+		return
+	}
+	isAck := buf[1]&1 != 0
+	flow := int(buf[2])
+	pkt := make([]byte, n)
+	copy(pkt, buf[:n])
+
+	r.mu.Lock()
+	var dst *net.UDPAddr
+	if isAck {
+		dst = r.ackAddr[flow]
+	} else {
+		dst = r.dataAddr[flow]
+	}
+	if dst == nil {
+		r.mu.Unlock()
+		return
+	}
+	if isAck {
+		// Uncongested reverse path: delay only.
+		r.mu.Unlock()
+		time.AfterFunc(r.cfg.OWD, func() { r.write(pkt, dst) })
+		return
+	}
+	if r.cfg.Chaos.Drop {
+		// Injected drop storm: the data path forwards nothing.
+		r.mu.Unlock()
+		r.lost.Add(1)
+		return
+	}
+	if lm := r.cfg.Loss; lm != nil && lm.Drop(r.cfg.RNG) {
+		// The loss model runs on the serve goroutine only, so its state
+		// (and the RNG stream) advances deterministically in arrival
+		// order.
+		r.mu.Unlock()
+		r.lost.Add(1)
+		return
+	}
+	// Droptail bottleneck: queue accounting plus a busy-until rate model.
+	if r.queued+n > r.cfg.QueueBytes {
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return
+	}
+	r.queued += n
+	now := time.Now()
+	start := now
+	if r.busyUntil.After(start) {
+		start = r.busyUntil
+	}
+	txEnd := start.Add(time.Duration(float64(n*8) / r.cfg.RateBps * float64(time.Second)))
+	r.busyUntil = txEnd
+	r.mu.Unlock()
+
+	time.AfterFunc(txEnd.Sub(now), func() {
+		r.mu.Lock()
+		r.queued -= n
+		r.mu.Unlock()
+	})
+	time.AfterFunc(txEnd.Add(r.cfg.OWD).Sub(now), func() {
+		r.write(pkt, dst)
+	})
+}
+
+// write forwards one datagram unless the relay is shutting down (the
+// AfterFunc timers can outlive Close by a propagation delay).
+func (r *Relay) write(pkt []byte, dst *net.UDPAddr) {
+	select {
+	case <-r.done:
+		return
+	default:
+	}
+	if _, err := r.conn.WriteToUDP(pkt, dst); err == nil {
+		r.forwarded.Add(1)
+	}
+}

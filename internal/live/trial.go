@@ -1,0 +1,302 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Watchdog/clock-sanity defaults.
+const (
+	// DefaultStall is how long the relay may go without reading a
+	// datagram before the reaper kills the trial (ErrRelayStall).
+	DefaultStall = 2 * time.Second
+	// DefaultWallGrace is the teardown allowance past the nominal flow
+	// duration before the reaper kills the trial (ErrWallClock).
+	DefaultWallGrace = 10 * time.Second
+	// DefaultSkewBudget is the rtclock timer lateness past which a
+	// completed trial carries a clock-skew degradation warning.
+	DefaultSkewBudget = 50 * time.Millisecond
+	// reaperTick is the watchdog poll cadence.
+	reaperTick = 25 * time.Millisecond
+)
+
+// TrialConfig describes one live two-flow trial: flow A (the measured
+// flow) against flow B on a loopback relay shaped to Net.
+type TrialConfig struct {
+	A, B core.Flow
+	Net  core.Network
+	// Trial individualizes randomness exactly like core.runTrial (same
+	// seed-mixing recipe), so sim and live runs of the same cell draw
+	// from the same streams.
+	Trial int
+	// Loss, when non-nil, builds a fresh relay loss model per trial
+	// (burst models are stateful and must not be shared across trials).
+	Loss func() (faults.LossModel, error)
+	// Chaos carries the injected-fault switches for this trial.
+	Chaos Chaos
+	// Stall, WallGrace, SkewBudget tune the watchdog and clock-sanity
+	// thresholds; zero selects the defaults above.
+	Stall      time.Duration
+	WallGrace  time.Duration
+	SkewBudget time.Duration
+	// OnWarn, when non-nil, observes typed degradation warnings from a
+	// trial that completed anyway (clock skew, Now regressions).
+	OnWarn func(Warning)
+	// ReadLoop tunes every socket's retry discipline.
+	ReadLoop ReadLoopConfig
+}
+
+func (cfg TrialConfig) withDefaults() TrialConfig {
+	if cfg.Stall <= 0 {
+		cfg.Stall = DefaultStall
+	}
+	if cfg.WallGrace <= 0 {
+		cfg.WallGrace = DefaultWallGrace
+	}
+	if cfg.SkewBudget <= 0 {
+		cfg.SkewBudget = DefaultSkewBudget
+	}
+	return cfg
+}
+
+// RunTrial runs one two-flow experiment over real UDP sockets: both flows
+// share the relay bottleneck for Net.Duration of wall-clock time, and the
+// §3.1 measurement record (delivery and RTT samples, trimmed means) comes
+// back in the same core.TrialResult shape the simulator produces.
+//
+// Failures are typed: watchdog kills report ErrRelayStall/ErrWallClock
+// (both matching faults.ErrDeadline), cancellation reports
+// faults.ErrInterrupted, socket refusals report ErrSocket, read-loop
+// give-ups report ErrReadLoop/ErrTorndown, and a flow that moved no data
+// reports core.ErrZeroThroughput. The partial result accompanies errors.
+func RunTrial(ctx context.Context, cfg TrialConfig) (*core.TrialResult, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Net.WithDefaults()
+	trial := cfg.Trial
+
+	// Mix the pairing into the seed with core.runTrial's exact recipe, so
+	// the live backend's randomness (start offsets, relay loss draws) is
+	// the same pure function of (seed, trial, pairing) the simulator uses.
+	h := uint64(14695981039346656037)
+	for _, s := range []string{cfg.A.Stack.Name, string(cfg.A.CCA), cfg.B.Stack.Name, string(cfg.B.CCA)} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+	}
+	rng := stats.NewRNG(n.Seed*1_000_003 + uint64(trial)*7919 + h)
+
+	baseRTT := time.Duration(n.RTT)
+	duration := time.Duration(n.Duration)
+	bps := n.BandwidthMbps * 1e6
+	bdp := bps * baseRTT.Seconds() / 8
+	queue := int(bdp * n.BufferBDP)
+
+	var loss faults.LossModel
+	if cfg.Loss != nil {
+		lm, err := cfg.Loss()
+		if err != nil {
+			return nil, fmt.Errorf("live: trial %d loss model: %w", trial, err)
+		}
+		loss = lm
+	}
+
+	rel, err := NewRelay(RelayConfig{
+		RateBps:    bps,
+		QueueBytes: queue,
+		OWD:        baseRTT / 2,
+		Loss:       loss,
+		RNG:        rng.Fork(),
+		Chaos:      cfg.Chaos,
+		ReadLoop:   cfg.ReadLoop,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live: trial %d relay: %w", trial, err)
+	}
+	defer rel.Close()
+
+	res := &core.TrialResult{}
+	res.Traces[0] = &metrics.FlowTrace{}
+	res.Traces[1] = &metrics.FlowTrace{}
+
+	var (
+		endpoints []*Endpoint
+		senders   [2]*transport.Sender
+	)
+	defer func() {
+		for _, e := range endpoints {
+			e.Close()
+		}
+	}()
+	for i, fl := range [2]core.Flow{cfg.A, cfg.B} {
+		flowID := i + 1
+		ft := res.Traces[i]
+
+		txEP, terr := NewEndpoint(cfg.ReadLoop, cfg.Chaos.DenySockets)
+		if terr != nil {
+			return res, fmt.Errorf("live: trial %d flow %d sender socket: %w", trial, flowID, terr)
+		}
+		endpoints = append(endpoints, txEP)
+		rxEP, terr := NewEndpoint(cfg.ReadLoop, cfg.Chaos.DenySockets)
+		if terr != nil {
+			return res, fmt.Errorf("live: trial %d flow %d receiver socket: %w", trial, flowID, terr)
+		}
+		endpoints = append(endpoints, rxEP)
+		rel.Register(flowID, rxEP.Addr(), txEP.Addr())
+
+		ctrl := fl.Stack.NewController(fl.CCA)
+		tx := transport.NewSenderWithClock(txEP.Clock(), fl.Stack.Profile, ctrl, txEP.WriterTo(rel.Addr()), flowID)
+		rx := transport.NewReceiverWithClock(rxEP.Clock(), fl.Stack.Profile, rxEP.WriterTo(rel.Addr()), flowID)
+
+		// Measurement taps: RTT samples land on the sender's loop
+		// goroutine, deliveries on the receiver's — distinct FlowTrace
+		// slices, so no lock is needed, and the teardown joins establish
+		// the happens-before for the readers below.
+		tx.OnRTTSample(func(s transport.RTTSample) { ft.AddRTT(s.Time, s.RTT) })
+		rx.OnDeliver(func(d transport.DeliveredSample) { ft.AddDelivery(d.Time, d.Bytes) })
+
+		txEP.ReadInto(tx) // sender consumes ACKs
+		rxEP.ReadInto(rx) // receiver consumes data
+		senders[i] = tx
+
+		// Randomized start within the first 2 RTTs, same draw as the
+		// simulator's decorrelation offset.
+		start := sim.Time(rng.Float64() * 2 * float64(baseRTT))
+		txEP.Loop().NewTimer(tx.Start).ResetAfter(start)
+	}
+
+	// Watchdog reaper: the isolate-style heartbeat discipline with the
+	// relay's datagram counter as the heartbeat. It kills the trial's
+	// sockets — which unwedges every read loop — and records exactly one
+	// typed reason; error texts name the configured limits, not measured
+	// elapsed time, so retried attempts fail with identical messages.
+	var (
+		killMu     sync.Mutex
+		killed     bool
+		killReason error
+	)
+	abort := make(chan struct{})
+	kill := func(reason error) {
+		killMu.Lock()
+		if !killed {
+			killed = true
+			killReason = reason
+			close(abort)
+			if reason != nil {
+				rel.Kill()
+				for _, e := range endpoints {
+					e.Kill()
+				}
+			}
+		}
+		killMu.Unlock()
+	}
+	reaperDone := make(chan struct{})
+	go func() {
+		defer close(reaperDone)
+		tick := time.NewTicker(reaperTick)
+		defer tick.Stop()
+		started := time.Now()
+		lastHandled := rel.Handled()
+		lastProgress := started
+		wallBudget := duration + cfg.WallGrace
+		for {
+			select {
+			case <-abort:
+				return
+			case <-tick.C:
+			}
+			if ctx != nil && ctx.Err() != nil {
+				kill(fmt.Errorf("live: trial %d: %w: %w", trial, faults.ErrInterrupted, ctx.Err()))
+				return
+			}
+			now := time.Now()
+			if h := rel.Handled(); h != lastHandled {
+				lastHandled, lastProgress = h, now
+			} else if now.Sub(lastProgress) > cfg.Stall {
+				kill(fmt.Errorf("%w: no datagram within %v: %w", ErrRelayStall, cfg.Stall, faults.ErrDeadline))
+				return
+			}
+			if now.Sub(started) > wallBudget {
+				kill(fmt.Errorf("%w: %v + %v grace: %w", ErrWallClock, duration, cfg.WallGrace, faults.ErrDeadline))
+				return
+			}
+		}
+	}()
+
+	// The measurement window is wall-clock time.
+	dt := time.NewTimer(duration)
+	select {
+	case <-dt.C:
+	case <-abort:
+		dt.Stop()
+	}
+	for i := range senders {
+		tx := senders[i]
+		endpoints[2*i].Loop().Post(tx.Stop)
+	}
+
+	// Teardown: join every read loop (collecting typed verdicts), stop
+	// the reaper, then inspect what the watchdog decided.
+	var readErr error
+	for _, e := range endpoints {
+		if cerr := e.Close(); cerr != nil && readErr == nil {
+			readErr = cerr
+		}
+	}
+	if cerr := rel.Close(); cerr != nil && readErr == nil {
+		readErr = cerr
+	}
+	kill(nil) // no-op if the reaper already fired; otherwise unblocks it
+	<-reaperDone
+	killMu.Lock()
+	reason := killReason
+	killMu.Unlock()
+
+	// Clock sanity: a loop that fired timers badly late (a wedged
+	// callback, a descheduled VM) or handed out a regressing Now skews
+	// every RTT and throughput sample. Completed trials keep their data
+	// but carry a typed degradation warning instead of staying silent.
+	for i, e := range endpoints {
+		st := e.Loop().Stats()
+		if st.NowRegressions > 0 && cfg.OnWarn != nil {
+			cfg.OnWarn(Warning{Kind: "now-regression", Detail: fmt.Sprintf(
+				"trial %d loop %d: %d monotonicity violations clamped", trial, i, st.NowRegressions)})
+		}
+		if lat := time.Duration(st.TimerLateMax); lat > cfg.SkewBudget && cfg.OnWarn != nil {
+			cfg.OnWarn(Warning{Kind: "clock-skew", Detail: fmt.Sprintf(
+				"trial %d loop %d: timers fired up to %v late (budget %v)", trial, i, lat, cfg.SkewBudget)})
+		}
+	}
+
+	for i := range res.Traces {
+		trim := sim.Time(float64(n.Duration) * 0.10)
+		res.MeanMbps[i] = res.Traces[i].MeanThroughputMbps(trim, n.Duration-trim)
+		res.Losses[i] = senders[i].Stats.PacketsLost
+		res.Spurious[i] = senders[i].Stats.SpuriousLosses
+	}
+	res.Drops = rel.Dropped()
+	res.Events = rel.Handled()
+
+	if reason != nil {
+		return res, reason
+	}
+	if readErr != nil {
+		return res, fmt.Errorf("live: trial %d: %w", trial, readErr)
+	}
+	for i := range res.Traces {
+		if res.MeanMbps[i] == 0 {
+			return res, fmt.Errorf("live: trial %d flow %d (%s %s vs %s %s, %s): %w",
+				trial, i, cfg.A.Stack.Name, cfg.A.CCA, cfg.B.Stack.Name, cfg.B.CCA, n, core.ErrZeroThroughput)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// DivergenceRow is one cell of a sim-vs-live comparison: the same
+// conformance cell measured by both backends under identical seeds.
+type DivergenceRow struct {
+	Cell string
+	// SimConf/LiveConf are the enhanced-conformance scores (percent).
+	SimConf  float64
+	LiveConf float64
+	// SimTput/LiveTput are the test flow's mean throughputs (Mbit/s).
+	SimTput  float64
+	LiveTput float64
+	// SimLoss/LiveLoss are the test flow's mean packet losses per trial.
+	SimLoss  float64
+	LiveLoss float64
+	// SimErr/LiveErr carry a backend's typed failure; a row with either
+	// set renders "-" metrics for that side and never passes the budget.
+	SimErr  string
+	LiveErr string
+}
+
+// ok reports whether both backends measured the cell.
+func (r DivergenceRow) ok() bool { return r.SimErr == "" && r.LiveErr == "" }
+
+// DivergenceSummary is the aggregate verdict RenderDivergence prints and
+// callers gate on.
+type DivergenceSummary struct {
+	// Cells counts rows; Measured counts rows both backends completed.
+	Cells    int
+	Measured int
+	// MeanAbsDeltaConf is the mean |Δconformance| (percentage points)
+	// over measured rows — the budgeted quantity.
+	MeanAbsDeltaConf float64
+	// Budget echoes the configured budget (percentage points).
+	Budget float64
+}
+
+// Within reports whether the divergence fits the budget: every cell
+// measured by both backends and the mean |Δconf| at or under budget.
+func (s DivergenceSummary) Within() bool {
+	return s.Measured == s.Cells && s.MeanAbsDeltaConf <= s.Budget
+}
+
+// DivergenceTable builds the per-cell Δ-table.
+func DivergenceTable(rows []DivergenceRow) *Table {
+	t := &Table{Header: []string{
+		"cell", "conf(sim)", "conf(live)", "dConf",
+		"tput(sim)", "tput(live)", "dTput",
+		"loss(sim)", "loss(live)", "err",
+	}}
+	for _, r := range rows {
+		if !r.ok() {
+			e := r.LiveErr
+			if e == "" {
+				e = r.SimErr
+			}
+			t.AddRow(r.Cell, "-", "-", "-", "-", "-", "-", "-", "-", truncateErr(e))
+			continue
+		}
+		t.AddRow(r.Cell, r.SimConf, r.LiveConf, r.LiveConf-r.SimConf,
+			r.SimTput, r.LiveTput, r.LiveTput-r.SimTput,
+			r.SimLoss, r.LiveLoss, "")
+	}
+	return t
+}
+
+// Summarize reduces rows to the aggregate verdict under the given
+// |Δconformance| budget (percentage points).
+func Summarize(rows []DivergenceRow, budget float64) DivergenceSummary {
+	s := DivergenceSummary{Cells: len(rows), Budget: budget}
+	for _, r := range rows {
+		if !r.ok() {
+			continue
+		}
+		s.Measured++
+		s.MeanAbsDeltaConf += math.Abs(r.LiveConf - r.SimConf)
+	}
+	if s.Measured > 0 {
+		s.MeanAbsDeltaConf /= float64(s.Measured)
+	}
+	return s
+}
+
+// RenderDivergence writes the Δ-table and the budget verdict line, and
+// returns the summary so callers can exit nonzero on a budget violation.
+func RenderDivergence(w io.Writer, rows []DivergenceRow, budget float64) (DivergenceSummary, error) {
+	if err := DivergenceTable(rows).Render(w); err != nil {
+		return DivergenceSummary{}, err
+	}
+	s := Summarize(rows, budget)
+	verdict := "within budget"
+	if !s.Within() {
+		verdict = "OVER BUDGET"
+	}
+	_, err := fmt.Fprintf(w, "\n%d/%d cells measured by both backends; mean |dConf| = %.2f pp (budget %.2f pp) — %s\n",
+		s.Measured, s.Cells, s.MeanAbsDeltaConf, s.Budget, verdict)
+	return s, err
+}

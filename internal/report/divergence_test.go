@@ -1,0 +1,75 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeDivergence(t *testing.T) {
+	rows := []DivergenceRow{
+		{Cell: "a", SimConf: 80, LiveConf: 70},
+		{Cell: "b", SimConf: 60, LiveConf: 64},
+	}
+	s := Summarize(rows, 10)
+	if s.Cells != 2 || s.Measured != 2 {
+		t.Fatalf("cells/measured = %d/%d, want 2/2", s.Cells, s.Measured)
+	}
+	if got, want := s.MeanAbsDeltaConf, 7.0; got != want {
+		t.Fatalf("mean |dConf| = %v, want %v", got, want)
+	}
+	if !s.Within() {
+		t.Fatalf("Within() = false at mean 7 under budget 10")
+	}
+	if Summarize(rows, 5).Within() {
+		t.Fatalf("Within() = true at mean 7 under budget 5")
+	}
+}
+
+func TestSummarizeDivergenceErrorRow(t *testing.T) {
+	// A cell one backend could not measure never passes the budget, no
+	// matter how small the measured rows' deltas are.
+	rows := []DivergenceRow{
+		{Cell: "a", SimConf: 80, LiveConf: 80},
+		{Cell: "b", LiveErr: "live: open UDP socket: operation not permitted"},
+	}
+	s := Summarize(rows, 10)
+	if s.Measured != 1 || s.Cells != 2 {
+		t.Fatalf("measured/cells = %d/%d, want 1/2", s.Measured, s.Cells)
+	}
+	if s.Within() {
+		t.Fatalf("Within() = true with an unmeasured cell")
+	}
+}
+
+func TestRenderDivergence(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []DivergenceRow{
+		{Cell: "good", SimConf: 80, LiveConf: 75, SimTput: 9.5, LiveTput: 9.1},
+		{Cell: "bad", SimErr: "degenerate envelope"},
+	}
+	s, err := RenderDivergence(&buf, rows, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"conf(sim)", "dConf", "good", "bad", "degenerate envelope",
+		"1/2 cells measured", "OVER BUDGET",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if s.Within() {
+		t.Fatalf("summary Within() = true with an unmeasured cell")
+	}
+
+	buf.Reset()
+	if _, err := RenderDivergence(&buf, rows[:1], 25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "within budget") {
+		t.Errorf("output missing within-budget verdict:\n%s", buf.String())
+	}
+}

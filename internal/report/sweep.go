@@ -41,21 +41,25 @@ type CohortRow struct {
 	Completed int64
 	FCTms     float64
 	Mbps      float64
+	// Jain is Jain's fairness index over the cohort's window throughput
+	// samples (rendered for reference cohorts too — fairness is
+	// accounting, not conformance).
+	Jain float64
 }
 
 // CohortTable builds the per-cohort detail table of one many-flow cell.
 func CohortTable(rows []CohortRow) *Table {
 	t := &Table{Header: []string{
-		"cohort", "conf", "conf-T", "dTput", "dDelay", "K", "flows", "done", "fct-ms", "mbps",
+		"cohort", "conf", "conf-T", "dTput", "dDelay", "K", "flows", "done", "fct-ms", "mbps", "jain",
 	}}
 	for _, r := range rows {
 		if r.Reference {
 			t.AddRow(r.Name+" (ref)", "-", "-", "-", "-", "-",
-				r.Flows, r.Completed, r.FCTms, r.Mbps)
+				r.Flows, r.Completed, r.FCTms, r.Mbps, r.Jain)
 			continue
 		}
 		t.AddRow(r.Name, r.Conf, r.ConfT, r.DTputMbps, r.DDelayMs, r.K,
-			r.Flows, r.Completed, r.FCTms, r.Mbps)
+			r.Flows, r.Completed, r.FCTms, r.Mbps, r.Jain)
 	}
 	return t
 }

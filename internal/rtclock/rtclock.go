@@ -11,6 +11,7 @@ package rtclock
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -26,6 +27,15 @@ type Loop struct {
 	posted []func()
 	seq    uint64
 	closed bool
+
+	// Clock-sanity instrumentation (see Stats): timer-fire lateness is
+	// tracked under mu on the loop goroutine; the Now monotonicity guard
+	// is lock-free because Now is called from every reader goroutine.
+	timersFired  uint64
+	timerLateMax sim.Time
+
+	lastNow        atomic.Int64
+	nowRegressions atomic.Uint64
 
 	nudge chan struct{}
 	done  chan struct{}
@@ -81,7 +91,55 @@ func New() *Loop {
 }
 
 // Now implements transport.Clock: nanoseconds since the loop started.
-func (l *Loop) Now() sim.Time { return sim.Time(time.Since(l.start)) }
+// Readings pass a monotonicity guard — a reading behind one already
+// handed out is clamped to the prior maximum and counted as a regression
+// (Stats.NowRegressions), so no caller ever observes time running
+// backwards even if the underlying clock source misbehaves.
+func (l *Loop) Now() sim.Time { return l.observeNow(sim.Time(time.Since(l.start))) }
+
+// observeNow folds one raw clock reading into the monotonicity guard and
+// returns the sanitized (non-decreasing) time. Split from Now so the
+// guard itself is testable without faking the process clock.
+func (l *Loop) observeNow(now sim.Time) sim.Time {
+	for {
+		prev := l.lastNow.Load()
+		if int64(now) <= prev {
+			if int64(now) < prev {
+				l.nowRegressions.Add(1)
+			}
+			return sim.Time(prev)
+		}
+		if l.lastNow.CompareAndSwap(prev, int64(now)) {
+			return now
+		}
+	}
+}
+
+// Stats is a clock-sanity snapshot of one loop: how badly real-time
+// scheduling diverged from the ideal the transport code assumes. Live
+// trials surface budget violations as typed degradation warnings.
+type Stats struct {
+	// TimersFired counts timer callbacks executed.
+	TimersFired uint64
+	// TimerLateMax is the worst observed gap between a timer's deadline
+	// and the moment the loop actually fired it — scheduling skew from
+	// CPU contention or a callback that wedged the loop.
+	TimerLateMax sim.Time
+	// NowRegressions counts clock readings that ran behind an already
+	// observed time and were clamped by the monotonicity guard.
+	NowRegressions uint64
+}
+
+// Stats returns the loop's clock-sanity counters.
+func (l *Loop) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		TimersFired:    l.timersFired,
+		TimerLateMax:   l.timerLateMax,
+		NowRegressions: l.nowRegressions.Load(),
+	}
+}
 
 // NewTimer returns a stopped timer bound to this loop. The returned value
 // satisfies transport.TimerHandle.
@@ -195,6 +253,10 @@ func (l *Loop) run() {
 			t := heap.Pop(&l.queue).(*rtTimer)
 			t.armed = false
 			fn := t.fn
+			l.timersFired++
+			if late := now - t.at; late > l.timerLateMax {
+				l.timerLateMax = late
+			}
 			l.mu.Unlock()
 			fn()
 			continue

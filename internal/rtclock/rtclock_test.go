@@ -160,3 +160,142 @@ func TestNowMonotone(t *testing.T) {
 		prev = now
 	}
 }
+
+// TestObserveNowClamp is the white-box check of the monotonicity guard: a
+// reading behind the high-water mark is clamped to it and counted, a
+// reading ahead advances it. Uses a bare Loop so the run goroutine's own
+// Now calls cannot interleave.
+func TestObserveNowClamp(t *testing.T) {
+	l := &Loop{}
+	if got := l.observeNow(100); got != 100 {
+		t.Fatalf("observeNow(100) = %v", got)
+	}
+	if got := l.observeNow(50); got != 100 {
+		t.Fatalf("observeNow(50) after 100 = %v, want clamp to 100", got)
+	}
+	if got := l.Stats().NowRegressions; got != 1 {
+		t.Fatalf("NowRegressions = %d, want 1", got)
+	}
+	if got := l.observeNow(100); got != 100 {
+		t.Fatalf("observeNow(100) repeat = %v", got)
+	}
+	if got := l.Stats().NowRegressions; got != 1 {
+		t.Fatalf("an equal reading is not a regression; got %d", got)
+	}
+	if got := l.observeNow(150); got != 150 {
+		t.Fatalf("observeNow(150) = %v, want advance", got)
+	}
+}
+
+// TestNowMonotoneConcurrent: every goroutine's view of Now is
+// non-decreasing while timers churn the loop — the property live trials
+// rely on for RTT samples.
+func TestNowMonotoneConcurrent(t *testing.T) {
+	l := New()
+	defer l.Close()
+
+	// Keep the loop busy with self-rearming timers.
+	stop := make(chan struct{})
+	tm := l.NewTimer(nil)
+	var rearm func()
+	rearm = func() {
+		select {
+		case <-stop:
+		default:
+			tm.ResetAfter(sim.Millisecond)
+		}
+	}
+	tm = l.NewTimer(rearm)
+	tm.ResetAfter(sim.Millisecond)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := l.Now()
+			for i := 0; i < 5000; i++ {
+				now := l.Now()
+				if now < prev {
+					t.Errorf("Now went backwards: %v after %v", now, prev)
+					return
+				}
+				prev = now
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+}
+
+// TestTimerCancellationRace: concurrent Reset/Stop/Armed on many timers,
+// racing the loop's own firing — the race detector is the oracle, plus
+// Close must return with no callback running afterwards.
+func TestTimerCancellationRace(t *testing.T) {
+	l := New()
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tm := l.NewTimer(func() { fired.Add(1) })
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					tm.ResetAfter(sim.Time(i%7) * sim.Microsecond)
+				case 1:
+					tm.Stop()
+				case 2:
+					tm.Armed()
+				case 3:
+					tm.Reset(l.Now())
+				}
+			}
+			tm.Stop()
+		}(g)
+	}
+	wg.Wait()
+	l.Close()
+	after := fired.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := fired.Load(); got != after {
+		t.Fatalf("callback fired after Close (%d -> %d)", after, got)
+	}
+}
+
+// TestWedgedCallbackSkew: a callback that wedges the loop delays every
+// later timer; the lateness must show up in Stats.TimerLateMax (this is
+// the signal live trials convert into clock-skew warnings), and Close must
+// still join cleanly once the callback unblocks.
+func TestWedgedCallbackSkew(t *testing.T) {
+	l := New()
+	unwedge := make(chan struct{})
+	wedged := l.NewTimer(func() { <-unwedge })
+	wedged.ResetAfter(0)
+
+	fired := make(chan struct{})
+	late := l.NewTimer(func() { close(fired) })
+	late.ResetAfter(sim.Millisecond)
+
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-fired:
+		t.Fatal("timer fired while the loop was wedged")
+	default:
+	}
+	close(unwedge)
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired after unwedging")
+	}
+	st := l.Stats()
+	if st.TimerLateMax < 50*sim.Millisecond {
+		t.Errorf("TimerLateMax = %v, want >= 50ms after a ~100ms wedge", st.TimerLateMax)
+	}
+	if st.TimersFired < 2 {
+		t.Errorf("TimersFired = %d, want >= 2", st.TimersFired)
+	}
+	l.Close()
+}

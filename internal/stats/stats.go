@@ -104,3 +104,22 @@ func Clamp(x, lo, hi float64) float64 {
 	}
 	return x
 }
+
+// JainIndex returns Jain's fairness index of the allocations xs:
+// (Σx)² / (n·Σx²), in (0, 1] — 1 when every allocation is equal, 1/n when
+// one party takes everything. Degenerate inputs (empty, or all-zero)
+// return 0, distinguishing "no data" from any real allocation.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -247,3 +247,28 @@ func TestPropVarianceInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"equal", []float64{5, 5, 5, 5}, 1},
+		{"one-hot", []float64{10, 0, 0, 0}, 0.25}, // 1/n when one party takes all
+		{"two-to-one", []float64{2, 1}, 0.9},      // (3)^2 / (2*5)
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainIndex(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+	// Scale invariance: fairness is about proportions, not magnitudes.
+	a := JainIndex([]float64{1, 2, 3, 4})
+	b := JainIndex([]float64{10, 20, 30, 40})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("JainIndex is not scale-invariant: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,188 @@
+package quicbench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/report"
+	"repro/internal/stacks"
+)
+
+// LiveOptions configures a sim-vs-live divergence run: the same cells
+// measured by the discrete-event simulator and by the real-UDP loopback
+// backend under identical seeds, with the per-cell Δs reported against a
+// conformance budget.
+type LiveOptions struct {
+	// Stacks names the stacks under test (default: quicgo).
+	Stacks []string
+	// CCAs selects the algorithms (default: CUBIC). Pairs a stack does
+	// not implement are skipped.
+	CCAs []CCA
+	// Networks lists the network configurations (default: the paper's
+	// representative setting with a short 2 s duration — live trials run
+	// in wall-clock time, so Duration is real seconds here).
+	Networks []Network
+	// LossP, when positive, applies i.i.d. loss at that probability to
+	// both backends' data paths (same seeded model).
+	LossP float64
+	// Burst replaces i.i.d. loss with the Gilbert-Elliott burst channel
+	// (~1% mean loss in ~25-packet bursts) on both backends.
+	Burst bool
+	// BudgetPP is the divergence budget: the mean |Δconformance| across
+	// cells, in percentage points, above which the run is declared over
+	// budget (default 25 — the backends share seeds but not packet-level
+	// schedules, so loopback runs diverge by nature).
+	BudgetPP float64
+	// StallTimeout, WallGrace, SkewBudget tune the live watchdog (zero
+	// selects the live package defaults).
+	StallTimeout time.Duration
+	WallGrace    time.Duration
+	SkewBudget   time.Duration
+	// Logf, when non-nil, observes live degradation warnings (clock skew,
+	// Now regressions) as they happen. Must be concurrency-safe.
+	Logf func(format string, args ...any)
+}
+
+// LiveMeasure is one backend's view of a cell in a divergence run.
+type LiveMeasure struct {
+	Conformance    float64
+	ConformanceT   float64
+	ThroughputMbps float64
+	LossPkts       float64
+	// Err is the typed failure text when this backend could not measure
+	// the cell.
+	Err string
+}
+
+// LiveCellResult pairs both backends' measures of one cell.
+type LiveCellResult struct {
+	Cell string
+	Sim  LiveMeasure
+	Live LiveMeasure
+}
+
+// LiveSummary is a divergence run's full result.
+type LiveSummary struct {
+	Cells []LiveCellResult
+	// BudgetPP echoes the configured divergence budget.
+	BudgetPP float64
+}
+
+// rows lowers the summary to the report layer's shape. Conformance is
+// fractional ([0,1]) everywhere inside the pipeline; the report layer and
+// the budget speak percentage points, so it scales by 100 here.
+func (s *LiveSummary) rows() []report.DivergenceRow {
+	out := make([]report.DivergenceRow, len(s.Cells))
+	for i, c := range s.Cells {
+		out[i] = report.DivergenceRow{
+			Cell:    c.Cell,
+			SimConf: c.Sim.Conformance * 100, LiveConf: c.Live.Conformance * 100,
+			SimTput: c.Sim.ThroughputMbps, LiveTput: c.Live.ThroughputMbps,
+			SimLoss: c.Sim.LossPkts, LiveLoss: c.Live.LossPkts,
+			SimErr: c.Sim.Err, LiveErr: c.Live.Err,
+		}
+	}
+	return out
+}
+
+// Within reports whether the run fits its divergence budget: every cell
+// measured by both backends, mean |Δconformance| at or under BudgetPP.
+func (s *LiveSummary) Within() bool {
+	return report.Summarize(s.rows(), s.BudgetPP).Within()
+}
+
+// liveLoss builds the shared loss-model constructor for both backends.
+func liveLoss(opts LiveOptions) func() (faults.LossModel, error) {
+	switch {
+	case opts.Burst:
+		return func() (faults.LossModel, error) {
+			return faults.NewGilbertElliott(0.0008, 0.04, 0, 0.5)
+		}
+	case opts.LossP > 0:
+		p := opts.LossP
+		return func() (faults.LossModel, error) { return faults.IIDLoss{P: p}, nil }
+	}
+	return nil
+}
+
+// RunLiveDivergence measures every cell of the requested grid through both
+// backends — the simulator and the real-UDP loopback path — under
+// identical seed mixing, and returns the paired results. Cells a backend
+// cannot measure (e.g. sockets refused in a sandbox) carry a typed error
+// in that backend's measure instead of failing the run: "the live backend
+// cannot run here" is itself a finding the report shows.
+func RunLiveDivergence(ctx context.Context, opts LiveOptions) (*LiveSummary, error) {
+	names := opts.Stacks
+	if len(names) == 0 {
+		names = []string{"quicgo"}
+	}
+	ccas := opts.CCAs
+	if len(ccas) == 0 {
+		ccas = []CCA{CUBIC}
+	}
+	sccas := make([]stacks.CCA, len(ccas))
+	for i, c := range ccas {
+		sccas[i] = stacks.CCA(c)
+	}
+	nets := opts.Networks
+	if len(nets) == 0 {
+		nets = []Network{{Duration: 2 * time.Second, Trials: 2}}
+	}
+	cnets := make([]core.Network, len(nets))
+	for i, n := range nets {
+		cnets[i] = n.toCore()
+	}
+	cells, err := core.GridCells(names, sccas, cnets)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BudgetPP <= 0 {
+		opts.BudgetPP = 25
+	}
+
+	dcfg := live.DivergenceConfig{
+		Stall:      opts.StallTimeout,
+		WallGrace:  opts.WallGrace,
+		SkewBudget: opts.SkewBudget,
+		Loss:       liveLoss(opts),
+		OnWarn: func(key string, w live.Warning) {
+			if opts.Logf != nil {
+				opts.Logf("%s: %s", key, w)
+			}
+		},
+	}
+	sum := &LiveSummary{BudgetPP: opts.BudgetPP}
+	for _, c := range cells {
+		if ctx.Err() != nil {
+			return sum, fmt.Errorf("quicbench: live divergence interrupted: %w", ctx.Err())
+		}
+		dc := live.MeasureCell(ctx, dcfg, c)
+		sum.Cells = append(sum.Cells, LiveCellResult{
+			Cell: c.Key(),
+			Sim: LiveMeasure{
+				Conformance: dc.Sim.Conf, ConformanceT: dc.Sim.ConfT,
+				ThroughputMbps: dc.Sim.TputMbps, LossPkts: dc.Sim.LossPkts, Err: dc.Sim.Err,
+			},
+			Live: LiveMeasure{
+				Conformance: dc.Live.Conf, ConformanceT: dc.Live.ConfT,
+				ThroughputMbps: dc.Live.TputMbps, LossPkts: dc.Live.LossPkts, Err: dc.Live.Err,
+			},
+		})
+	}
+	return sum, nil
+}
+
+// RenderLiveDivergence writes the per-cell Δ-table and the budget verdict
+// line, returning whether the run fit its budget.
+func RenderLiveDivergence(w io.Writer, s *LiveSummary) (bool, error) {
+	sm, err := report.RenderDivergence(w, s.rows(), s.BudgetPP)
+	if err != nil {
+		return false, err
+	}
+	return sm.Within(), nil
+}

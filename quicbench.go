@@ -87,6 +87,9 @@ type CohortReport struct {
 	Completed           int64
 	MeanFCTms           float64
 	MeanMbps            float64
+	// Jain is Jain's fairness index over the cohort's window throughput
+	// samples pooled across trials (1 = perfectly even sharing).
+	Jain float64
 }
 
 // ManyFlowReport aggregates a many-flow cell: flow-population accounting
@@ -124,6 +127,7 @@ func fromManyFlowReport(mf *core.ManyFlowReport) *ManyFlowReport {
 			Completed:           c.Completed,
 			MeanFCTms:           c.MeanFCTms,
 			MeanMbps:            c.MeanMbps,
+			Jain:                c.Jain,
 		})
 	}
 	return out
