@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke manyflow-smoke trace-smoke dist-smoke fabric-chaos soak live-smoke bench bench-check
+.PHONY: check fmt vet test test-race test-full build chaos sweep-smoke manyflow-smoke trace-smoke dist-smoke obs-smoke fabric-chaos soak live-smoke bench bench-check
 
 ## check: the PR gate — formatting, vet, and the race-enabled suite.
 ## The longest conformance sweeps are gated behind testing.Short(), so the
@@ -58,10 +58,14 @@ live-smoke:
 	@rm -f /tmp/quicbench-live-smoke /tmp/quicbench-live-smoke.jsonl /tmp/quicbench-live-smoke.status.jsonl
 	@echo "live-smoke: ok"
 
-## bench: run the pinned-seed benchmark suite (internal/bench) and refresh
-## the committed baseline BENCH_sim.json (ns/op, allocs/op, events/sec).
+## bench: run the pinned-seed benchmark suite (internal/bench), refresh
+## the committed baseline BENCH_sim.json (ns/op, allocs/op, events/sec),
+## and append the run to the committed perf trajectory so `quicbench
+## perf` can render the trend across PRs. BENCH_LABEL names the entry.
+BENCH_LABEL ?= dev
 bench:
-	$(GO) run ./cmd/quicbench bench -out BENCH_sim.json
+	$(GO) run ./cmd/quicbench bench -out BENCH_sim.json \
+		-append BENCH_trajectory.jsonl -label "$(BENCH_LABEL)"
 
 ## bench-check: the perf regression gate — a fresh suite run compared
 ## against the committed baseline. Only the deterministic work metrics
@@ -136,6 +140,16 @@ trace-smoke:
 ## to an uninterrupted single-process run.
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+## obs-smoke: the fleet observability plane end to end on loopback — a
+## coordinator runs a distributed campaign with -obs-addr, the script
+## scrapes /metrics mid-campaign (valid Prometheus text, histogram
+## families, per-worker series) and again during the -obs-wait linger,
+## asserting the fleet-summed trial counter equals the journal's record
+## count and that the scraped campaign's journal is byte-identical to an
+## unobserved single-process run (observability is read-only).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 ## fabric-chaos: the Byzantine-tolerance soak — full auditing, the
 ## shared-secret handshake, and a worker allowlist over a fleet of one

@@ -4,22 +4,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
 
 // benchMain runs the pinned-seed benchmark suite (internal/bench) and
 // writes BENCH_sim.json. With -compare it additionally gates the run
-// against a committed baseline and exits 1 on regression.
+// against a committed baseline and exits 1 on regression; with -append it
+// also stamps the run onto the committed perf trajectory
+// (BENCH_trajectory.jsonl), which `quicbench perf` renders as a trend.
 func benchMain(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		out     = fs.String("out", "BENCH_sim.json", "output report path ('' = don't write)")
-		compare = fs.String("compare", "", "baseline report to compare against (e.g. the committed BENCH_sim.json)")
-		tol     = fs.Float64("tolerance", 0.10, "allowed fractional regression for deterministic work metrics (allocs/op, bytes/op, events/op)")
-		timeTol = fs.Float64("time-tolerance", 0, "when > 0, also gate ns/op at this fractional regression (only meaningful for same-machine A/B runs)")
-		warm    = fs.Int("warm", 1, "discarded warm-up iterations per benchmark")
-		iters   = fs.Int("iters", 3, "measured iterations per benchmark")
+		out      = fs.String("out", "BENCH_sim.json", "output report path ('' = don't write)")
+		compare  = fs.String("compare", "", "baseline report to compare against (e.g. the committed BENCH_sim.json)")
+		tol      = fs.Float64("tolerance", 0.10, "allowed fractional regression for deterministic work metrics (allocs/op, bytes/op, events/op)")
+		timeTol  = fs.Float64("time-tolerance", 0, "when > 0, also gate ns/op at this fractional regression (only meaningful for same-machine A/B runs)")
+		warm     = fs.Int("warm", 1, "discarded warm-up iterations per benchmark")
+		iters    = fs.Int("iters", 3, "measured iterations per benchmark")
+		appendTo = fs.String("append", "", "trajectory JSONL to append this run to (e.g. BENCH_trajectory.jsonl)")
+		label    = fs.String("label", "dev", "trajectory entry label (short commit hash, milestone, ...)")
 	)
 	fs.Parse(args)
 
@@ -53,6 +58,15 @@ func benchMain(args []string) int {
 		fmt.Printf("wrote %s\n", *out)
 	}
 
+	if *appendTo != "" {
+		e := bench.TrajectoryEntryOf(rep, *label, time.Now().UTC().Format("2006-01-02"))
+		if err := bench.AppendTrajectory(*appendTo, e); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("appended %q to %s\n", *label, *appendTo)
+	}
+
 	if *compare != "" {
 		regs := bench.Compare(base, rep, *tol, *timeTol)
 		if len(regs) > 0 {
@@ -63,6 +77,26 @@ func benchMain(args []string) int {
 			return 1
 		}
 		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", *compare, *tol*100)
+	}
+	return 0
+}
+
+// perfMain renders the committed perf trajectory as a per-benchmark trend
+// table with deltas between consecutive entries.
+func perfMain(args []string) int {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	trajectory := fs.String("trajectory", "BENCH_trajectory.jsonl", "trajectory JSONL to render")
+	fs.Parse(args)
+
+	entries, err := bench.ReadTrajectory(*trajectory)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+		return 1
+	}
+	fmt.Printf("perf trajectory: %s (%d entries)\n\n", *trajectory, len(entries))
+	if err := bench.RenderTrajectory(os.Stdout, entries); err != nil {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -103,6 +103,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(benchMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "perf" {
+		os.Exit(perfMain(os.Args[2:]))
+	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(traceMain(os.Args[2:]))
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	quicbench "repro"
+	"repro/internal/telemetry"
 )
 
 // sweepMain implements the `quicbench sweep` subcommand: a supervised,
@@ -51,6 +52,8 @@ func sweepMain(args []string) int {
 		statusPath  = fs.String("status", "", "append machine-readable JSONL status snapshots to this file")
 		statusIntv  = fs.Duration("status-interval", time.Second, "progress/status snapshot period")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		obsAddr     = fs.String("obs-addr", "", "serve the observability plane (/metrics, /statusz, /healthz, /debug/pprof) on this address (e.g. 127.0.0.1:0)")
+		obsWait     = fs.Duration("obs-wait", 0, "with -obs-addr, keep the endpoints up this long after the sweep completes for a final scrape")
 		verbose     = fs.Bool("v", false, "log retries and backoff decisions to stderr")
 		listenAddr  = fs.String("listen", "", "coordinate a distributed sweep: shard cells across `quicbench worker` processes connected to this TCP address (e.g. 127.0.0.1:0)")
 		minWorkers  = fs.Int("min-workers", 0, "with -listen, wait for this many workers before dispatching")
@@ -91,6 +94,10 @@ func sweepMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "sweep: -live-stall and -live-wall require -live")
 		return 2
 	}
+	if *obsWait != 0 && *obsAddr == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -obs-wait requires -obs-addr")
+		return 2
+	}
 	if *pprofAddr != "" {
 		if err := startPprof(*pprofAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -100,6 +107,11 @@ func sweepMain(args []string) int {
 	// SIGQUIT (^\) dumps goroutine/heap profiles instead of killing the
 	// sweep — the standing diagnostic for wedged soaks.
 	defer installSIGQUIT()()
+
+	// One leveled logger owns every "sweep: " line; -v raises the
+	// threshold to debug (retry/backoff decisions). Info output is
+	// byte-identical to the historical fmt.Fprintf lines.
+	logger := telemetry.NewLogger(os.Stderr, "sweep: ", *verbose)
 
 	opts := quicbench.SweepOptions{
 		Workers:             *workers,
@@ -171,30 +183,37 @@ func sweepMain(args []string) int {
 		// The bound address line is load-bearing: with -listen 127.0.0.1:0
 		// it is how workers (and the dist-smoke harness) learn the port.
 		opts.OnListen = func(addr string) {
-			fmt.Fprintf(os.Stderr, "sweep: coordinator listening on %s\n", addr)
+			logger.Infof("coordinator listening on %s", addr)
 		}
-		opts.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		opts.Logf = logger.Infof
+	}
+	if *obsAddr != "" {
+		opts.ObsAddr = *obsAddr
+		opts.ObsWait = *obsWait
+		// Load-bearing like the coordinator line: with -obs-addr
+		// 127.0.0.1:0 this is how scrapers (and the obs-smoke harness)
+		// learn the port.
+		opts.OnObsListen = func(addr string) {
+			logger.Infof("obs listening on %s", addr)
 		}
+		opts.Logf = logger.Infof
 	}
 	if *isolated {
 		opts.OnFallback = func(cell string, err error) {
-			fmt.Fprintf(os.Stderr, "sweep: isolation fallback (in-process) for %s: %v\n", cell, err)
+			logger.Infof("isolation fallback (in-process) for %s: %v", cell, err)
 		}
 	}
 	if *liveBackend {
 		opts.OnFallback = func(cell string, err error) {
-			fmt.Fprintf(os.Stderr, "sweep: live fallback (simulator) for %s: %v\n", cell, err)
+			logger.Infof("live fallback (simulator) for %s: %v", cell, err)
 		}
-		opts.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
-		}
+		opts.Logf = logger.Infof
 	}
-	if *verbose {
-		opts.OnRetry = func(cell string, attempt int, err error, backoff time.Duration) {
-			fmt.Fprintf(os.Stderr, "sweep: attempt %d for %s failed (%v); retrying in %v\n",
-				attempt, cell, err, backoff.Round(time.Millisecond))
-		}
+	// Always registered; the logger's level threshold decides whether the
+	// line renders, so -v is a pure verbosity switch.
+	opts.OnRetry = func(cell string, attempt int, err error, backoff time.Duration) {
+		logger.Debugf("attempt %d for %s failed (%v); retrying in %v",
+			attempt, cell, err, backoff.Round(time.Millisecond))
 	}
 
 	// SIGINT and SIGTERM cancel the context: in-flight cells abort at the

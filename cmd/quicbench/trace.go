@@ -18,12 +18,14 @@ import (
 //
 //	quicbench trace run-traces/                 # per-file event histogram
 //	quicbench trace -check run-traces/          # schema-validate, exit 1 on corrupt
+//	quicbench trace -summary run-traces/        # one-line rollup per trial
 //	quicbench trace -cwnd 1 cell/test0.qlog.jsonl  # time,cwnd CSV for flow 1
 func traceMain(args []string) int {
 	fs2 := flag.NewFlagSet("trace", flag.ExitOnError)
 	var (
-		check = fs2.Bool("check", false, "validate every trace file and exit nonzero on corruption")
-		cwnd  = fs2.Int("cwnd", 0, "emit time_s,cwnd_bytes CSV for this flow (1 or 2) to stdout")
+		check   = fs2.Bool("check", false, "validate every trace file and exit nonzero on corruption")
+		summary = fs2.Bool("summary", false, "one line per trial: events, cwnd min/mean/max, losses, PTOs")
+		cwnd    = fs2.Int("cwnd", 0, "emit time_s,cwnd_bytes CSV for this flow (1 or 2) to stdout")
 	)
 	fs2.Parse(args)
 	if fs2.NArg() == 0 {
@@ -62,6 +64,44 @@ func traceMain(args []string) int {
 		case *check:
 			fmt.Printf("%s: ok (%d events, cell %q role %q trial %d seed %d)\n",
 				path, len(events), hdr.Cell, hdr.Role, hdr.Trial, hdr.Seed)
+		case *summary:
+			// One-line rollup: what a human scans a campaign's traces with
+			// before reaching for the full histogram or CSV views.
+			var (
+				cwndMin, cwndMax, cwndSum float64
+				cwndN                     int
+				losses, ptos              int64
+			)
+			for _, ev := range events {
+				switch ev.Name {
+				case telemetry.EvMetrics:
+					if v, ok := ev.Data["cwnd"].(float64); ok {
+						if cwndN == 0 || v < cwndMin {
+							cwndMin = v
+						}
+						if v > cwndMax {
+							cwndMax = v
+						}
+						cwndSum += v
+						cwndN++
+					}
+				case telemetry.EvPacketsLost:
+					if v, ok := ev.Data["packets"].(float64); ok {
+						losses += int64(v)
+					} else {
+						losses++
+					}
+				case telemetry.EvPTO:
+					ptos++
+				}
+			}
+			cwndMean := 0.0
+			if cwndN > 0 {
+				cwndMean = cwndSum / float64(cwndN)
+			}
+			fmt.Printf("%s: cell %q role %q trial %d events %d cwnd %d/%d/%d losses %d ptos %d\n",
+				path, hdr.Cell, hdr.Role, hdr.Trial, len(events),
+				int64(cwndMin), int64(cwndMean), int64(cwndMax), losses, ptos)
 		case *cwnd > 0:
 			for _, ev := range events {
 				if ev.Name != telemetry.EvMetrics || ev.Flow != *cwnd {

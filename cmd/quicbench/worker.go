@@ -11,6 +11,7 @@ import (
 	"time"
 
 	quicbench "repro"
+	"repro/internal/telemetry"
 )
 
 // workerMain implements the `quicbench worker` subcommand: the execution
@@ -29,6 +30,7 @@ func workerMain(args []string) int {
 		parallel = fs.Int("parallel", 1, "concurrent cell attempts")
 		beat     = fs.Duration("heartbeat", time.Second, "liveness heartbeat period (keep well under the coordinator's -worker-timeout)")
 		token    = fs.String("auth-token", "", "shared secret proving fleet membership (must match the coordinator's -auth-token)")
+		obsAddr  = fs.String("obs-addr", "", "serve this worker's observability plane (/metrics, /statusz, /healthz, /debug/pprof) on this address")
 		quiet    = fs.Bool("q", false, "suppress connection lifecycle logs")
 	)
 	fs.Parse(args)
@@ -43,10 +45,15 @@ func workerMain(args []string) int {
 		Parallel:          *parallel,
 		HeartbeatInterval: *beat,
 		AuthToken:         *token,
+		ObsAddr:           *obsAddr,
 	}
+	logger := telemetry.NewLogger(os.Stderr, "worker: ", false)
 	if !*quiet {
-		opts.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+		opts.Logf = logger.Infof
+	}
+	if *obsAddr != "" {
+		opts.OnObsListen = func(addr string) {
+			logger.Infof("obs listening on %s", addr)
 		}
 	}
 	w := quicbench.NewSweepWorker(opts)

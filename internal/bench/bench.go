@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -57,6 +58,12 @@ type Metric struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	Iterations   int     `json:"iterations"`
+	// Per-iteration wall-time quantiles (host-dependent, informational):
+	// the trajectory's tail-latency view of the same measured window that
+	// produces NsPerOp. Zero when the run predates them.
+	NsP50 float64 `json:"ns_p50,omitempty"`
+	NsP90 float64 `json:"ns_p90,omitempty"`
+	NsP99 float64 `json:"ns_p99,omitempty"`
 }
 
 // Report is the serialized form of one suite run.
@@ -229,12 +236,15 @@ func Measure(bm Benchmark, warm, iters int) Metric {
 	for i := 0; i < warm; i++ {
 		events = bm.Run()
 	}
+	perIter := make([]float64, iters)
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < iters; i++ {
+		iterStart := time.Now()
 		events = bm.Run()
+		perIter[i] = float64(time.Since(iterStart).Nanoseconds())
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -247,6 +257,15 @@ func Measure(bm Benchmark, warm, iters int) Metric {
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
 		Iterations:  iters,
 	}
+	sort.Float64s(perIter)
+	quant := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(iters))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return perIter[idx]
+	}
+	m.NsP50, m.NsP90, m.NsP99 = quant(0.50), quant(0.90), quant(0.99)
 	if m.EventsPerOp > 0 && m.NsPerOp > 0 {
 		m.EventsPerSec = m.EventsPerOp / (m.NsPerOp / 1e9)
 	}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// TestObservedTrialOverhead: the observability plane's claim is that
+// watching a campaign is free at the trial level. The sweep runner's
+// per-trial instrumentation — one latency-histogram observation plus a
+// counter bump, the exact seam RunSweep wires when -obs-addr or
+// -progress is on — must add under 1% allocs/op to the single-flow
+// trials relative to the committed baseline, mirroring
+// TestDisabledTracerOverhead's gate on the disabled-tracer path.
+//
+// The /metrics scraper itself runs off the trial's critical path (its
+// handler allocates on its own goroutine, and whole-process MemStats
+// cannot attribute those to one side), so this guard measures the part
+// that rides the hot path: the instrumentation. Scrape concurrency
+// safety is TestScrapeUnderLoad's job in internal/obs; here a live
+// server is scraped after the measured window to prove the registry the
+// trials fed is the one the exposition renders.
+func TestObservedTrialOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real 5s-virtual-time trials; skipped in -short")
+	}
+	base, err := ReadFile(filepath.Join("..", "..", "BENCH_sim.json"))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	want := make(map[string]Metric)
+	for _, m := range base.Benchmarks {
+		want[m.Name] = m
+	}
+
+	reg := telemetry.NewRegistry()
+	srv := &obs.Server{Addr: "127.0.0.1:0", Registry: reg}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatalf("obs server: %v", err)
+	}
+	defer srv.Stop()
+
+	latHist := reg.Histogram("sweep.trial_latency_us.inproc")
+	trials := reg.Counter("worker.trials_total")
+	measured := 0
+	for _, bm := range Suite() {
+		if !strings.HasPrefix(bm.Name, "single_flow_") || strings.HasSuffix(bm.Name, "_traced") {
+			continue
+		}
+		b, ok := want[bm.Name]
+		if !ok || b.AllocsPerOp <= 0 {
+			t.Fatalf("baseline has no allocs_per_op for %s", bm.Name)
+		}
+		inner := bm.Run
+		instrumented := Benchmark{Name: bm.Name, Run: func() uint64 {
+			start := time.Now()
+			n := inner()
+			latHist.ObserveDuration(time.Since(start))
+			trials.Inc()
+			return n
+		}}
+		m := Measure(instrumented, 1, 3)
+		measured++
+		if limit := float64(b.AllocsPerOp) * 1.01; float64(m.AllocsPerOp) > limit {
+			t.Errorf("%s: observed-trial allocs/op = %d, want <= %.0f (baseline %d +1%%)",
+				bm.Name, m.AllocsPerOp, limit, b.AllocsPerOp)
+		} else {
+			t.Logf("%s: allocs/op %d vs baseline %d", bm.Name, m.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+	if measured == 0 {
+		t.Fatal("no single-flow benchmarks measured")
+	}
+
+	// The registry the trials observed is live on /metrics: the scrape
+	// must expose the latency histogram family with every trial counted.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("scrape body: %v", err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "# TYPE quicbench_sweep_trial_latency_us_inproc histogram") {
+		t.Errorf("scrape lacks the trial-latency histogram family:\n%s", text)
+	}
+	wantCount := fmt.Sprintf("quicbench_sweep_trial_latency_us_inproc_count %d", latHist.Count())
+	if !strings.Contains(text, wantCount) {
+		t.Errorf("scrape lacks %q:\n%s", wantCount, text)
+	}
+}

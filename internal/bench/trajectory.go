@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+)
+
+// TrajectorySchema identifies one BENCH_trajectory.jsonl line.
+const TrajectorySchema = "quicbench-trajectory/v1"
+
+// TrajectoryEntry is one committed point on the repo's performance
+// trajectory: a full suite run stamped with a label (typically the short
+// commit hash or a milestone name) and the date it was taken. The file is
+// append-only JSONL, so history accumulates across PRs and `quicbench
+// perf` can render the trend.
+type TrajectoryEntry struct {
+	Schema     string   `json:"schema"`
+	Label      string   `json:"label"`
+	Date       string   `json:"date"` // YYYY-MM-DD
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Metric `json:"benchmarks"`
+}
+
+// TrajectoryEntryOf stamps a suite report as a trajectory point.
+func TrajectoryEntryOf(r Report, label, date string) TrajectoryEntry {
+	return TrajectoryEntry{
+		Schema:     TrajectorySchema,
+		Label:      label,
+		Date:       date,
+		GoVersion:  r.GoVersion,
+		GOOS:       r.GOOS,
+		GOARCH:     r.GOARCH,
+		Benchmarks: r.Benchmarks,
+	}
+}
+
+// AppendTrajectory appends one entry to the JSONL trajectory at path,
+// creating the file on first use. Appends are O_APPEND single writes, so
+// concurrent CI jobs cannot interleave partial lines.
+func AppendTrajectory(path string, e TrajectoryEntry) error {
+	e.Schema = TrajectorySchema
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("bench: marshal trajectory entry: %w", err)
+	}
+	data = append(data, '\n')
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("bench: open trajectory: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("bench: append trajectory: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadTrajectory loads every entry from the JSONL trajectory at path, in
+// file (chronological) order. Unknown schemas and blank lines are skipped
+// rather than fatal, so a future schema bump can coexist in one file.
+func ReadTrajectory(path string) ([]TrajectoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read trajectory: %w", err)
+	}
+	defer f.Close()
+	var out []TrajectoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e TrajectoryEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return out, fmt.Errorf("bench: parse trajectory line %d: %w", len(out)+1, err)
+		}
+		if e.Schema != TrajectorySchema {
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("bench: scan trajectory: %w", err)
+	}
+	return out, nil
+}
+
+// RenderTrajectory writes the perf trend: one block per benchmark, one
+// row per trajectory entry, with the deterministic work metrics and
+// timing side by side and each row's delta against the previous entry.
+// Work-metric deltas are the signal (they gate CI); timing deltas are
+// informational, since entries may come from different machines.
+func RenderTrajectory(w io.Writer, entries []TrajectoryEntry) error {
+	if len(entries) == 0 {
+		_, err := fmt.Fprintln(w, "trajectory is empty")
+		return err
+	}
+	// Benchmark order follows first appearance across the whole file, so
+	// a benchmark added mid-history still renders one contiguous block.
+	var order []string
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		for _, m := range e.Benchmarks {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				order = append(order, m.Name)
+			}
+		}
+	}
+	delta := func(prev, cur float64) string {
+		if prev <= 0 || cur <= 0 {
+			return ""
+		}
+		pct := (cur/prev - 1) * 100
+		if pct > -0.05 && pct < 0.05 {
+			return "(=)"
+		}
+		return fmt.Sprintf("(%+.1f%%)", pct)
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, name := range order {
+		fmt.Fprintf(tw, "%s\n", name)
+		fmt.Fprintf(tw, "  label\tdate\tallocs/op\t\tbytes/op\t\tns/op\t\tns/p99\tevents/sec\n")
+		var prev *Metric
+		for _, e := range entries {
+			var cur *Metric
+			for i := range e.Benchmarks {
+				if e.Benchmarks[i].Name == name {
+					cur = &e.Benchmarks[i]
+					break
+				}
+			}
+			if cur == nil {
+				continue
+			}
+			var dAllocs, dBytes, dNs string
+			if prev != nil {
+				dAllocs = delta(float64(prev.AllocsPerOp), float64(cur.AllocsPerOp))
+				dBytes = delta(float64(prev.BytesPerOp), float64(cur.BytesPerOp))
+				dNs = delta(prev.NsPerOp, cur.NsPerOp)
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%d\t%s\t%d\t%s\t%.0f\t%s\t%.0f\t%.0f\n",
+				e.Label, e.Date,
+				cur.AllocsPerOp, dAllocs,
+				cur.BytesPerOp, dBytes,
+				cur.NsPerOp, dNs,
+				cur.NsP99, cur.EventsPerSec)
+			prev = cur
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func trajEntry(label, date string, allocs int64, ns float64) TrajectoryEntry {
+	return TrajectoryEntry{
+		Schema: TrajectorySchema, Label: label, Date: date,
+		GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64",
+		Benchmarks: []Metric{{
+			Name: "single_flow_cubic", AllocsPerOp: allocs, BytesPerOp: allocs * 100,
+			NsPerOp: ns, NsP50: ns, NsP90: ns * 1.1, NsP99: ns * 1.3,
+			EventsPerSec: 1e6, Iterations: 3,
+		}},
+	}
+}
+
+func TestTrajectoryAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.jsonl")
+	want := []TrajectoryEntry{
+		trajEntry("seed", "2026-08-01", 1000, 5e8),
+		trajEntry("obs", "2026-08-08", 900, 4.5e8),
+	}
+	for _, e := range want {
+		if err := AppendTrajectory(path, e); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	got, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestTrajectoryRender(t *testing.T) {
+	entries := []TrajectoryEntry{
+		trajEntry("seed", "2026-08-01", 1000, 5e8),
+		trajEntry("obs", "2026-08-08", 900, 4.5e8),
+	}
+	var sb strings.Builder
+	if err := RenderTrajectory(&sb, entries); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"single_flow_cubic", "seed", "obs", "(-10.0%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrajectorySkipsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.jsonl")
+	if err := AppendTrajectory(path, trajEntry("seed", "2026-08-01", 1000, 5e8)); err != nil {
+		t.Fatal(err)
+	}
+	// A future schema bump must coexist: hand-append a foreign line (plus
+	// a blank one) and confirm both are skipped, not fatal.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"quicbench-trajectory/v9","label":"future"}` + "\n\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1 {
+		t.Fatalf("entries = %d, want 1", len(data))
+	}
+	if data[0].Label != "seed" {
+		t.Fatalf("label = %q, want seed", data[0].Label)
+	}
+}

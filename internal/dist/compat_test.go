@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+)
+
+// TestOldWorkerNewCoordinator: a version-2 worker (no beat piggyback)
+// against a version-3 coordinator. The campaign must run exactly as
+// before — v2 is inside the coordinator's accepted range — and the
+// fleet metric cache simply never hears from it.
+func TestOldWorkerNewCoordinator(t *testing.T) {
+	coord := &Coordinator{Logf: t.Logf, Metrics: telemetry.NewRegistry()}
+	addr := startCoordinator(t, coord)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	w := &Worker{Addr: addr, Name: "legacy", Exec: echoExec,
+		HeartbeatInterval: 20 * time.Millisecond, Logf: t.Logf,
+		Metrics: telemetry.NewRegistry()}
+	w.forceV2.Store(true) // speak version 2 from the first dial
+	startWorker(t, ctx, w, nil)
+	waitFleet(t, coord, 1)
+
+	trials := echoTrials(4)
+	res, err := runner.Run(ctx, runner.Config{Workers: 2, Executor: coord}, trials)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, rec := range res.Records {
+		if rec.Outcome != runner.OutcomeOK {
+			t.Errorf("record %d: outcome %s", i, rec.Outcome)
+		}
+	}
+	if st := coord.Stats(); st.RemoteTrials != 4 {
+		t.Errorf("remote trials %d, want 4", st.RemoteTrials)
+	}
+	// Give a couple of heartbeat periods a chance to land, then confirm
+	// the v2 worker contributed no metric snapshots.
+	time.Sleep(60 * time.Millisecond)
+	if fm := coord.FleetMetrics(); len(fm) != 0 {
+		t.Errorf("v2 worker landed in the fleet metric cache: %+v", fm)
+	}
+	// The coordinator-side histograms work regardless of worker version.
+	if n := coord.Metrics.Histogram("dist.assign_rtt_us").Count(); n != 4 {
+		t.Errorf("assign RTT observations = %d, want 4", n)
+	}
+}
+
+// TestNewWorkerOldCoordinator: a version-3 worker dials a coordinator
+// that only accepts version 2 (simulated byte-for-byte: proto-mismatch
+// bye on v3, normal campaign on v2). The worker must downgrade, re-dial
+// speaking v2 with bare beats, execute the assignment, and exit cleanly
+// on the campaign-complete bye.
+func TestNewWorkerOldCoordinator(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type connReport struct {
+		helloVersion int
+		result       *resultMsg
+		metricBeats  int
+		err          error
+	}
+	reports := make(chan connReport, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			conn, aerr := ln.Accept()
+			if aerr != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var rep connReport
+				m, rerr := readMsg(conn)
+				if rerr != nil || m.Type != msgHello || m.Hello == nil {
+					rep.err = errors.New("no hello")
+					reports <- rep
+					return
+				}
+				rep.helloVersion = m.Hello.Version
+				out := &msgWriter{w: conn}
+				// The legacy coordinator's exact check: version != 2 → bye.
+				if m.Hello.Version != 2 {
+					_ = out.write(wireMsg{Type: msgBye, Bye: &byeMsg{Code: byeProtoMismatch,
+						Reason: "protocol mismatch: got quicbench-dist/3, want quicbench-dist/2"}})
+					reports <- rep
+					return
+				}
+				_ = out.write(wireMsg{Type: msgAssign, Assign: &assignMsg{
+					Key: "cell-00", Seed: 1, Attempt: 1,
+					Payload: json.RawMessage(`{"key":"cell-00","seed":1}`),
+				}})
+				deadline := time.Now().Add(5 * time.Second)
+				for rep.result == nil && time.Now().Before(deadline) {
+					conn.SetReadDeadline(deadline)
+					rm, rerr := readMsg(conn)
+					if rerr != nil {
+						rep.err = rerr
+						break
+					}
+					switch rm.Type {
+					case msgBeat:
+						if rm.Beat != nil {
+							rep.metricBeats++
+						}
+					case msgResult:
+						rep.result = rm.Result
+					}
+				}
+				_ = out.write(wireMsg{Type: msgBye, Bye: &byeMsg{Code: byeComplete, Reason: "campaign complete"}})
+				reports <- rep
+			}()
+		}
+	}()
+
+	w := &Worker{Addr: ln.Addr().String(), Name: "modern", Exec: echoExec,
+		HeartbeatInterval: 10 * time.Millisecond,
+		ReconnectBase:     10 * time.Millisecond,
+		Logf:              t.Logf,
+		Metrics:           telemetry.NewRegistry()}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("worker Run: %v", err)
+	}
+
+	first := <-reports
+	second := <-reports
+	if first.helloVersion != protoVersion {
+		t.Errorf("first hello version = %d, want %d", first.helloVersion, protoVersion)
+	}
+	if second.helloVersion != 2 {
+		t.Errorf("second hello version = %d, want 2 (downgrade)", second.helloVersion)
+	}
+	if second.err != nil {
+		t.Fatalf("v2 session error: %v", second.err)
+	}
+	if second.result == nil {
+		t.Fatal("v2 session produced no result")
+	}
+	want, _ := json.Marshal(echo("cell-00", 1))
+	if string(second.result.Result) != string(want) {
+		t.Errorf("result = %s, want %s", second.result.Result, want)
+	}
+	if second.metricBeats != 0 {
+		t.Errorf("downgraded worker sent %d metric-carrying beats, want 0", second.metricBeats)
+	}
+}
+
+// TestBeatPiggybackAggregates: the v3 happy path — worker metrics ride
+// beats, land in the coordinator's per-worker cache, and merge into a
+// fleet view whose trial counter matches the campaign's record count.
+func TestBeatPiggybackAggregates(t *testing.T) {
+	coord := &Coordinator{Logf: t.Logf, Metrics: telemetry.NewRegistry()}
+	addr := startCoordinator(t, coord)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	regs := []*telemetry.Registry{telemetry.NewRegistry(), telemetry.NewRegistry()}
+	for i, reg := range regs {
+		w := &Worker{Addr: addr, Name: []string{"wa", "wb"}[i], Slots: 2, Exec: echoExec,
+			HeartbeatInterval: 20 * time.Millisecond, Logf: t.Logf, Metrics: reg}
+		startWorker(t, ctx, w, nil)
+	}
+	waitFleet(t, coord, 2)
+
+	trials := echoTrials(10)
+	res, err := runner.Run(ctx, runner.Config{Workers: 4, Executor: coord}, trials)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("records = %d, want 10", len(res.Records))
+	}
+
+	// Post-result beats make the cache converge promptly; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var total int64
+		for _, wm := range coord.FleetMetrics() {
+			for _, s := range wm.Samples {
+				if s.Name == "worker.trials_total" {
+					total += s.Value
+				}
+			}
+		}
+		if total == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet-summed worker.trials_total = %d, want 10", total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Histograms merge exactly: fleet latency count equals trial count.
+	var merged telemetry.HistogramSnapshot
+	for _, wm := range coord.FleetMetrics() {
+		for _, h := range wm.Hists {
+			if h.Name == "worker.trial_latency_us" {
+				merged = merged.Merge(h)
+			}
+		}
+	}
+	if merged.Count != 10 {
+		t.Errorf("merged latency histogram count = %d, want 10", merged.Count)
+	}
+	if merged.Quantile(0.99) <= 0 {
+		t.Errorf("merged p99 = %d, want > 0", merged.Quantile(0.99))
+	}
+}

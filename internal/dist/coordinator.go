@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dist/frame"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // Typed fabric failures. Worker loss and stall are internal re-dispatch
@@ -75,16 +76,22 @@ type Coordinator struct {
 	// Logf, when non-nil, observes fleet events (joins, deaths, drains,
 	// re-dispatches). Must be safe for concurrent use.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the coordinator's own hot-seam
+	// histograms: dist.assign_rtt_us (assign write → result arrival, per
+	// dispatch) and dist.worker_queue_depth (the chosen worker's in-flight
+	// depth at dispatch, this assignment included).
+	Metrics *telemetry.Registry
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	workers map[*remoteWorker]struct{}
-	gone    []WorkerStat // recent departures, newest last, for FleetStats
-	closed  bool
-	ln      net.Listener
-	wg      sync.WaitGroup
-	stop    chan struct{}
-	health  *healthTracker
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workers   map[*remoteWorker]struct{}
+	gone      []WorkerStat // recent departures, newest last, for FleetStats
+	beatCache map[string]*beatMsg
+	closed    bool
+	ln        net.Listener
+	wg        sync.WaitGroup
+	stop      chan struct{}
+	health    *healthTracker
 
 	joins       atomic.Int64
 	deaths      atomic.Int64
@@ -184,6 +191,7 @@ func (c *Coordinator) init() {
 	if c.cond == nil {
 		c.cond = sync.NewCond(&c.mu)
 		c.workers = make(map[*remoteWorker]struct{})
+		c.beatCache = make(map[string]*beatMsg)
 		c.stop = make(chan struct{})
 		c.health = newHealthTracker(c.QuarantineThreshold)
 	}
@@ -340,6 +348,29 @@ func (c *Coordinator) FleetStats() []WorkerStat {
 	out = append(out, c.gone...)
 	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WorkerMetrics is one worker's latest beat-piggybacked metric snapshot.
+type WorkerMetrics struct {
+	Worker  string
+	Samples []telemetry.Sample
+	Hists   []telemetry.HistogramSnapshot
+}
+
+// FleetMetrics returns the latest metric snapshot per worker name,
+// sorted by name — the fleet-aggregation source for /metrics. Departed
+// workers keep their final snapshot for the life of the campaign;
+// version-2 workers never appear (they send bare beats).
+func (c *Coordinator) FleetMetrics() []WorkerMetrics {
+	c.mu.Lock()
+	c.init()
+	out := make([]WorkerMetrics, 0, len(c.beatCache))
+	for name, b := range c.beatCache {
+		out = append(out, WorkerMetrics{Worker: name, Samples: b.Samples, Hists: b.Hists})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
 	return out
 }
 
@@ -568,6 +599,12 @@ func (c *Coordinator) acquire(ctx context.Context, key string, excluded map[stri
 		if best != nil {
 			p := &pendingTrial{ch: make(chan dispatchOutcome, 1)}
 			best.inflight[key] = p
+			depth := len(best.inflight)
+			if c.Metrics != nil {
+				// Depth of the least-loaded worker at dispatch time, this
+				// assignment included: the fabric's queueing signal.
+				c.Metrics.Histogram("dist.worker_queue_depth").Observe(int64(depth))
+			}
 			return best, p
 		}
 		c.cond.Wait() // workers exist but all slots are busy
@@ -577,6 +614,7 @@ func (c *Coordinator) acquire(ctx context.Context, key string, excluded map[stri
 // dispatch ships the assignment and waits for its outcome, a loss
 // notification, or cancellation.
 func (c *Coordinator) dispatch(ctx context.Context, w *remoteWorker, p *pendingTrial, tr runner.Trial, attempt int, payload json.RawMessage) dispatchOutcome {
+	start := time.Now()
 	err := w.out.write(wireMsg{Type: msgAssign, Assign: &assignMsg{
 		Key: tr.Key, Seed: tr.Seed, Attempt: attempt, Payload: payload,
 		SpecDigest: digestOf(payload),
@@ -589,6 +627,9 @@ func (c *Coordinator) dispatch(ctx context.Context, w *remoteWorker, p *pendingT
 	}
 	select {
 	case out := <-p.ch:
+		if out.res != nil && c.Metrics != nil {
+			c.Metrics.Histogram("dist.assign_rtt_us").ObserveDuration(time.Since(start))
+		}
 		return out
 	case <-ctx.Done():
 		c.releasePending(w, tr.Key, p)
@@ -634,9 +675,9 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 	}
 	h := *m.Hello
 	out := &msgWriter{w: conn}
-	if h.Proto != protoName || h.Version != protoVersion {
+	if h.Proto != protoName || h.Version < protoVersionMin || h.Version > protoVersion {
 		_ = out.write(wireMsg{Type: msgBye, Bye: &byeMsg{Code: byeProtoMismatch, Reason: fmt.Sprintf(
-			"protocol mismatch: got %s/%d, want %s/%d", h.Proto, h.Version, protoName, protoVersion)}})
+			"protocol mismatch: got %s/%d, want %s/%d..%d", h.Proto, h.Version, protoName, protoVersionMin, protoVersion)}})
 		return
 	}
 	_ = conn.SetReadDeadline(time.Time{})
@@ -718,7 +759,14 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 		w.lastBeat.Store(time.Now().UnixNano())
 		switch m.Type {
 		case msgBeat:
-			// liveness only
+			// Liveness, plus (proto ≥ 3) the worker's metric snapshot.
+			// Cached by name, not connection, so a departed worker's final
+			// numbers stay in the fleet aggregate for the campaign.
+			if m.Beat != nil {
+				c.mu.Lock()
+				c.beatCache[w.name] = m.Beat
+				c.mu.Unlock()
+			}
 		case msgResult:
 			if m.Result != nil {
 				c.routeResult(w, m.Result)

@@ -29,15 +29,21 @@ import (
 	"sync"
 
 	"repro/internal/dist/frame"
+	"repro/internal/telemetry"
 )
 
 // Protocol identity, validated in the hello handshake so a worker from a
 // different build generation never silently exchanges trials. Version 2
 // adds result-integrity digests on assign/result and the optional
-// shared-secret HMAC on hello.
+// shared-secret HMAC on hello. Version 3 adds the metric snapshot
+// piggybacked on beat frames (fleet observability); it is otherwise
+// wire-compatible with 2, so the coordinator accepts both — a v2 worker
+// simply contributes no metrics — and a v3 worker turned away by a v2
+// coordinator re-dials speaking v2 with the piggyback disabled.
 const (
-	protoName    = "quicbench-dist"
-	protoVersion = 2
+	protoName       = "quicbench-dist"
+	protoVersion    = 3
+	protoVersionMin = 2
 )
 
 // Message types on the coordinator/worker connection.
@@ -163,6 +169,17 @@ type resultMsg struct {
 	ResultDigest string          `json:"result_digest,omitempty"`
 }
 
+// beatMsg is the optional payload on a liveness heartbeat (proto ≥ 3):
+// the worker's registry snapshot — scalar samples plus full histogram
+// bucket data, so the coordinator can merge distributions exactly
+// instead of summing quantiles. Workers send it on every heartbeat and
+// immediately after each result, so fleet-aggregated counters converge
+// with the journal rather than lagging a beat period behind.
+type beatMsg struct {
+	Samples []telemetry.Sample            `json:"samples,omitempty"`
+	Hists   []telemetry.HistogramSnapshot `json:"hists,omitempty"`
+}
+
 // drainMsg announces a clean worker shutdown; Keys lists assignments the
 // worker is handing back unexecuted.
 type drainMsg struct {
@@ -176,12 +193,15 @@ type byeMsg struct {
 	Reason string `json:"reason,omitempty"`
 }
 
-// wireMsg is one frame on the coordinator/worker connection.
+// wireMsg is one frame on the coordinator/worker connection. Beat is
+// new in version 3; version-2 peers never set it, and because frames are
+// JSON, a v2 decoder would simply ignore it.
 type wireMsg struct {
 	Type   string     `json:"type"`
 	Hello  *helloMsg  `json:"hello,omitempty"`
 	Assign *assignMsg `json:"assign,omitempty"`
 	Result *resultMsg `json:"result,omitempty"`
+	Beat   *beatMsg   `json:"beat,omitempty"`
 	Drain  *drainMsg  `json:"drain,omitempty"`
 	Bye    *byeMsg    `json:"bye,omitempty"`
 }

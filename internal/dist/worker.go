@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // Chaos-injection hooks, matched as substrings against assignment keys.
@@ -75,6 +76,13 @@ type Worker struct {
 	// HMAC over this shared secret; it must match the coordinator's
 	// -auth-token or the worker is turned away with ErrAuthFailed.
 	AuthToken string
+	// Metrics, when non-nil, is the worker's local registry: assignment
+	// counters (worker.trials_total, worker.failures_total), the
+	// worker.trial_latency_us wall-latency histogram, and the
+	// worker.inflight gauge all land here, and its snapshot is
+	// piggybacked on every beat frame (proto ≥ 3) so the coordinator can
+	// aggregate the fleet.
+	Metrics *telemetry.Registry
 	// ChaosCrash, ChaosBlackhole, and ChaosDiverge are key substrings
 	// arming the chaos hooks; empty values fall back to the
 	// QUICBENCH_TEST_DIST_* env.
@@ -85,6 +93,10 @@ type Worker struct {
 	drainOnce sync.Once
 	drainInit sync.Once
 	drainCh   chan struct{}
+	// forceV2 latches after a coordinator rejects our version-3 hello:
+	// the next dial re-introduces as version 2 with the metric piggyback
+	// disabled, so a new worker still serves an old fleet.
+	forceV2 atomic.Bool
 }
 
 // Drain asks the worker to shut down cleanly: finish the assignments in
@@ -205,7 +217,11 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := &msgWriter{w: conn}
-	hello := helloMsg{Proto: protoName, Version: protoVersion, Name: w.name(), Slots: w.slots()}
+	version := protoVersion
+	if w.forceV2.Load() {
+		version = protoVersionMin
+	}
+	hello := helloMsg{Proto: protoName, Version: version, Name: w.name(), Slots: w.slots()}
 	if w.AuthToken != "" {
 		if err := authenticate(w.AuthToken, &hello); err != nil {
 			return true, err
@@ -213,6 +229,14 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 	}
 	if err := out.write(wireMsg{Type: msgHello, Hello: &hello}); err != nil {
 		return false, fmt.Errorf("dist: hello: %w", err)
+	}
+	// The metric piggyback is a version-3 feature; a downgraded session
+	// sends bare beats exactly like a genuine v2 worker.
+	beatPayload := func() *beatMsg { return nil }
+	if w.Metrics != nil && version >= 3 {
+		beatPayload = func() *beatMsg {
+			return &beatMsg{Samples: w.Metrics.Snapshot(), Hists: w.Metrics.Histograms()}
+		}
 	}
 
 	var (
@@ -232,7 +256,7 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 			case <-beatStop:
 				return
 			case <-t.C:
-				if err := out.write(wireMsg{Type: msgBeat}); err != nil {
+				if err := out.write(wireMsg{Type: msgBeat, Beat: beatPayload()}); err != nil {
 					return // connection gone; the read loop will notice
 				}
 			}
@@ -287,6 +311,13 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 		case msgBye:
 			trials.Wait()
 			if err := byeError(m.Bye); err != nil {
+				if m.Bye != nil && m.Bye.Code == byeProtoMismatch && version > protoVersionMin {
+					// An older coordinator: downgrade and re-dial speaking
+					// its version instead of giving up the campaign.
+					w.forceV2.Store(true)
+					w.logf("dist: coordinator speaks an older protocol (%s); re-dialing as v%d", byeReason(m.Bye), protoVersionMin)
+					return false, err
+				}
 				w.logf("dist: coordinator turned us away: %v (%s)", err, byeReason(m.Bye))
 				return true, err
 			}
@@ -323,6 +354,12 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) (done bool, err err
 					res.ResultDigest = digestOf(res.Result)
 				}
 				_ = out.write(wireMsg{Type: msgResult, Result: &res})
+				// Chase the result with a fresh snapshot so fleet-summed
+				// counters converge with the journal immediately instead of
+				// lagging one heartbeat behind.
+				if b := beatPayload(); b != nil {
+					_ = out.write(wireMsg{Type: msgBeat, Beat: b})
+				}
 			}()
 		}
 	}
@@ -336,6 +373,18 @@ func (w *Worker) runAssignment(ctx context.Context, a assignMsg) (out resultMsg)
 	// not echoed from the assignment — so the coordinator's check proves
 	// this result answers the spec it sent.
 	out = resultMsg{Key: a.Key, Attempt: a.Attempt, SpecDigest: digestOf(a.Payload)}
+	if w.Metrics != nil {
+		w.Metrics.Gauge("worker.inflight").Add(1)
+		start := time.Now()
+		defer func() {
+			w.Metrics.Histogram("worker.trial_latency_us").ObserveDuration(time.Since(start))
+			w.Metrics.Counter("worker.trials_total").Inc()
+			if out.Err != "" {
+				w.Metrics.Counter("worker.failures_total").Inc()
+			}
+			w.Metrics.Gauge("worker.inflight").Add(-1)
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			fmt.Fprintf(os.Stderr, "dist worker: trial %s panicked: %v\n%s", a.Key, r, debug.Stack())

@@ -13,6 +13,7 @@ import (
 	"repro/internal/pe"
 	"repro/internal/runner"
 	"repro/internal/stacks"
+	"repro/internal/telemetry"
 )
 
 // Executor implements runner.TrialExecutor over real UDP sockets: each
@@ -52,6 +53,10 @@ type Executor struct {
 	// warnings from trials that completed anyway (must be safe for
 	// concurrent use).
 	OnWarn func(key string, w Warning)
+	// Metrics, when non-nil, collects per-trial latency histograms
+	// (rtclock timer lateness, relay read gaps) across every trial this
+	// executor runs.
+	Metrics *telemetry.Registry
 }
 
 // ExecuteTrial implements runner.TrialExecutor.
@@ -104,9 +109,10 @@ func (e *Executor) runCell(ctx context.Context, key string, c core.SweepCell) (c
 	run := func(a, b core.Flow, trial int) ([]geom.Point, error) {
 		res, terr := RunTrial(ctx, TrialConfig{
 			A: a, B: b, Net: n, Trial: trial,
-			Loss:  e.Loss,
-			Chaos: chaos,
-			Stall: e.Stall, WallGrace: e.WallGrace, SkewBudget: e.SkewBudget,
+			Loss:    e.Loss,
+			Chaos:   chaos,
+			Metrics: e.Metrics,
+			Stall:   e.Stall, WallGrace: e.WallGrace, SkewBudget: e.SkewBudget,
 			OnWarn: func(w Warning) {
 				if e.OnWarn != nil {
 					e.OnWarn(key, w)

@@ -29,6 +29,12 @@ type RelayConfig struct {
 	Chaos Chaos
 	// ReadLoop tunes the relay socket's retry discipline.
 	ReadLoop ReadLoopConfig
+	// OnGap, when non-nil, observes the wall-clock gap between
+	// consecutive datagram reads (from the second read onward). It runs
+	// on the serve goroutine, so it must be cheap; this is the feed for
+	// the live.relay_gap_us histogram — the continuous signal behind the
+	// stall watchdog's binary verdict.
+	OnGap func(time.Duration)
 }
 
 // Relay is a userspace bottleneck on one UDP socket: data datagrams
@@ -49,6 +55,8 @@ type Relay struct {
 	forwarded atomic.Uint64 // datagrams written onward
 	dropped   atomic.Uint64 // droptail queue drops
 	lost      atomic.Uint64 // loss-model drops
+
+	lastRead time.Time // serve-goroutine only: previous read, for OnGap
 
 	mu        sync.Mutex
 	queued    int
@@ -135,6 +143,13 @@ func (r *Relay) handlePacket(buf []byte, n int) {
 		return
 	}
 	r.handled.Add(1)
+	if r.cfg.OnGap != nil {
+		now := time.Now()
+		if !r.lastRead.IsZero() {
+			r.cfg.OnGap(now.Sub(r.lastRead))
+		}
+		r.lastRead = now
+	}
 	if n < 4 || buf[0] != 0x51 {
 		return
 	}

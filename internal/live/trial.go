@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -53,6 +54,11 @@ type TrialConfig struct {
 	OnWarn func(Warning)
 	// ReadLoop tunes every socket's retry discipline.
 	ReadLoop ReadLoopConfig
+	// Metrics, when non-nil, receives the trial's hot-path latency
+	// distributions: rtclock.timer_late_us (every timer's firing
+	// lateness across all four loops) and live.relay_gap_us (wall-clock
+	// gaps between consecutive relay reads).
+	Metrics *telemetry.Registry
 }
 
 func (cfg TrialConfig) withDefaults() TrialConfig {
@@ -109,6 +115,15 @@ func RunTrial(ctx context.Context, cfg TrialConfig) (*core.TrialResult, error) {
 		loss = lm
 	}
 
+	var onGap func(time.Duration)
+	var lateObs func(time.Duration)
+	if cfg.Metrics != nil {
+		gapHist := cfg.Metrics.Histogram("live.relay_gap_us")
+		onGap = func(d time.Duration) { gapHist.ObserveDuration(d) }
+		lateHist := cfg.Metrics.Histogram("rtclock.timer_late_us")
+		lateObs = func(d time.Duration) { lateHist.ObserveDuration(d) }
+	}
+
 	rel, err := NewRelay(RelayConfig{
 		RateBps:    bps,
 		QueueBytes: queue,
@@ -117,6 +132,7 @@ func RunTrial(ctx context.Context, cfg TrialConfig) (*core.TrialResult, error) {
 		RNG:        rng.Fork(),
 		Chaos:      cfg.Chaos,
 		ReadLoop:   cfg.ReadLoop,
+		OnGap:      onGap,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("live: trial %d relay: %w", trial, err)
@@ -150,6 +166,10 @@ func RunTrial(ctx context.Context, cfg TrialConfig) (*core.TrialResult, error) {
 			return res, fmt.Errorf("live: trial %d flow %d receiver socket: %w", trial, flowID, terr)
 		}
 		endpoints = append(endpoints, rxEP)
+		if lateObs != nil {
+			txEP.Loop().SetLateObserver(lateObs)
+			rxEP.Loop().SetLateObserver(lateObs)
+		}
 		rel.Register(flowID, rxEP.Addr(), txEP.Addr())
 
 		ctrl := fl.Stack.NewController(fl.CCA)

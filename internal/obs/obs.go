@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Server is the opt-in observability endpoint for one process. Zero
+// value plus an Addr is usable; Start binds and serves until Stop.
+type Server struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// Registry is the process-local metric registry rendered on /metrics.
+	Registry *telemetry.Registry
+	// Status, when non-nil, supplies the /statusz snapshot (typically
+	// Progress.Snapshot on a coordinator). When nil, /statusz serves a
+	// minimal snapshot built from Registry.
+	Status func() telemetry.StatusSnapshot
+	// Workers, when non-nil, supplies per-worker metric snapshots for
+	// fleet aggregation (coordinator only): /metrics then renders each
+	// worker's series labeled {worker="..."} plus fleet-summed/merged
+	// aggregates in the same family.
+	Workers func() []WorkerMetrics
+	// Logf, when non-nil, observes serve lifecycle events.
+	Logf func(format string, args ...any)
+
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds Addr and serves in a background goroutine, returning the
+// bound address (useful with a ":0" Addr). Idempotent Stop tears it
+// down; a bind failure is returned here, never later.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.Addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	// The standard pprof endpoints on this private mux (not the default
+	// ServeMux), replacing the SIGQUIT-only profile path: live campaigns
+	// can be profiled with `go tool pprof http://.../debug/pprof/profile`.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed && s.Logf != nil {
+			s.Logf("obs: serve: %v", serr)
+		}
+	}()
+	if s.Logf != nil {
+		s.Logf("obs: serving /metrics /statusz /healthz /debug/pprof on http://%s", ln.Addr())
+	}
+	return ln.Addr().String(), nil
+}
+
+// Stop closes the listener and any in-flight connections. Safe to call
+// more than once, or without a successful Start.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var workers []WorkerMetrics
+	if s.Workers != nil {
+		workers = s.Workers()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.Registry, workers)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	var snap telemetry.StatusSnapshot
+	if s.Status != nil {
+		snap = s.Status()
+	} else {
+		snap = telemetry.StatusSnapshot{Schema: telemetry.StatusSchema}
+		if s.Registry != nil {
+			snap.Counters = make(map[string]int64)
+			for _, smp := range s.Registry.Snapshot() {
+				snap.Counters[smp.Name] = smp.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestWriteMetricsGolden pins the exposition byte for byte: family
+// ordering, name sanitization, label escaping, fleet summing, and
+// histogram bucket cumulativity are all load-bearing for scrapers.
+func TestWriteMetricsGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sweep.cells_done").Add(7)
+	reg.Gauge("dist.queue").Set(3)
+	reg.Gauge("dist.queue").Set(2) // high-water stays 3
+	h := reg.Histogram("sweep.trial_latency_us")
+	h.Observe(1)    // bucket idx 0 (le 1)
+	h.Observe(2)    // bucket idx 1 (le 2)
+	h.Observe(2)    // same bucket
+	h.Observe(1e13) // overflow bucket
+
+	workers := []WorkerMetrics{
+		{
+			Worker:  `w"2\x` + "\n",
+			Samples: []telemetry.Sample{{Name: "worker.trials_total", Value: 4, Kind: telemetry.KindCounter}},
+		},
+		{
+			Worker:  "w1",
+			Samples: []telemetry.Sample{{Name: "worker.trials_total", Value: 6, Kind: telemetry.KindCounter}},
+			Hists: []telemetry.HistogramSnapshot{{
+				Name: "worker.trial_latency_us", Count: 2, Sum: 3,
+				Buckets: []telemetry.HistBucket{{Idx: 0, N: 1}, {Idx: 1, N: 1}},
+			}},
+		},
+	}
+
+	var b strings.Builder
+	if err := WriteMetrics(&b, reg, workers); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE quicbench_dist_queue gauge
+quicbench_dist_queue 2
+# TYPE quicbench_dist_queue_high gauge
+quicbench_dist_queue_high 3
+# TYPE quicbench_sweep_cells_done counter
+quicbench_sweep_cells_done 7
+# TYPE quicbench_sweep_trial_latency_us histogram
+quicbench_sweep_trial_latency_us_bucket{le="1"} 1
+quicbench_sweep_trial_latency_us_bucket{le="2"} 3
+quicbench_sweep_trial_latency_us_bucket{le="+Inf"} 4
+quicbench_sweep_trial_latency_us_sum 10000000000005
+quicbench_sweep_trial_latency_us_count 4
+# TYPE quicbench_worker_trial_latency_us histogram
+quicbench_worker_trial_latency_us_bucket{le="1"} 1
+quicbench_worker_trial_latency_us_bucket{le="2"} 2
+quicbench_worker_trial_latency_us_bucket{le="+Inf"} 2
+quicbench_worker_trial_latency_us_sum 3
+quicbench_worker_trial_latency_us_count 2
+quicbench_worker_trial_latency_us_bucket{worker="w1",le="1"} 1
+quicbench_worker_trial_latency_us_bucket{worker="w1",le="2"} 2
+quicbench_worker_trial_latency_us_bucket{worker="w1",le="+Inf"} 2
+quicbench_worker_trial_latency_us_sum{worker="w1"} 3
+quicbench_worker_trial_latency_us_count{worker="w1"} 2
+# TYPE quicbench_worker_trials_total counter
+quicbench_worker_trials_total 10
+quicbench_worker_trials_total{worker="w\"2\\x\n"} 4
+quicbench_worker_trials_total{worker="w1"} 6
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestWriteMetricsCumulative checks bucket cumulativity and the
+// +Inf == _count invariant over a randomized histogram.
+func TestWriteMetricsCumulative(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("x.lat_us")
+	for i := int64(1); i < 4000; i += 7 {
+		h.Observe(i * i)
+	}
+	var b strings.Builder
+	if err := WriteMetrics(&b, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	var last, inf, count int64 = -1, -1, -1
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "quicbench_x_lat_us_bucket"):
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < last {
+				t.Fatalf("bucket counts not cumulative: %q after %d", line, last)
+			}
+			last = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, "quicbench_x_lat_us_count"):
+			count, _ = strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if inf < 0 || inf != count {
+		t.Fatalf("+Inf bucket %d != _count %d", inf, count)
+	}
+	if want := int64(len(seq(1, 4000, 7))); count != want {
+		t.Fatalf("count = %d, want %d", count, want)
+	}
+}
+
+func seq(lo, hi, step int64) []int64 {
+	var out []int64
+	for i := lo; i < hi; i += step {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestServerEndpoints drives the full HTTP surface once.
+func TestServerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sweep.cells_done").Add(3)
+	reg.Histogram("sweep.trial_latency_us").Observe(1500)
+	s := &Server{Addr: "127.0.0.1:0", Registry: reg}
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	get := func(path string) (int, string) {
+		resp, gerr := http.Get("http://" + addr + path)
+		if gerr != nil {
+			t.Fatalf("GET %s: %v", path, gerr)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE quicbench_sweep_cells_done counter",
+		"quicbench_sweep_cells_done 3",
+		"quicbench_sweep_trial_latency_us_bucket",
+		"quicbench_sweep_trial_latency_us_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if code, body := get("/statusz"); code != 200 || !strings.Contains(body, telemetry.StatusSchema) {
+		t.Fatalf("/statusz = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestScrapeUnderLoad hammers the registry from writer goroutines while
+// concurrent scrapers pull /metrics — the -race run is the assertion
+// that exposition takes consistent snapshots; we additionally require
+// every scrape to parse as cumulative histogram lines.
+func TestScrapeUnderLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var fleetTick atomic.Int64
+	s := &Server{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Workers: func() []WorkerMetrics {
+			// A fleet source that mutates between scrapes, like a live
+			// coordinator's beat cache.
+			n := fleetTick.Add(1)
+			return []WorkerMetrics{{
+				Worker:  "w1",
+				Samples: []telemetry.Sample{{Name: "worker.trials_total", Value: n, Kind: telemetry.KindCounter}},
+			}}
+		},
+	}
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := reg.Histogram("sweep.trial_latency_us")
+			c := reg.Counter("sweep.cells_done")
+			ga := reg.Gauge("dist.queue")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(int64(i%100000 + 1))
+				c.Inc()
+				ga.Set(int64(i % 64))
+			}
+		}(g)
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		resp, gerr := http.Get("http://" + addr + "/metrics")
+		if gerr != nil {
+			t.Fatalf("scrape: %v", gerr)
+		}
+		var last int64 = -1
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "quicbench_sweep_trial_latency_us_bucket") {
+				continue
+			}
+			v, perr := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if perr != nil {
+				t.Fatalf("bad bucket line %q", line)
+			}
+			if v < last {
+				t.Fatalf("non-cumulative buckets under load: %d after %d", v, last)
+			}
+			last = v
+		}
+		resp.Body.Close()
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrapes completed")
+	}
+}

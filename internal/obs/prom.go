@@ -1,0 +1,257 @@
+// Package obs is the fleet observability plane: an opt-in HTTP server
+// (-obs-addr) on coordinators and workers serving the telemetry
+// registry as Prometheus text exposition (/metrics), the live status
+// snapshot as JSON (/statusz), a liveness probe (/healthz), and the
+// standard pprof profile endpoints — replacing the SIGQUIT-only
+// profile path for long campaigns.
+//
+// The exposition is hand-rolled like the qlog encoder: no client
+// library, deterministic family ordering, and exact control over
+// escaping, so output is golden-testable byte for byte.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// WorkerMetrics is one fleet worker's latest metric snapshot, as
+// piggybacked on its beat frames and cached by the coordinator.
+type WorkerMetrics struct {
+	Worker  string
+	Samples []telemetry.Sample
+	Hists   []telemetry.HistogramSnapshot
+}
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name: dots (the registry's namespace separator) and any other
+// character outside [a-zA-Z0-9_] become '_', and the whole name gets
+// the "quicbench_" namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("quicbench_") + len(name))
+	b.WriteString("quicbench_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func promEscape(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// series is one line-to-be: optional worker label plus a value.
+type series struct {
+	worker  string // "" = the unlabeled (local or fleet-summed) series
+	labeled bool   // distinguishes worker="" from no label at all
+	value   int64
+}
+
+// family collects every series of one metric name plus its type.
+type family struct {
+	name string // sanitized Prometheus name
+	typ  string // "counter" | "gauge" | "histogram"
+	rows []series
+	// histogram families carry merged+per-worker snapshots instead of rows
+	fleet   telemetry.HistogramSnapshot
+	perWork []WorkerMetrics // aligned worker snapshots (Hists filtered to this name)
+}
+
+// WriteMetrics renders the full Prometheus exposition: the local
+// registry's counters, gauges, and histograms, plus — when fleet
+// worker snapshots are supplied — per-worker labeled series and
+// fleet-summed/merged aggregate series in the same families.
+//
+// Invariants (golden-tested): families sort by metric name; within a
+// family the unlabeled aggregate line precedes per-worker lines sorted
+// by worker name; histogram buckets are cumulative with an +Inf bucket
+// equal to _count; derived histogram summary samples (.p50 et al.) are
+// skipped in favor of the bucket family.
+func WriteMetrics(w io.Writer, reg *telemetry.Registry, workers []WorkerMetrics) error {
+	fams := map[string]*family{}
+	get := func(name, typ string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	if reg != nil {
+		for _, s := range reg.Snapshot() {
+			if s.Kind == telemetry.KindHist {
+				continue // full bucket family rendered below
+			}
+			typ := "gauge"
+			if s.Kind == telemetry.KindCounter {
+				typ = "counter"
+			}
+			f := get(promName(s.Name), typ)
+			f.rows = append(f.rows, series{value: s.Value})
+		}
+		for _, h := range reg.Histograms() {
+			f := get(promName(h.Name), "histogram")
+			f.fleet = h
+		}
+	}
+
+	// Fleet: sum worker counters/gauges into an aggregate series and keep
+	// each worker's own labeled series; merge worker histograms exactly
+	// (shared bucket schema) rather than summing quantiles.
+	sortedWorkers := append([]WorkerMetrics(nil), workers...)
+	sort.Slice(sortedWorkers, func(i, j int) bool { return sortedWorkers[i].Worker < sortedWorkers[j].Worker })
+	for _, wm := range sortedWorkers {
+		for _, s := range wm.Samples {
+			if s.Kind == telemetry.KindHist {
+				continue
+			}
+			typ := "gauge"
+			if s.Kind == telemetry.KindCounter {
+				typ = "counter"
+			}
+			f := get(promName(s.Name), typ)
+			f.rows = append(f.rows, series{worker: wm.Worker, labeled: true, value: s.Value})
+		}
+		for _, h := range wm.Hists {
+			f := get(promName(h.Name), "histogram")
+			f.fleet = f.fleet.Merge(h)
+			f.perWork = append(f.perWork, WorkerMetrics{Worker: wm.Worker, Hists: []telemetry.HistogramSnapshot{h}})
+		}
+	}
+	// Aggregate line for fleet scalar families: the sum over workers.
+	for _, f := range fams {
+		if f.typ == "histogram" || len(f.rows) == 0 {
+			continue
+		}
+		hasUnlabeled := false
+		var sum int64
+		nLabeled := 0
+		for _, r := range f.rows {
+			if r.labeled {
+				sum += r.value
+				nLabeled++
+			} else {
+				hasUnlabeled = true
+			}
+		}
+		if !hasUnlabeled && nLabeled > 0 {
+			f.rows = append([]series{{value: sum}}, f.rows...)
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		if f.typ == "histogram" {
+			if err := writeHistFamily(w, f); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, r := range f.rows {
+			var err error
+			if r.labeled {
+				_, err = fmt.Fprintf(w, "%s{worker=\"%s\"} %d\n", f.name, promEscape(r.worker), r.value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s %d\n", f.name, r.value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistFamily renders one histogram family: the merged aggregate
+// (unlabeled) then each worker's own distribution (labeled), each as
+// cumulative _bucket lines for every non-empty bucket plus +Inf, then
+// _sum and _count.
+func writeHistFamily(w io.Writer, f *family) error {
+	if err := writeHist(w, f.name, "", f.fleet); err != nil {
+		return err
+	}
+	for _, wm := range f.perWork {
+		if err := writeHist(w, f.name, wm.Worker, wm.Hists[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, name, worker string, h telemetry.HistogramSnapshot) error {
+	label := func(le string) string {
+		if worker == "" {
+			return fmt.Sprintf("{le=\"%s\"}", le)
+		}
+		return fmt.Sprintf("{worker=\"%s\",le=\"%s\"}", promEscape(worker), le)
+	}
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.N
+		le := "+Inf"
+		if bound := telemetry.HistogramBound(b.Idx); bound >= 0 {
+			le = fmt.Sprintf("%d", bound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, label(le), cum); err != nil {
+			return err
+		}
+	}
+	// The +Inf bucket is mandatory and equals the total count, whether or
+	// not the overflow bucket held observations.
+	if len(h.Buckets) == 0 || telemetry.HistogramBound(h.Buckets[len(h.Buckets)-1].Idx) >= 0 {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, label("+Inf"), cum); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if worker != "" {
+		suffix = fmt.Sprintf("{worker=\"%s\"}", promEscape(worker))
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, suffix, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+	return err
+}

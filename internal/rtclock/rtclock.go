@@ -37,6 +37,12 @@ type Loop struct {
 	lastNow        atomic.Int64
 	nowRegressions atomic.Uint64
 
+	// lateObserver, when set, receives every timer's firing lateness
+	// (including zero) from the loop goroutine — the feed for the
+	// rtclock.timer_late_us histogram. Atomic so arming it never
+	// contends with the hot fire path.
+	lateObserver atomic.Pointer[func(time.Duration)]
+
 	nudge chan struct{}
 	done  chan struct{}
 }
@@ -128,6 +134,18 @@ type Stats struct {
 	// NowRegressions counts clock readings that ran behind an already
 	// observed time and were clamped by the monotonicity guard.
 	NowRegressions uint64
+}
+
+// SetLateObserver arms fn to receive each timer's firing lateness, or
+// disarms the hook when fn is nil. The callback runs on the loop
+// goroutine between a timer's bookkeeping and its callback, so it must
+// be cheap and must not call back into the loop.
+func (l *Loop) SetLateObserver(fn func(time.Duration)) {
+	if fn == nil {
+		l.lateObserver.Store(nil)
+		return
+	}
+	l.lateObserver.Store(&fn)
 }
 
 // Stats returns the loop's clock-sanity counters.
@@ -254,10 +272,14 @@ func (l *Loop) run() {
 			t.armed = false
 			fn := t.fn
 			l.timersFired++
-			if late := now - t.at; late > l.timerLateMax {
+			late := now - t.at
+			if late > l.timerLateMax {
 				l.timerLateMax = late
 			}
 			l.mu.Unlock()
+			if obs := l.lateObserver.Load(); obs != nil {
+				(*obs)(time.Duration(late))
+			}
 			fn()
 			continue
 		}

@@ -59,20 +59,23 @@ type ChildStatus struct {
 
 // StatusSnapshot is one line of the JSONL status file.
 type StatusSnapshot struct {
-	Schema     string           `json:"schema"`
-	WallMs     int64            `json:"wall_ms"`
-	Done       int              `json:"done"`
-	Total      int              `json:"total"`
-	Failed     int              `json:"failed"`
-	Reused     int              `json:"reused"`
-	Retries    int              `json:"retries"`
-	ETASeconds float64          `json:"eta_s"`
-	Goroutines int              `json:"goroutines"`
-	HeapMB     float64          `json:"heap_mb"`
-	Workers    []WorkerStatus   `json:"workers,omitempty"`
-	Children   []ChildStatus    `json:"children,omitempty"`
-	Fleet      []FleetStatus    `json:"fleet,omitempty"`
-	Counters   map[string]int64 `json:"counters,omitempty"`
+	Schema     string  `json:"schema"`
+	WallMs     int64   `json:"wall_ms"`
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	Failed     int     `json:"failed"`
+	Reused     int     `json:"reused"`
+	Retries    int     `json:"retries"`
+	ETASeconds float64 `json:"eta_s"`
+	Goroutines int     `json:"goroutines"`
+	HeapMB     float64 `json:"heap_mb"`
+	// LatencyP99Us is the p99 trial wall latency in microseconds, when a
+	// latency histogram is wired (0 otherwise) — additive to the v1 schema.
+	LatencyP99Us int64            `json:"latency_p99_us,omitempty"`
+	Workers      []WorkerStatus   `json:"workers,omitempty"`
+	Children     []ChildStatus    `json:"children,omitempty"`
+	Fleet        []FleetStatus    `json:"fleet,omitempty"`
+	Counters     map[string]int64 `json:"counters,omitempty"`
 }
 
 type workerState struct {
@@ -97,6 +100,10 @@ type Progress struct {
 	Fleet func() []FleetStat
 	// Registry, when non-nil, contributes its snapshot to status lines.
 	Registry *Registry
+	// Latency, when non-nil, is the trial wall-latency histogram (µs);
+	// its p99 is rendered as a progress column and embedded in status
+	// snapshots.
+	Latency *Histogram
 
 	mu      sync.Mutex
 	start   time.Time
@@ -187,6 +194,11 @@ func (p *Progress) TrialFinished(cell string, failed, reused bool) {
 	p.mu.Unlock()
 }
 
+// Snapshot assembles the current status — the same struct the Status
+// JSONL stream carries, for on-demand readers like the /statusz
+// endpoint. Safe to call concurrently with the emit loop.
+func (p *Progress) Snapshot() StatusSnapshot { return p.snapshot() }
+
 // snapshot assembles the current status under the lock.
 func (p *Progress) snapshot() StatusSnapshot {
 	p.mu.Lock()
@@ -244,6 +256,9 @@ func (p *Progress) snapshot() StatusSnapshot {
 	}
 	s.Goroutines = runtime.NumGoroutine()
 	s.HeapMB = heapMB()
+	if p.Latency != nil && p.Latency.Count() > 0 {
+		s.LatencyP99Us = p.Latency.Snapshot().Quantile(0.99)
+	}
 	if p.Registry != nil {
 		s.Counters = make(map[string]int64)
 		for _, smp := range p.Registry.Snapshot() {
@@ -286,6 +301,9 @@ func (p *Progress) emit() {
 				}
 			}
 			fmt.Fprintf(p.Out, " | fleet %d/%d live (%d in flight)", live, len(s.Fleet), inflight)
+		}
+		if s.LatencyP99Us > 0 {
+			fmt.Fprintf(p.Out, " | p99 %s", (time.Duration(s.LatencyP99Us) * time.Microsecond).Round(time.Millisecond))
 		}
 		fmt.Fprintf(p.Out, " | %dg %.0fMB", s.Goroutines, s.HeapMB)
 	}

@@ -35,16 +35,39 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add adjusts the gauge by delta atomically (occupancy up/down ticks)
+// and updates the highwater mark.
+func (g *Gauge) Add(delta int64) {
+	v := g.v.Add(delta)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
 // Value reads the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // High reads the highwater mark.
 func (g *Gauge) High() int64 { return g.high.Load() }
 
+// Sample kinds, for renderers that care about metric semantics (the
+// Prometheus exposition needs counter vs gauge # TYPE lines; histogram
+// summary samples are derived and skipped there in favor of the full
+// bucket families).
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+	KindHist    = "hist"
+)
+
 // Sample is one named value in a registry snapshot.
 type Sample struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
+	Kind  string `json:"kind,omitempty"`
 }
 
 // Registry is a concurrency-safe collection of named counters, gauges,
@@ -55,6 +78,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	funcs    map[string]func() int64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -63,6 +87,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		funcs:    make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -92,6 +117,20 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the histogram registered under name, creating it on
+// first use. All histograms share the process-global bucket schema, so
+// any two registries' histograms of the same name merge exactly.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
 // RegisterFunc registers (or replaces) a gauge function sampled at
 // snapshot time — for values owned elsewhere, like pool statistics.
 func (r *Registry) RegisterFunc(name string, fn func() int64) {
@@ -101,16 +140,25 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {
 }
 
 // Snapshot returns every metric as name/value samples, sorted by name.
-// Gauges contribute two samples: "<name>" and "<name>.high".
+// Gauges contribute two samples: "<name>" and "<name>.high"; histograms
+// contribute "<name>.count", "<name>.p50", "<name>.p90", and
+// "<name>.p99" summaries (the full bucket data is on Histograms).
 func (r *Registry) Snapshot() []Sample {
 	r.mu.Lock()
-	out := make([]Sample, 0, len(r.counters)+2*len(r.gauges)+len(r.funcs))
+	out := make([]Sample, 0, len(r.counters)+2*len(r.gauges)+len(r.funcs)+4*len(r.hists))
 	for name, c := range r.counters {
-		out = append(out, Sample{Name: name, Value: c.Value()})
+		out = append(out, Sample{Name: name, Value: c.Value(), Kind: KindCounter})
 	}
 	for name, g := range r.gauges {
-		out = append(out, Sample{Name: name, Value: g.Value()})
-		out = append(out, Sample{Name: name + ".high", Value: g.High()})
+		out = append(out, Sample{Name: name, Value: g.Value(), Kind: KindGauge})
+		out = append(out, Sample{Name: name + ".high", Value: g.High(), Kind: KindGauge})
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		out = append(out, Sample{Name: name + ".count", Value: s.Count, Kind: KindHist})
+		out = append(out, Sample{Name: name + ".p50", Value: s.Quantile(0.50), Kind: KindHist})
+		out = append(out, Sample{Name: name + ".p90", Value: s.Quantile(0.90), Kind: KindHist})
+		out = append(out, Sample{Name: name + ".p99", Value: s.Quantile(0.99), Kind: KindHist})
 	}
 	fns := make([]struct {
 		name string
@@ -126,7 +174,33 @@ func (r *Registry) Snapshot() []Sample {
 	// Sample registered functions outside the lock: they may take other
 	// locks of their own.
 	for _, f := range fns {
-		out = append(out, Sample{Name: f.name, Value: f.fn()})
+		out = append(out, Sample{Name: f.name, Value: f.fn(), Kind: KindGauge})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Histograms returns a full snapshot (bucket counts included) of every
+// registered histogram, sorted by name — the payload piggybacked on
+// fleet beat frames and rendered as Prometheus histogram families.
+func (r *Registry) Histograms() []HistogramSnapshot {
+	r.mu.Lock()
+	hs := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.hists))
+	for name, h := range r.hists {
+		hs = append(hs, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
+	r.mu.Unlock()
+	out := make([]HistogramSnapshot, 0, len(hs))
+	for _, e := range hs {
+		s := e.h.Snapshot()
+		s.Name = e.name
+		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# obs-smoke: the fleet observability plane end to end on loopback. A
+# coordinator runs a small distributed campaign with -obs-addr; the
+# script scrapes /metrics mid-campaign (exposition must be valid
+# Prometheus text with histogram families and per-worker series), then
+# takes a final scrape during the -obs-wait linger and asserts the
+# fleet-summed trial counter equals the journal's record count — the
+# observability plane must agree with the ground truth it narrates.
+set -u
+
+GO=${GO:-go}
+CURL=${CURL:-curl}
+BIN=$(mktemp -t quicbench-obs.XXXXXX)
+WORK=$(mktemp -d -t quicbench-obs-smoke.XXXXXX)
+SWEEP_ARGS=(-stacks quicgo,lsquic,quiche -ccas cubic -duration 5s -trials 1 -seed 7)
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null; done
+  rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "obs-smoke: $*" >&2; exit 1; }
+
+command -v "$CURL" >/dev/null || fail "curl not found (set CURL=)"
+
+# records <journal>: completed records (lines minus the version header).
+records() {
+  [ -f "$1" ] || { echo 0; return; }
+  local n
+  n=$(grep -c '"key"' "$1" 2>/dev/null) || n=0
+  echo "$n"
+}
+
+# metric <file> <name>: the unlabeled (fleet-summed) sample value.
+metric() {
+  awk -v name="$2" '$1 == name { print $2; exit }' "$1"
+}
+
+# wait_records <journal> <n> <timeout-s>: poll until >= n records.
+wait_records() {
+  local deadline=$(($(date +%s) + $3))
+  while [ "$(records "$1")" -lt "$2" ]; do
+    [ "$(date +%s)" -lt "$deadline" ] || fail "timed out waiting for $2 records in $1 (have $(records "$1"))"
+    sleep 0.2
+  done
+}
+
+$GO build -o "$BIN" ./cmd/quicbench || fail "build failed"
+
+echo "obs-smoke: reference single-process run (no observability)"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/ref.jsonl" >/dev/null 2>&1 \
+  || fail "reference sweep failed"
+
+echo "obs-smoke: starting coordinator with observability plane"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -checkpoint "$WORK/run.jsonl" \
+  -listen 127.0.0.1:0 -min-workers 2 -workers 2 -worker-timeout 5s \
+  -obs-addr 127.0.0.1:0 -obs-wait 20s \
+  >"$WORK/coord.out" 2>"$WORK/coord.log" &
+COORD=$!
+PIDS+=("$COORD")
+
+ADDR="" OBS=""
+deadline=$(($(date +%s) + 30))
+while [ -z "$ADDR" ] || [ -z "$OBS" ]; do
+  [ "$(date +%s)" -lt "$deadline" ] || fail "coordinator never announced its addresses"
+  ADDR=$(sed -n 's/^sweep: coordinator listening on //p' "$WORK/coord.log" | head -n1)
+  OBS=$(sed -n 's/^sweep: obs listening on //p' "$WORK/coord.log" | head -n1)
+  sleep 0.2
+done
+echo "obs-smoke: coordinator at $ADDR, obs at $OBS"
+
+for i in 1 2; do
+  "$BIN" worker -connect "$ADDR" -name "w$i" -parallel 1 \
+    >/dev/null 2>"$WORK/w$i.log" &
+  PIDS+=("$!")
+done
+
+echo "obs-smoke: scraping mid-campaign"
+wait_records "$WORK/run.jsonl" 1 60
+"$CURL" -fsS "http://$OBS/healthz" >/dev/null || fail "healthz refused"
+"$CURL" -fsS "http://$OBS/statusz" >"$WORK/statusz.json" || fail "statusz refused"
+grep -q '"quicbench-status/v1"' "$WORK/statusz.json" || fail "statusz schema missing"
+"$CURL" -fsS "http://$OBS/metrics" >"$WORK/mid.prom" || fail "metrics refused"
+grep -q '^# TYPE quicbench_dist_assign_rtt_us histogram$' "$WORK/mid.prom" \
+  || fail "mid-campaign scrape has no assign-RTT histogram family"
+grep -q '_bucket{le="+Inf"}' "$WORK/mid.prom" \
+  || fail "histogram exposition lacks the mandatory +Inf bucket"
+
+echo "obs-smoke: waiting for the campaign (sweep table on coordinator stdout)"
+deadline=$(($(date +%s) + 120))
+while ! grep -q 'obs endpoints linger' "$WORK/coord.log"; do
+  kill -0 "$COORD" 2>/dev/null || break
+  [ "$(date +%s)" -lt "$deadline" ] || fail "campaign did not finish in time"
+  sleep 0.5
+done
+
+echo "obs-smoke: final scrape during the linger window"
+"$CURL" -fsS "http://$OBS/metrics" >"$WORK/final.prom" \
+  || fail "final scrape refused (linger window missed?)"
+
+grep -q '^quicbench_worker_trials_total{worker="w[12]"}' "$WORK/final.prom" \
+  || fail "final scrape has no per-worker trial series"
+
+JOURNAL=$(records "$WORK/run.jsonl")
+FLEET=$(metric "$WORK/final.prom" quicbench_worker_trials_total)
+[ -n "$FLEET" ] || fail "final scrape has no fleet-summed quicbench_worker_trials_total"
+[ "$FLEET" = "$JOURNAL" ] \
+  || fail "fleet-summed trials ($FLEET) != journal records ($JOURNAL)"
+echo "obs-smoke: fleet-summed trials == journal records == $JOURNAL"
+
+wait "$COORD"
+rc=$?
+[ "$rc" -eq 0 ] || fail "coordinator exited $rc"
+
+# Observability is read-only: the scraped, fleet-aggregated campaign's
+# journal must be byte-identical to the unobserved single-process run's.
+cmp -s "$WORK/ref.jsonl" "$WORK/run.jsonl" \
+  || fail "scraped campaign journal differs from the unobserved reference"
+echo "obs-smoke: scraped journal is byte-identical to the unobserved run"
+
+echo "obs-smoke: PASS"

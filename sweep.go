@@ -15,6 +15,7 @@ import (
 	"repro/internal/isolate"
 	"repro/internal/live"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -162,6 +163,19 @@ type SweepOptions struct {
 	// pool traffic); status snapshots embed its contents. Nil with progress
 	// enabled creates a private registry.
 	Metrics *telemetry.Registry
+	// ObsAddr, when non-empty, serves the observability plane over HTTP
+	// for the life of the sweep: /metrics (Prometheus text, per-worker
+	// and fleet-summed series when the fabric is up), /statusz (the
+	// quicbench-status/v1 snapshot), /healthz, and /debug/pprof. Bind
+	// ":0" for an ephemeral port and read it back via OnObsListen.
+	ObsAddr string
+	// OnObsListen, when non-nil, receives the observability server's
+	// bound address before any trial is dispatched.
+	OnObsListen func(addr string)
+	// ObsWait keeps the observability endpoints up that long after the
+	// sweep completes, so a scraper can take a final converged reading
+	// (campaign totals, fleet counters) before the process exits.
+	ObsWait time.Duration
 }
 
 // SweepCellResult is one cell of a supervised sweep: its identity, the
@@ -306,7 +320,7 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 	// snapshots, so a private registry is created on demand.
 	reg := opts.Metrics
 	wantProgress := opts.ProgressOut != nil || opts.StatusPath != ""
-	if reg == nil && wantProgress {
+	if reg == nil && (wantProgress || opts.ObsAddr != "") {
 		reg = telemetry.NewRegistry()
 	}
 	var cDone, cFailed, cRetries, cFallbacks *telemetry.Counter
@@ -323,6 +337,24 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 	if opts.Live && (opts.Isolate || opts.Listen != "") {
 		return nil, fmt.Errorf("quicbench: -live is mutually exclusive with -isolate and -listen (live trials hold real sockets in this process)")
 	}
+
+	// Hot-seam histograms: per-executor trial wall latency (also feeds the
+	// progress renderer's p99 column) and the supervisor's computed retry
+	// backoff delays.
+	var latHist, backoffHist *telemetry.Histogram
+	if reg != nil {
+		execName := "inproc"
+		switch {
+		case opts.Listen != "":
+			execName = "dist"
+		case opts.Live:
+			execName = "live"
+		case opts.Isolate:
+			execName = "isolate"
+		}
+		latHist = reg.Histogram("sweep.trial_latency_us." + execName)
+		backoffHist = reg.Histogram("runner.backoff_us")
+	}
 	var cLiveFallbacks, cLiveWarnings *telemetry.Counter
 	if reg != nil && opts.Live {
 		cLiveFallbacks = reg.Counter("live.fallbacks")
@@ -332,6 +364,7 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		cfg.Executor = &live.Executor{
 			Stall:     opts.LiveStallTimeout,
 			WallGrace: opts.LiveWallTimeout,
+			Metrics:   reg,
 			OnFallback: func(cell string, ferr error) {
 				if cLiveFallbacks != nil {
 					cLiveFallbacks.Inc()
@@ -378,6 +411,7 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 			AuthToken:        opts.AuthToken,
 			Allowed:          opts.WorkerAllowlist,
 			Logf:             opts.Logf,
+			Metrics:          reg,
 		}
 		if ex != nil {
 			coord.Local = ex // empty-fleet degradation keeps crash isolation
@@ -408,18 +442,6 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 			reg.RegisterFunc("dist.corrupt_frames", func() int64 { return coord.Stats().CorruptFrames })
 			reg.RegisterFunc("dist.auth_failures", func() int64 { return coord.Stats().AuthFailures })
 		}
-		if opts.MinWorkers > 0 {
-			wait := opts.MinWorkersTimeout
-			if wait <= 0 {
-				wait = 30 * time.Second
-			}
-			wctx, wcancel := context.WithTimeout(ctx, wait)
-			n, ok := coord.WaitWorkers(wctx, opts.MinWorkers)
-			wcancel()
-			if !ok && opts.Logf != nil {
-				opts.Logf("quicbench: proceeding with %d/%d workers after %v", n, opts.MinWorkers, wait)
-			}
-		}
 	}
 
 	var prog *telemetry.Progress
@@ -429,6 +451,7 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 			Out:      opts.ProgressOut,
 			Interval: opts.StatusInterval,
 			Registry: reg,
+			Latency:  latHist,
 		}
 		if opts.StatusPath != "" {
 			if dir := filepath.Dir(opts.StatusPath); dir != "." {
@@ -470,13 +493,59 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		defer prog.Start()()
 	}
 
+	if opts.ObsAddr != "" {
+		srv := &obs.Server{Addr: opts.ObsAddr, Registry: reg, Logf: opts.Logf}
+		if prog != nil {
+			srv.Status = prog.Snapshot
+		}
+		if coord != nil {
+			srv.Workers = func() []obs.WorkerMetrics {
+				fm := coord.FleetMetrics()
+				out := make([]obs.WorkerMetrics, len(fm))
+				for i, wm := range fm {
+					out[i] = obs.WorkerMetrics{Worker: wm.Worker, Samples: wm.Samples, Hists: wm.Hists}
+				}
+				return out
+			}
+		}
+		addr, oerr := srv.Start()
+		if oerr != nil {
+			return nil, fmt.Errorf("quicbench: obs server: %w", oerr)
+		}
+		defer srv.Stop()
+		if opts.OnObsListen != nil {
+			opts.OnObsListen(addr)
+		}
+	}
+
+	// The fleet wait runs after every endpoint (coordinator socket, obs
+	// server) is announced, so workers and scrapers spawned off those
+	// lines can connect while the wait is in progress.
+	if coord != nil && opts.MinWorkers > 0 {
+		wait := opts.MinWorkersTimeout
+		if wait <= 0 {
+			wait = 30 * time.Second
+		}
+		wctx, wcancel := context.WithTimeout(ctx, wait)
+		n, ok := coord.WaitWorkers(wctx, opts.MinWorkers)
+		wcancel()
+		if !ok && opts.Logf != nil {
+			opts.Logf("quicbench: proceeding with %d/%d workers after %v", n, opts.MinWorkers, wait)
+		}
+	}
+
 	// started tracks which cells actually executed this run, so OnRecord can
-	// tell fresh results from journal replays (replays never start a trial).
+	// tell fresh results from journal replays (replays never start a trial);
+	// startedAt pins each cell's first attempt start for wall latency.
 	var startedMu sync.Mutex
 	started := make(map[string]bool)
+	startedAt := make(map[string]time.Time)
 	cfg.OnTrialStart = func(key string, worker, attempt int) {
 		startedMu.Lock()
 		started[key] = true
+		if _, ok := startedAt[key]; !ok {
+			startedAt[key] = time.Now()
+		}
 		startedMu.Unlock()
 		if prog != nil {
 			prog.TrialStarted(key, worker, attempt)
@@ -486,6 +555,9 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 		if cRetries != nil {
 			cRetries.Inc()
 		}
+		if backoffHist != nil {
+			backoffHist.ObserveDuration(backoff)
+		}
 		if opts.OnRetry != nil {
 			opts.OnRetry(key, attempt, rerr, backoff)
 		}
@@ -493,9 +565,15 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 	cfg.OnRecord = func(rec runner.Record) {
 		startedMu.Lock()
 		fresh := started[rec.Key]
+		start := startedAt[rec.Key]
 		startedMu.Unlock()
 		failed := rec.Outcome == runner.OutcomeFailed
 		reused := !fresh && (rec.Outcome == runner.OutcomeOK || rec.Outcome == runner.OutcomeRetried)
+		if fresh && latHist != nil {
+			// First-start → record: the cell's supervised wall latency,
+			// retries and backoff included. Replays never observe.
+			latHist.ObserveDuration(time.Since(start))
+		}
 		if cDone != nil {
 			cDone.Inc()
 		}
@@ -513,6 +591,17 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*SweepSummary, error) {
 	res, err := core.RunSweep(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
+	}
+	if opts.ObsAddr != "" && opts.ObsWait > 0 {
+		// Linger so an external scraper can take a final converged reading
+		// before the endpoints disappear with the process.
+		if opts.Logf != nil {
+			opts.Logf("quicbench: obs endpoints linger %v for a final scrape", opts.ObsWait)
+		}
+		select {
+		case <-time.After(opts.ObsWait):
+		case <-ctx.Done():
+		}
 	}
 	sum := &SweepSummary{Reused: res.Reused, Interrupted: res.Interrupted}
 	for _, rec := range res.Records {
